@@ -1,0 +1,47 @@
+// Command esmgen emits error-syndrome-measurement (ESM) workloads — the
+// peak-power workload of the scalability analysis — as OpenQASM 2, for use
+// with the cycle-accurate simulator or external tools.
+//
+// Usage:
+//
+//	esmgen -d 5 -rounds 2 > esm_d5.qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qisim/internal/qasm"
+	"qisim/internal/surface"
+)
+
+func main() {
+	d := flag.Int("d", 3, "surface-code distance (odd, >= 3)")
+	rounds := flag.Int("rounds", 1, "ESM rounds")
+	flag.Parse()
+	if *d < 3 || *d%2 == 0 || *rounds < 1 {
+		fmt.Fprintln(os.Stderr, "esmgen: distance must be odd >= 3 and rounds >= 1")
+		os.Exit(2)
+	}
+	patch := surface.NewPatch(*d)
+	prog := &qasm.Program{NQubits: patch.TotalQubits(), NClbits: len(patch.Ancillas)}
+	for r := 0; r < *rounds; r++ {
+		c := 0
+		for _, op := range patch.ESMCircuit() {
+			switch op.Kind {
+			case "h":
+				prog.Gates = append(prog.Gates, qasm.Gate{Name: "h", Qubits: []int{op.Q}, CBit: -1})
+			case "cz":
+				prog.Gates = append(prog.Gates, qasm.Gate{Name: "cz", Qubits: []int{op.Q, op.Q2}, CBit: -1})
+			case "measure":
+				prog.Gates = append(prog.Gates, qasm.Gate{Name: "measure", Qubits: []int{op.Q}, CBit: c})
+				c++
+			}
+		}
+		if r+1 < *rounds {
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "barrier", CBit: -1})
+		}
+	}
+	fmt.Print(qasm.Emit(prog))
+}

@@ -1,0 +1,53 @@
+// Command qisim-experiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	qisim-experiments              run every experiment
+//	qisim-experiments list         list experiment ids
+//	qisim-experiments <id> ...     run specific experiments (e.g. fig13)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qisim/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit sweep data as CSV (fig12/fig13/fig17 only)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Print(experiments.RunAll())
+		fmt.Print(experiments.HeadlineTable())
+		return
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *csv {
+		for _, id := range args {
+			s, err := experiments.FigureCSV(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Print(s)
+		}
+		return
+	}
+	for _, id := range args {
+		s, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(s)
+	}
+}

@@ -1,0 +1,106 @@
+// Command qisim-fidelity runs an OpenQASM 2 program through the full QIsim
+// pipeline — parse → compile → cycle-accurate simulation → Pauli-channel
+// fidelity — and reports timing, activity factors, and predicted fidelity.
+//
+// Usage:
+//
+//	qisim-fidelity [-machine ibm_mumbai] [-arch cmos|sfq] [-mc] file.qasm
+//	cat circuit.qasm | qisim-fidelity -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/pauli"
+	"qisim/internal/qasm"
+	"qisim/internal/validate"
+)
+
+func main() {
+	machine := flag.String("machine", "ibm_mumbai", "reference machine (see qisim-fidelity -list)")
+	arch := flag.String("arch", "cmos", "QCI architecture: cmos or sfq")
+	mc := flag.Bool("mc", false, "also run the Monte-Carlo estimator")
+	list := flag.Bool("list", false, "list reference machines")
+	flag.Parse()
+
+	if *list {
+		for _, m := range validate.Machines() {
+			fmt.Printf("%-16s 1Q %.3g  2Q %.3g  RO %.3g  T1 %.0fµs  T2 %.0fµs\n",
+				m.Name, m.Rates.OneQ, m.Rates.TwoQ, m.Rates.Readout, m.Rates.T1*1e6, m.Rates.T2*1e6)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fatal("expected exactly one QASM file (or - for stdin)")
+	}
+
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err.Error())
+	}
+	prog, err := qasm.Parse(src)
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	var rates pauli.ErrorRates
+	found := false
+	for _, m := range validate.Machines() {
+		if m.Name == *machine {
+			rates, found = m.Rates, true
+		}
+	}
+	if !found {
+		fatal(fmt.Sprintf("unknown machine %q (use -list)", *machine))
+	}
+
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		fatal(err.Error())
+	}
+	var cfg cyclesim.Config
+	switch *arch {
+	case "cmos":
+		cfg = cyclesim.CMOSConfig()
+	case "sfq":
+		cfg = cyclesim.SFQConfig(1)
+	default:
+		fatal("arch must be cmos or sfq")
+	}
+	res, err := cyclesim.Run(ex, cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	fmt.Printf("qubits:        %d\n", prog.NQubits)
+	fmt.Printf("gates:         %d (1Q %d, 2Q %d, measure %d)\n",
+		ex.NumOneQ+ex.NumTwoQ+ex.NumMeasure, ex.NumOneQ, ex.NumTwoQ, ex.NumMeasure)
+	fmt.Printf("makespan:      %.1f ns\n", res.TotalTime*1e9)
+	fmt.Printf("drive duty:    %.3f   pulse duty: %.3f   readout duty: %.3f\n",
+		res.ActivityFactor("drive"), res.ActivityFactor("pulse"), res.ActivityFactor("readout"))
+	pcfg := pauli.DefaultConfig(rates)
+	fmt.Printf("fidelity:      %.4f  (%s, ESP)\n", pauli.ESP(res, pcfg), *machine)
+	if *mc {
+		pcfg.Shots = 50000
+		fmt.Printf("fidelity (MC): %.4f  (50k shots)\n", pauli.MonteCarlo(res, pcfg))
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "qisim-fidelity:", msg)
+	os.Exit(1)
+}

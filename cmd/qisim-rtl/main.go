@@ -1,0 +1,51 @@
+// Command qisim-rtl emits the parameterised Verilog RTL of the QCI digital
+// parts (Section 4.1.1's Verilog code generator), after running the
+// elaboration checker.
+//
+// Usage:
+//
+//	qisim-rtl [-fdm 32] [-phase 24] [-amp 14] [-iq 7] [-opt1] [-o dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qisim/internal/verilog"
+)
+
+func main() {
+	fdm := flag.Int("fdm", 32, "drive FDM degree")
+	phase := flag.Int("phase", 24, "NCO phase accumulator bits")
+	amp := flag.Int("amp", 14, "DAC amplitude bits (Opt-#2 uses 6)")
+	iq := flag.Int("iq", 7, "RX IQ sample bits")
+	opt1 := flag.Bool("opt1", false, "use the Opt-#1 memory-less decision unit")
+	out := flag.String("o", "", "output directory (default: stdout)")
+	flag.Parse()
+
+	mods := verilog.GenerateQCI(*fdm, *phase, *amp, *iq, !*opt1)
+	if err := verilog.CheckBundle(mods); err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		for _, m := range mods {
+			fmt.Println(m.Source)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+		os.Exit(1)
+	}
+	for _, m := range mods {
+		path := filepath.Join(*out, m.Name+".v")
+		if err := os.WriteFile(path, []byte(m.Source), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,67 @@
+// Command qisim-trace runs an OpenQASM 2 program on a QCI configuration and
+// emits the cycle-accurate schedule as JSON — the gate-timing trace QIsim's
+// downstream models (and external visualisers) consume.
+//
+// Usage:
+//
+//	qisim-trace [-arch cmos|sfq] [-fuse] file.qasm > trace.json
+//	esmgen -d 3 | qisim-trace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/qasm"
+)
+
+func main() {
+	arch := flag.String("arch", "cmos", "QCI architecture: cmos or sfq")
+	fuse := flag.Bool("fuse", false, "apply the Opt-#6 H·Rz fusion pass")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal("expected exactly one QASM file (or - for stdin)")
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err.Error())
+	}
+	prog, err := qasm.Parse(string(src))
+	if err != nil {
+		fatal(err.Error())
+	}
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		fatal(err.Error())
+	}
+	if *fuse {
+		n := compile.FuseHRz(ex)
+		fmt.Fprintf(os.Stderr, "qisim-trace: fused %d H·Rz pairs\n", n)
+	}
+	cfg := cyclesim.CMOSConfig()
+	if *arch == "sfq" {
+		cfg = cyclesim.SFQConfig(1)
+	}
+	res, err := cyclesim.Run(ex, cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if err := cyclesim.BuildTrace(res).WriteJSON(os.Stdout); err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "qisim-trace:", msg)
+	os.Exit(1)
+}

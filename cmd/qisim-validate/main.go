@@ -1,0 +1,64 @@
+// Command qisim-validate runs QIsim's validation campaign (Section 5 of the
+// paper): the CMOS and SFQ circuit models, the five gate/readout error
+// models, and the workload-level fidelity model.
+//
+// Usage:
+//
+//	qisim-validate                 run the full campaign
+//	qisim-validate fig8|fig10|table1|fig11
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qisim/internal/validate"
+)
+
+func main() {
+	ids := os.Args[1:]
+	if len(ids) == 0 {
+		ids = []string{"fig8", "fig10", "table1", "fig11"}
+	}
+	failed := false
+	for _, id := range ids {
+		switch id {
+		case "fig8":
+			rows := validate.Fig8CMOSPower()
+			fmt.Print(validate.Report("Fig. 8 — 4K CMOS power (vs Horse Ridge I & II)", rows))
+			failed = check("fig8", validate.MaxError(rows), 0.065) || failed
+		case "fig10":
+			f, p := validate.Fig10SFQ()
+			fmt.Print(validate.Report("Fig. 10(a) — RSFQ frequency", f))
+			fmt.Print(validate.Report("Fig. 10(b) — RSFQ power", p))
+			failed = check("fig10-freq", validate.MaxError(f), 0.08) || failed
+			failed = check("fig10-power", validate.MaxError(p), 0.085) || failed
+		case "table1":
+			rows := validate.Table1GateErrors()
+			fmt.Print(validate.Report("Table 1 — gate error-rate validation", rows))
+			failed = check("table1", validate.MaxError(rows), 0.30) || failed
+		case "fig11":
+			rows := validate.Fig11Workloads()
+			fmt.Print(validate.Report("Fig. 11 — workload-level fidelity", rows))
+			mean := validate.MeanError(rows)
+			fmt.Printf("average fidelity difference: %.1f%% (paper: 5.1%%)\n", 100*mean)
+			failed = check("fig11-mean", mean, 0.08) || failed
+		default:
+			fmt.Fprintf(os.Stderr, "qisim-validate: unknown id %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "qisim-validate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("qisim-validate: all validations within published accuracy bands")
+}
+
+func check(name string, got, bound float64) bool {
+	if got > bound {
+		fmt.Fprintf(os.Stderr, "qisim-validate: %s error %.3f exceeds bound %.3f\n", name, got, bound)
+		return true
+	}
+	return false
+}

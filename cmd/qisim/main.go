@@ -1,0 +1,147 @@
+// Command qisim is the QIsim scalability-analysis CLI: it evaluates the QCI
+// design points of the paper's Section 6 against the refrigerator budgets
+// and logical-error targets, reporting how many physical qubits each design
+// supports and what limits it.
+//
+// Usage:
+//
+//	qisim designs                  list the named design points
+//	qisim analyze [name ...]       analyze designs (default: all)
+//	qisim sweep <name> <N ...>     per-stage utilisation at qubit counts
+//	qisim scorecard                reproduction headlines vs the paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"qisim/internal/experiments"
+	"qisim/internal/lattice"
+	"qisim/internal/microarch"
+	"qisim/internal/scalability"
+	"qisim/internal/wiring"
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "designs":
+		for _, d := range microarch.AllDesigns() {
+			fmt.Println(d)
+		}
+	case "analyze":
+		analyze(args[1:])
+	case "sweep":
+		if len(args) < 3 {
+			fatal("sweep requires a design name and at least one qubit count")
+		}
+		sweep(args[1], args[2:])
+	case "scorecard":
+		fmt.Print(experiments.HeadlineTable())
+	case "lattice":
+		if len(args) != 3 {
+			fatal("lattice requires <design> <distance>")
+		}
+		latticeCmd(args[1], args[2])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// latticeCmd estimates a logical CNOT and a 1,000-round memory on a design.
+func latticeCmd(name, distStr string) {
+	d, ok := findDesign(name)
+	if !ok {
+		fatal(fmt.Sprintf("unknown design %q", name))
+	}
+	dist, err := strconv.Atoi(distStr)
+	if err != nil || dist < 3 || dist%2 == 0 {
+		fatal("distance must be odd and >= 3")
+	}
+	layout := lattice.NewLayout(3, dist)
+	cnot := lattice.CNOTProgram(layout, 0, 1, 2)
+	ex, err := lattice.Execute(cnot, d)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("logical CNOT at d=%d on %s:\n", dist, d.Name)
+	fmt.Printf("  rounds %d, wall clock %.2f µs, p_L %.3g/patch/round, success %.8f\n",
+		ex.Stats.TotalRounds, ex.WallClock*1e6, ex.LogicalErr, ex.Success)
+	mem := lattice.MemoryProgram(lattice.NewLayout(2, dist), 1000)
+	need := lattice.RequiredDistance(mem, d, 0.99)
+	fmt.Printf("distance needed for 99%% over 1,000 memory rounds: d = %d\n", need)
+}
+
+func analyze(names []string) {
+	opt := scalability.DefaultOptions()
+	var as []scalability.Analysis
+	if len(names) == 0 {
+		as = scalability.AnalyzeAll(opt)
+	} else {
+		for _, n := range names {
+			d, ok := findDesign(n)
+			if !ok {
+				fatal(fmt.Sprintf("unknown design %q (see `qisim designs`)", n))
+			}
+			as = append(as, scalability.Analyze(d, opt))
+		}
+	}
+	fmt.Print(scalability.Table(as))
+}
+
+func sweep(name string, counts []string) {
+	d, ok := findDesign(name)
+	if !ok {
+		fatal(fmt.Sprintf("unknown design %q", name))
+	}
+	var ns []int
+	for _, c := range counts {
+		n, err := strconv.Atoi(c)
+		if err != nil || n <= 0 {
+			fatal(fmt.Sprintf("bad qubit count %q", c))
+		}
+		ns = append(ns, n)
+	}
+	pts := scalability.Sweep(d, ns, scalability.DefaultOptions())
+	fmt.Printf("%10s %10s %10s %10s %12s %12s %9s\n", "qubits", "4K", "100mK", "20mK", "p_L", "target", "feasible")
+	for _, p := range pts {
+		fmt.Printf("%10d %9.1f%% %9.1f%% %9.1f%% %12.3g %12.3g %9v\n",
+			p.Qubits,
+			100*p.Utilization[wiring.Stage4K],
+			100*p.Utilization[wiring.Stage100mK],
+			100*p.Utilization[wiring.Stage20mK],
+			p.LogicalError, p.Target, p.Feasible)
+	}
+}
+
+func findDesign(name string) (microarch.Design, bool) {
+	for _, d := range microarch.AllDesigns() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return microarch.Design{}, false
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `qisim — QCI scalability analysis (QIsim reproduction)
+
+  qisim designs                  list the named design points
+  qisim analyze [name ...]       analyze designs (default: all)
+  qisim sweep <name> <N ...>     per-stage utilisation at qubit counts
+  qisim scorecard                reproduction headlines vs the paper
+  qisim lattice <design> <d>     logical CNOT/memory estimate on a design`)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "qisim:", msg)
+	os.Exit(1)
+}

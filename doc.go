@@ -1,0 +1,11 @@
+// Package qisim is a from-scratch Go reproduction of "QIsim: Architecting
+// 10+K Qubit QC Interfaces Toward Quantum Supremacy" (Min et al., ISCA
+// 2023): a scalability-analysis framework for quantum–classical interfaces
+// spanning circuit-level power models (cryo-CMOS and SFQ), cycle-accurate
+// QCI simulation, Hamiltonian-level gate/readout error models, surface-code
+// logical-error projection, and the eight architectural optimisations that
+// lift QCIs from hundreds to 60,000+ qubits.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and cmd/qisim for the CLI.
+package qisim

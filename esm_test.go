@@ -1,0 +1,26 @@
+package qisim_test
+
+import (
+	"qisim/internal/qasm"
+	"qisim/internal/surface"
+)
+
+// esmProgram renders one ESM round of a patch as a QASM program, shared by
+// the root-level tests and benchmarks.
+func esmProgram(patch *surface.Patch) *qasm.Program {
+	prog := &qasm.Program{NQubits: patch.TotalQubits()}
+	c := 0
+	for _, op := range patch.ESMCircuit() {
+		switch op.Kind {
+		case "h":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "h", Qubits: []int{op.Q}, CBit: -1})
+		case "cz":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "cz", Qubits: []int{op.Q, op.Q2}, CBit: -1})
+		case "measure":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "measure", Qubits: []int{op.Q}, CBit: c})
+			c++
+		}
+	}
+	prog.NClbits = c
+	return prog
+}

@@ -1,0 +1,72 @@
+// Lattice-surgery CNOT: drive a logical two-qubit gate through the whole
+// stack — PPM schedule → physical ESM instruction stream → cycle-accurate
+// QCI timing → logical success estimate — on two contrasting QCI designs.
+//
+//	go run ./examples/lattice_cnot
+package main
+
+import (
+	"fmt"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/lattice"
+	"qisim/internal/microarch"
+	"qisim/internal/qcp"
+)
+
+func main() {
+	d := 5
+	layout := lattice.NewLayout(3, d)
+	prog := lattice.CNOTProgram(layout, 0, 1, 2)
+
+	fmt.Printf("logical CNOT at d=%d on a %dx%d patch grid (%d physical qubits)\n",
+		d, layout.Rows, layout.Cols, layout.PhysicalQubits())
+	ops, rounds, err := prog.ScheduleAll()
+	if err != nil {
+		panic(err)
+	}
+	for _, op := range ops {
+		fmt.Printf("  %-12s", op.PPM)
+		for _, ph := range op.Phases {
+			fmt.Printf("  %s(%d rounds)", ph.Name, ph.Rounds)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total: %d ESM rounds\n\n", rounds)
+
+	tr := qcp.NewTranslator(layout)
+	for _, cfg := range []struct {
+		name   string
+		sim    cyclesim.Config
+		design microarch.Design
+	}{
+		{"4K CMOS (Opt-1/2)", cyclesim.CMOSConfig(), microarch.CMOS4KOpt12()},
+		{"SFQ (#BS=1, Opt-3/4/5)", cyclesim.SFQConfig(1), microarch.RSFQOpt345()},
+	} {
+		opt := compile.DefaultOptions()
+		opt.ReadoutTime = cfg.design.ReadoutLatency() // JPM pipeline vs CMOS RX
+		rr, err := tr.Run(prog, cfg.sim, opt)
+		if err != nil {
+			panic(err)
+		}
+		ex, err := lattice.Execute(prog, cfg.design)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s:\n", cfg.name)
+		fmt.Printf("  cycle-accurate: %.2f µs total, %.0f ns/round\n",
+			rr.Physical.TotalTime*1e6, rr.RoundTime*1e9)
+		fmt.Printf("  analytic model: %.0f ns/round, logical error %.3g/patch/round, success %.6f\n",
+			ex.RoundTime*1e9, ex.LogicalErr, ex.Success)
+	}
+
+	// How much distance does a 1000-round memory need on each design?
+	mem := lattice.MemoryProgram(lattice.NewLayout(2, 3), 1000)
+	fmt.Println("\ndistance needed for 99% over 1,000 memory rounds:")
+	for _, d := range []microarch.Design{
+		microarch.CMOS4KOpt12(), microarch.RSFQOpt345(), microarch.RSFQNaiveSharing(),
+	} {
+		fmt.Printf("  %-22s d = %d\n", d.Name, lattice.RequiredDistance(mem, d, 0.99))
+	}
+}

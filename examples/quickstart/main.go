@@ -1,0 +1,42 @@
+// Quickstart: analyse one QCI design end to end — power, timing, logical
+// error, and the maximum number of qubits it can support.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"qisim/internal/microarch"
+	"qisim/internal/scalability"
+	"qisim/internal/wiring"
+)
+
+func main() {
+	// Pick a design point: the near-term optimised 4 K CMOS QCI
+	// (Opt-#1 memory-less decision unit + Opt-#2 6-bit drive).
+	design := microarch.CMOS4KOpt12()
+	fmt.Printf("design: %v\n\n", design)
+
+	// 1. Per-qubit power at every refrigerator stage.
+	pb := design.PerQubitPower()
+	fmt.Println("per-qubit power:")
+	for _, st := range []wiring.Stage{wiring.Stage4K, wiring.Stage100mK, wiring.Stage20mK} {
+		fmt.Printf("  %-6s %12.4g W\n", st, pb.StageW[st])
+	}
+	fmt.Printf("  of which 4K device %.4g W, 300K→4K wire %.4g W\n\n", pb.DeviceW, pb.WireW)
+
+	// 2. ESM round timing (the peak-power FTQC workload).
+	rt := design.RoundTiming()
+	fmt.Printf("ESM round: %.0f ns (1Q %.0f ns x2 with FDM serialisation %.1f, 4 CZ layers, readout %.0f ns)\n\n",
+		rt.RoundTime()*1e9, rt.OneQTime*1e9, rt.DriveSerialization, rt.ReadoutTime*1e9)
+
+	// 3. Logical error at distance 23 and the scalability verdict.
+	a := scalability.Analyze(design, scalability.DefaultOptions())
+	fmt.Printf("logical error (d=23):   %.3g\n", a.LogicalError)
+	fmt.Printf("error-limited qubits:   %.0f\n", a.ErrorLimit)
+	fmt.Printf("max supported qubits:   %.0f (binding: %s)\n", a.MaxQubits, a.Binding)
+	if a.MaxQubits >= 1152 {
+		fmt.Println("→ clears the near-term 1,152-qubit (d=23 single-patch) target")
+	}
+}

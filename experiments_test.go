@@ -1,0 +1,40 @@
+package qisim_test
+
+import (
+	"strings"
+	"testing"
+
+	"qisim/internal/experiments"
+)
+
+// TestReproduceEveryExperiment regenerates every table and figure of the
+// paper's evaluation and logs the reports — the end-to-end reproduction
+// entry point (`go test -run TestReproduceEveryExperiment -v`).
+func TestReproduceEveryExperiment(t *testing.T) {
+	for _, id := range experiments.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			s, err := experiments.Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(s, "==") {
+				t.Fatalf("report missing header:\n%s", s)
+			}
+			t.Log("\n" + s)
+		})
+	}
+}
+
+// TestReproductionScorecard asserts the headline numbers stay within the
+// documented bands of the paper's results.
+func TestReproductionScorecard(t *testing.T) {
+	hs := experiments.Headlines()
+	if len(hs) < 13 {
+		t.Fatalf("scorecard shrank: %d headlines", len(hs))
+	}
+	t.Log("\n" + experiments.HeadlineTable())
+	if w := experiments.WorstHeadlineRatio(); w > 2.2 {
+		t.Fatalf("worst headline deviation %.2fx exceeds the documented band", w)
+	}
+}

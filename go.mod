@@ -1,0 +1,3 @@
+module qisim
+
+go 1.22

@@ -1,0 +1,93 @@
+package cmath
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// EigenH computes the eigenvalues and eigenvectors of a Hermitian matrix by
+// the cyclic complex Jacobi method. Eigenvalues are returned in ascending
+// order; column k of the returned matrix is the corresponding eigenvector.
+// The spectral analyses (avoided crossings, dressed states) of the
+// Hamiltonian models use this.
+func EigenH(h *Matrix) ([]float64, *Matrix) {
+	if !h.IsSquare() {
+		panic("cmath: EigenH requires a square matrix")
+	}
+	n := h.Rows
+	a := h.Clone()
+	v := Identity(n)
+
+	offdiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					s += cmplx.Abs(a.At(i, j)) * cmplx.Abs(a.At(i, j))
+				}
+			}
+		}
+		return s
+	}
+
+	for sweep := 0; sweep < 100 && offdiag() > 1e-24; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if cmplx.Abs(apq) < 1e-18 {
+					continue
+				}
+				app := real(a.At(p, p))
+				aqq := real(a.At(q, q))
+				// Complex Jacobi rotation: phase out apq, then rotate.
+				phase := apq / complex(cmplx.Abs(apq), 0)
+				theta := 0.5 * math.Atan2(2*cmplx.Abs(apq), aqq-app)
+				c := complex(math.Cos(theta), 0)
+				s := complex(math.Sin(theta), 0) * phase
+
+				// Apply the rotation G on the right of V and G† A G on A:
+				// columns p and q mix.
+				for i := 0; i < n; i++ {
+					aip := a.At(i, p)
+					aiq := a.At(i, q)
+					a.Set(i, p, aip*c-aiq*cmplx.Conj(s))
+					a.Set(i, q, aip*s+aiq*c)
+					vip := v.At(i, p)
+					viq := v.At(i, q)
+					v.Set(i, p, vip*c-viq*cmplx.Conj(s))
+					v.Set(i, q, vip*s+viq*c)
+				}
+				for j := 0; j < n; j++ {
+					apj := a.At(p, j)
+					aqj := a.At(q, j)
+					a.Set(p, j, c*apj-s*aqj)
+					a.Set(q, j, cmplx.Conj(s)*apj+c*aqj)
+				}
+			}
+		}
+	}
+
+	// Extract and sort.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{real(a.At(i, i)), i}
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && pairs[j].val < pairs[j-1].val; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	vals := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for k, pr := range pairs {
+		vals[k] = pr.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, pr.idx))
+		}
+	}
+	return vals, vecs
+}

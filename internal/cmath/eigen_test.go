@@ -1,0 +1,108 @@
+package cmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randHermitian(r *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, complex(r.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(r.NormFloat64(), r.NormFloat64())
+			a.Set(i, j, v)
+			a.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	return a
+}
+
+func TestEigenHDiagonal(t *testing.T) {
+	d := NewMatrix(3, 3)
+	d.Set(0, 0, 3)
+	d.Set(1, 1, -1)
+	d.Set(2, 2, 7)
+	vals, _ := EigenH(d)
+	want := []float64{-1, 3, 7}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestEigenHPauliX(t *testing.T) {
+	vals, vecs := EigenH(PauliX())
+	if math.Abs(vals[0]+1) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("X eigenvalues %v, want ±1", vals)
+	}
+	// Eigenvector of +1 is |+>: components equal in magnitude.
+	if math.Abs(realAbs(vecs.At(0, 1))-realAbs(vecs.At(1, 1))) > 1e-8 {
+		t.Fatalf("X eigenvector wrong: %v %v", vecs.At(0, 1), vecs.At(1, 1))
+	}
+}
+
+func realAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+func TestEigenHReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 3, 5, 9} {
+		h := randHermitian(r, n)
+		vals, vecs := EigenH(h)
+		// H·v_k = λ_k·v_k for every column.
+		for k := 0; k < n; k++ {
+			col := make([]complex128, n)
+			for i := 0; i < n; i++ {
+				col[i] = vecs.At(i, k)
+			}
+			hv := h.ApplyTo(col)
+			for i := 0; i < n; i++ {
+				diff := hv[i] - complex(vals[k], 0)*col[i]
+				if realAbs(diff) > 1e-7 {
+					t.Fatalf("n=%d: eigenpair %d fails: residual %v", n, k, diff)
+				}
+			}
+		}
+		// Eigenvalues ascend.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1]-1e-12 {
+				t.Fatal("eigenvalues not sorted")
+			}
+		}
+		// Trace preserved.
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-real(Trace(h))) > 1e-8 {
+			t.Fatal("eigenvalue sum != trace")
+		}
+	}
+}
+
+func TestEigenVectorsUnitary(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	h := randHermitian(r, 4)
+	_, vecs := EigenH(h)
+	if !IsUnitary(vecs, 1e-8) {
+		t.Fatal("eigenvector matrix must be unitary")
+	}
+}
+
+func TestAvoidedCrossingGap(t *testing.T) {
+	// Physics check for the CZ model: at the |11>↔|20> resonance of two
+	// coupled transmons, the dressed-state gap equals 2√2·g. Build the
+	// two-level block directly: H = [[0, √2 g], [√2 g, 0]].
+	g := 2 * math.Pi * 10e6
+	h := NewMatrix(2, 2)
+	h.Set(0, 1, complex(math.Sqrt2*g, 0))
+	h.Set(1, 0, complex(math.Sqrt2*g, 0))
+	vals, _ := EigenH(h)
+	gap := vals[1] - vals[0]
+	want := 2 * math.Sqrt2 * g
+	if math.Abs(gap-want)/want > 1e-10 {
+		t.Fatalf("avoided-crossing gap %v, want 2√2·g = %v", gap, want)
+	}
+}

@@ -1,0 +1,92 @@
+package compile
+
+import "math"
+
+// FuseHRz applies the Opt-#6 basis-gate change on a compiled executable: in
+// lattice-surgery circuits adjacent single-qubit pairs are always H·Rz(nπ/4)
+// (or Rz·H), which one Ry(π/2)·Rz(nπ/4) pulse realises. The pass scans each
+// qubit's queue and merges such pairs into a single physical instruction,
+// halving the drive instruction stream. It returns the fused-pair count.
+func FuseHRz(ex *Executable) int {
+	fused := 0
+	for q := range ex.Queues {
+		in := ex.Queues[q]
+		var out []Instr
+		for i := 0; i < len(in); i++ {
+			cur := in[i]
+			if i+1 < len(in) && fusable(cur, in[i+1]) {
+				next := in[i+1]
+				phi := cur.Param
+				if cur.Name == "h" {
+					phi = next.Param
+				}
+				phi = canonicalRz(cur, next, phi)
+				merged := Instr{
+					ID:       cur.ID,
+					Kind:     OneQ,
+					Name:     "ryrz",
+					Param:    phi,
+					Qubit:    cur.Qubit,
+					Partner:  -1,
+					Duration: maxDur(cur.Duration, next.Duration),
+				}
+				out = append(out, merged)
+				fused++
+				i++
+				continue
+			}
+			out = append(out, cur)
+		}
+		ex.Queues[q] = out
+	}
+	// The physical 1Q op count shrinks by the H gates absorbed.
+	ex.NumOneQ -= fused
+	return fused
+}
+
+// fusable reports whether a, b form an H·Rz or Rz·H pair on one qubit.
+func fusable(a, b Instr) bool {
+	if a.Kind != OneQ || b.Kind != OneQ || a.Qubit != b.Qubit {
+		return false
+	}
+	hFirst := a.Name == "h" && isRzFamily(b.Name)
+	rzFirst := isRzFamily(a.Name) && b.Name == "h"
+	return hFirst || rzFirst
+}
+
+func isRzFamily(name string) bool {
+	switch name {
+	case "rz", "z", "s", "sdg", "t", "tdg":
+		return true
+	}
+	return false
+}
+
+// canonicalRz maps the z-family gate of the pair to its angle.
+func canonicalRz(a, b Instr, phi float64) float64 {
+	g := a
+	if a.Name == "h" {
+		g = b
+	}
+	switch g.Name {
+	case "z":
+		return math.Pi
+	case "s":
+		return math.Pi / 2
+	case "sdg":
+		return -math.Pi / 2
+	case "t":
+		return math.Pi / 4
+	case "tdg":
+		return -math.Pi / 4
+	default:
+		return phi
+	}
+}
+
+func maxDur(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package compile
+
+import (
+	"math"
+	"testing"
+
+	"qisim/internal/qasm"
+)
+
+func compileFor(t *testing.T, src string, virtualRz bool) *Executable {
+	t.Helper()
+	p, err := qasm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.VirtualRz = virtualRz
+	ex, err := Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestFuseHRzPair(t *testing.T) {
+	// h then t: one Ry(π/2)·Rz(π/4) instruction.
+	ex := compileFor(t, "qreg q[1]; h q[0]; t q[0];", false)
+	n := FuseHRz(ex)
+	if n != 1 {
+		t.Fatalf("fused %d pairs, want 1", n)
+	}
+	if len(ex.Queues[0]) != 1 {
+		t.Fatalf("queue length %d, want 1", len(ex.Queues[0]))
+	}
+	in := ex.Queues[0][0]
+	if in.Name != "ryrz" || math.Abs(in.Param-math.Pi/4) > 1e-12 {
+		t.Fatalf("fused instruction wrong: %+v", in)
+	}
+}
+
+func TestFuseRzHPairAndAngles(t *testing.T) {
+	cases := map[string]float64{
+		"z":   math.Pi,
+		"s":   math.Pi / 2,
+		"sdg": -math.Pi / 2,
+		"tdg": -math.Pi / 4,
+	}
+	for g, want := range cases {
+		ex := compileFor(t, "qreg q[1]; "+g+" q[0]; h q[0];", false)
+		if n := FuseHRz(ex); n != 1 {
+			t.Fatalf("%s·h: fused %d", g, n)
+		}
+		if got := ex.Queues[0][0].Param; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s·h: angle %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestFuseLeavesUnpairedGates(t *testing.T) {
+	ex := compileFor(t, "qreg q[2]; h q[0]; x q[0]; h q[1];", false)
+	if n := FuseHRz(ex); n != 0 {
+		t.Fatalf("nothing fusable, but fused %d", n)
+	}
+	if len(ex.Queues[0]) != 2 || len(ex.Queues[1]) != 1 {
+		t.Fatal("queues changed without fusion")
+	}
+}
+
+func TestFuseHalvesESMStyleStream(t *testing.T) {
+	// A lattice-surgery-like stream: alternating h/t layers fuse fully.
+	src := "qreg q[1]; h q[0]; t q[0]; h q[0]; s q[0]; h q[0]; tdg q[0];"
+	ex := compileFor(t, src, false)
+	before := ex.NumOneQ
+	n := FuseHRz(ex)
+	if n != 3 {
+		t.Fatalf("fused %d, want 3", n)
+	}
+	if ex.NumOneQ != before-3 {
+		t.Fatalf("NumOneQ accounting wrong: %d → %d", before, ex.NumOneQ)
+	}
+	if len(ex.Queues[0]) != 3 {
+		t.Fatalf("stream length %d, want 3", len(ex.Queues[0]))
+	}
+}
+
+func TestFuseDoesNotCrossCZ(t *testing.T) {
+	ex := compileFor(t, "qreg q[2]; h q[0]; cz q[0],q[1]; t q[0];", false)
+	if n := FuseHRz(ex); n != 0 {
+		t.Fatalf("fusion crossed a CZ: %d", n)
+	}
+}
+
+func TestFuseRzParamGate(t *testing.T) {
+	ex := compileFor(t, "qreg q[1]; h q[0]; rz(0.7) q[0];", false)
+	FuseHRz(ex)
+	if got := ex.Queues[0][0].Param; math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("rz angle %v, want 0.7", got)
+	}
+}

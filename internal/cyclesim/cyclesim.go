@@ -1,0 +1,310 @@
+// Package cyclesim is QIsim's cycle-accurate QCI simulator (Section 4.2): it
+// executes compiled per-qubit FIFO instruction queues against a QCI resource
+// model — drive-circuit groups with a limited number of simultaneous banks
+// (#banks for CMOS FDM, #BS for SFQ, with broadcast merging), per-qubit
+// pulse circuits, and grouped readout — using a remaining-time table to
+// resolve true dependencies and structural hazards. It produces the
+// gate-timing trace and per-unit activity factors the runtime-power and
+// decoherence models consume.
+package cyclesim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qisim/internal/compile"
+)
+
+// Config describes the QCI resources.
+type Config struct {
+	// DriveGroupSize is the FDM degree: qubits [k·g, (k+1)·g) share drive
+	// circuit k.
+	DriveGroupSize int
+	// DriveSlots is the number of simultaneous gates one drive circuit can
+	// play (2 digital banks for Horse Ridge; #BS for the SFQ controller).
+	DriveSlots int
+	// MergeBroadcast allows identical gates (same name+param) within one
+	// drive group to share a slot when they start together — the SFQ
+	// bitstream broadcast (and the reason #BS=1 suffices for ESM, Opt-#5).
+	MergeBroadcast bool
+	// ReadoutGroupSize is the readout FDM degree (8): grouped qubits read
+	// out through one TX/RX pair.
+	ReadoutGroupSize int
+	// ReadoutSlots is the number of simultaneous readouts per group (8 for
+	// the frequency-multiplexed CMOS readout; 1 for serialised JPM sharing).
+	ReadoutSlots int
+}
+
+// CMOSConfig returns the Horse Ridge baseline resources.
+func CMOSConfig() Config {
+	return Config{DriveGroupSize: 32, DriveSlots: 2, ReadoutGroupSize: 8, ReadoutSlots: 8}
+}
+
+// SFQConfig returns the SFQ controller resources with the given #BS.
+func SFQConfig(bs int) Config {
+	return Config{DriveGroupSize: 8, DriveSlots: bs, MergeBroadcast: true, ReadoutGroupSize: 8, ReadoutSlots: 8}
+}
+
+// TimedOp is one executed instruction with its schedule.
+type TimedOp struct {
+	compile.Instr
+	Start, End float64
+}
+
+// Result is the simulation output.
+type Result struct {
+	Ops       []TimedOp
+	TotalTime float64
+	// BusyTime per unit class ("drive", "pulse", "readout") summed over ops.
+	BusyTime map[string]float64
+	// QubitBusy is per-qubit occupied time (for decoherence accounting).
+	QubitBusy []float64
+	// Units counts the hardware units of each class for the given qubit
+	// count ("drive" circuits, "pulse" circuits, "readout" groups).
+	Units map[string]int
+}
+
+// ActivityFactor returns the average duty cycle of a unit class.
+func (r *Result) ActivityFactor(class string) float64 {
+	n := r.Units[class]
+	if n == 0 || r.TotalTime <= 0 {
+		return 0
+	}
+	a := r.BusyTime[class] / (float64(n) * r.TotalTime)
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// IdleTime returns qubit q's idle exposure (total - busy), the decoherence
+// input of the workload error model.
+func (r *Result) IdleTime(q int) float64 { return r.TotalTime - r.QubitBusy[q] }
+
+type slotPool struct {
+	busyUntil []float64
+}
+
+func newSlotPool(n int) *slotPool { return &slotPool{busyUntil: make([]float64, n)} }
+
+// earliest returns the slot index with the smallest busy-until.
+func (p *slotPool) earliest() (int, float64) {
+	bi, bt := 0, p.busyUntil[0]
+	for i, t := range p.busyUntil {
+		if t < bt {
+			bi, bt = i, t
+		}
+	}
+	return bi, bt
+}
+
+type broadcast struct {
+	key        string
+	start, end float64
+}
+
+// Run simulates the executable on the configured QCI.
+func Run(ex *compile.Executable, cfg Config) (*Result, error) {
+	if cfg.DriveGroupSize <= 0 || cfg.DriveSlots <= 0 || cfg.ReadoutGroupSize <= 0 || cfg.ReadoutSlots <= 0 {
+		return nil, fmt.Errorf("cyclesim: invalid config %+v", cfg)
+	}
+	n := ex.NQubits
+	nDrive := (n + cfg.DriveGroupSize - 1) / cfg.DriveGroupSize
+	nRead := (n + cfg.ReadoutGroupSize - 1) / cfg.ReadoutGroupSize
+
+	res := &Result{
+		BusyTime:  map[string]float64{},
+		QubitBusy: make([]float64, n),
+		Units: map[string]int{
+			"drive":   nDrive,
+			"pulse":   n,
+			"readout": nRead,
+		},
+	}
+
+	qubitFree := make([]float64, n)
+	heads := make([]int, n)
+	drivePools := make([]*slotPool, nDrive)
+	for i := range drivePools {
+		drivePools[i] = newSlotPool(cfg.DriveSlots)
+	}
+	readPools := make([]*slotPool, nRead)
+	for i := range readPools {
+		readPools[i] = newSlotPool(cfg.ReadoutSlots)
+	}
+	// Active broadcasts per drive group (for SFQ merging).
+	casts := make([][]broadcast, nDrive)
+
+	remaining := 0
+	for q := 0; q < n; q++ {
+		remaining += len(ex.Queues[q])
+	}
+
+	head := func(q int) *compile.Instr {
+		if heads[q] >= len(ex.Queues[q]) {
+			return nil
+		}
+		return &ex.Queues[q][heads[q]]
+	}
+
+	scheduleOne := func(q int, in *compile.Instr) (float64, float64, bool) {
+		// Returns (start, end, usedNewSlot=false when merged).
+		switch in.Kind {
+		case compile.OneQ:
+			if in.Virtual {
+				return qubitFree[q], qubitFree[q], false
+			}
+			g := q / cfg.DriveGroupSize
+			if cfg.MergeBroadcast {
+				for _, bc := range casts[g] {
+					if bc.key == in.GateKey() && bc.start >= qubitFree[q] {
+						return bc.start, bc.end, false
+					}
+				}
+			}
+			_, slotFree := drivePools[g].earliest()
+			start := math.Max(qubitFree[q], slotFree)
+			return start, start + in.Duration, true
+		case compile.Measure:
+			g := q / cfg.ReadoutGroupSize
+			_, slotFree := readPools[g].earliest()
+			start := math.Max(qubitFree[q], slotFree)
+			return start, start + in.Duration, true
+		default:
+			start := qubitFree[q]
+			return start, start + in.Duration, true
+		}
+	}
+
+	for remaining > 0 {
+		// Barrier handling: if every live head is the same barrier id,
+		// synchronise.
+		progressed := false
+
+		// Candidate selection: earliest-start ready instruction.
+		bestQ := -1
+		var bestStart, bestEnd float64
+		bestNew := false
+		for q := 0; q < n; q++ {
+			in := head(q)
+			if in == nil {
+				continue
+			}
+			switch in.Kind {
+			case compile.Barrier:
+				continue // handled collectively below
+			case compile.TwoQ:
+				p := in.Partner
+				ph := head(p)
+				if ph == nil || ph.ID != in.ID {
+					continue // partner not ready: true dependency
+				}
+				if p < q {
+					continue // schedule from the lower index side once
+				}
+				start := math.Max(qubitFree[q], qubitFree[p])
+				end := start + in.Duration
+				if bestQ == -1 || start < bestStart {
+					bestQ, bestStart, bestEnd, bestNew = q, start, end, true
+				}
+			default:
+				start, end, usedNew := scheduleOne(q, in)
+				if bestQ == -1 || start < bestStart {
+					bestQ, bestStart, bestEnd, bestNew = q, start, end, usedNew
+				}
+			}
+		}
+
+		if bestQ >= 0 {
+			in := head(bestQ)
+			switch in.Kind {
+			case compile.TwoQ:
+				p := in.Partner
+				res.Ops = append(res.Ops, TimedOp{Instr: *in, Start: bestStart, End: bestEnd})
+				qubitFree[bestQ], qubitFree[p] = bestEnd, bestEnd
+				res.QubitBusy[bestQ] += bestEnd - bestStart
+				res.QubitBusy[p] += bestEnd - bestStart
+				res.BusyTime["pulse"] += 2 * (bestEnd - bestStart)
+				heads[bestQ]++
+				heads[p]++
+				remaining -= 2
+			case compile.OneQ:
+				res.Ops = append(res.Ops, TimedOp{Instr: *in, Start: bestStart, End: bestEnd})
+				qubitFree[bestQ] = bestEnd
+				res.QubitBusy[bestQ] += bestEnd - bestStart
+				if bestNew && !in.Virtual {
+					// Merged broadcasts share the slot, so only a fresh slot
+					// accrues drive busy time.
+					res.BusyTime["drive"] += bestEnd - bestStart
+					g := bestQ / cfg.DriveGroupSize
+					si, _ := drivePools[g].earliest()
+					drivePools[g].busyUntil[si] = bestEnd
+					if cfg.MergeBroadcast {
+						casts[g] = append(casts[g], broadcast{key: in.GateKey(), start: bestStart, end: bestEnd})
+						if len(casts[g]) > 8 {
+							casts[g] = casts[g][1:]
+						}
+					}
+				}
+				heads[bestQ]++
+				remaining--
+			case compile.Measure:
+				res.Ops = append(res.Ops, TimedOp{Instr: *in, Start: bestStart, End: bestEnd})
+				qubitFree[bestQ] = bestEnd
+				res.QubitBusy[bestQ] += bestEnd - bestStart
+				res.BusyTime["readout"] += bestEnd - bestStart
+				g := bestQ / cfg.ReadoutGroupSize
+				si, _ := readPools[g].earliest()
+				readPools[g].busyUntil[si] = bestEnd
+				heads[bestQ]++
+				remaining--
+			}
+			progressed = true
+		}
+
+		if !progressed {
+			// All live heads must be barriers (or a deadlock).
+			barrierID := -1
+			live := 0
+			for q := 0; q < n; q++ {
+				in := head(q)
+				if in == nil {
+					continue
+				}
+				live++
+				if in.Kind != compile.Barrier {
+					return nil, fmt.Errorf("cyclesim: deadlock at qubit %d instr %+v", q, *in)
+				}
+				if barrierID == -1 {
+					barrierID = in.ID
+				}
+			}
+			if live == 0 {
+				break
+			}
+			var sync float64
+			for q := 0; q < n; q++ {
+				if qubitFree[q] > sync {
+					sync = qubitFree[q]
+				}
+			}
+			for q := 0; q < n; q++ {
+				in := head(q)
+				if in != nil && in.Kind == compile.Barrier && in.ID == barrierID {
+					qubitFree[q] = sync
+					heads[q]++
+					remaining--
+				}
+			}
+		}
+	}
+
+	for _, t := range qubitFree {
+		if t > res.TotalTime {
+			res.TotalTime = t
+		}
+	}
+	sort.Slice(res.Ops, func(i, j int) bool { return res.Ops[i].Start < res.Ops[j].Start })
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package cyclesim
+
+import (
+	"math"
+	"testing"
+
+	"qisim/internal/compile"
+	"qisim/internal/qasm"
+	"qisim/internal/surface"
+)
+
+func compileSrc(t *testing.T, src string, opt compile.Options) *compile.Executable {
+	t.Helper()
+	p, err := qasm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := compile.Compile(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// esmExecutable lowers one ESM round of a distance-d patch.
+func esmExecutable(t testing.TB, d int) *compile.Executable {
+	patch := surface.NewPatch(d)
+	prog := &qasm.Program{NQubits: patch.TotalQubits()}
+	c := 0
+	for _, op := range patch.ESMCircuit() {
+		switch op.Kind {
+		case "h":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "h", Qubits: []int{op.Q}, CBit: -1})
+		case "cz":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "cz", Qubits: []int{op.Q, op.Q2}, CBit: -1})
+		case "measure":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "measure", Qubits: []int{op.Q}, CBit: c})
+			c++
+		}
+	}
+	prog.NClbits = c
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestSequentialDependency(t *testing.T) {
+	ex := compileSrc(t, "qreg q[1]; h q[0]; h q[0]; h q[0];", compile.DefaultOptions())
+	r, err := Run(ex, CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three dependent 25 ns gates: 75 ns.
+	if math.Abs(r.TotalTime-75e-9) > 1e-12 {
+		t.Fatalf("total %v, want 75 ns", r.TotalTime)
+	}
+	for i := 1; i < len(r.Ops); i++ {
+		if r.Ops[i].Start < r.Ops[i-1].End-1e-15 {
+			t.Fatal("dependent gates overlap")
+		}
+	}
+}
+
+func TestCZTrueDependency(t *testing.T) {
+	// q1 must finish its H before the CZ can start.
+	ex := compileSrc(t, "qreg q[2]; h q[1]; cz q[0],q[1];", compile.DefaultOptions())
+	r, err := Run(ex, CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalTime-75e-9) > 1e-12 {
+		t.Fatalf("total %v, want 25+50 ns", r.TotalTime)
+	}
+}
+
+func TestFDMStructuralHazard(t *testing.T) {
+	// Four independent H gates on qubits sharing one 2-bank drive circuit
+	// serialise into two slots.
+	ex := compileSrc(t, "qreg q[4]; h q[0]; h q[1]; h q[2]; h q[3];", compile.DefaultOptions())
+	cfg := Config{DriveGroupSize: 4, DriveSlots: 2, ReadoutGroupSize: 8, ReadoutSlots: 8}
+	r, err := Run(ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalTime-50e-9) > 1e-12 {
+		t.Fatalf("total %v, want 50 ns (two waves of two banks)", r.TotalTime)
+	}
+	// With four banks they all run at once.
+	cfg.DriveSlots = 4
+	r2, _ := Run(ex, cfg)
+	if math.Abs(r2.TotalTime-25e-9) > 1e-12 {
+		t.Fatalf("4-slot total %v, want 25 ns", r2.TotalTime)
+	}
+}
+
+func TestBroadcastMerging(t *testing.T) {
+	// SFQ: identical H gates broadcast through one slot even with #BS=1.
+	ex := compileSrc(t, "qreg q[4]; h q[0]; h q[1]; h q[2]; h q[3];", compile.DefaultOptions())
+	cfg := Config{DriveGroupSize: 4, DriveSlots: 1, MergeBroadcast: true, ReadoutGroupSize: 8, ReadoutSlots: 8}
+	r, err := Run(ex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalTime-25e-9) > 1e-12 {
+		t.Fatalf("broadcast total %v, want 25 ns", r.TotalTime)
+	}
+	// Distinct gates cannot merge.
+	ex2 := compileSrc(t, "qreg q[2]; rx(0.5) q[0]; rx(0.25) q[1];", compile.DefaultOptions())
+	cfg.DriveGroupSize = 2
+	r2, _ := Run(ex2, cfg)
+	if math.Abs(r2.TotalTime-50e-9) > 1e-12 {
+		t.Fatalf("distinct gates should serialise on one slot: %v", r2.TotalTime)
+	}
+}
+
+func TestOpt5BSReductionKeepsESMTime(t *testing.T) {
+	// The paper's Opt-#5 observation: #BS 8→1 leaves ESM execution time
+	// essentially unchanged because FTQC layers broadcast identical gates.
+	ex := esmExecutable(t, 5)
+	r8, err := Run(ex, SFQConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(ex, SFQConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.TotalTime-r8.TotalTime)/r8.TotalTime > 0.02 {
+		t.Fatalf("#BS=1 ESM time %v vs #BS=8 %v — should match (Opt-#5)", r1.TotalTime, r8.TotalTime)
+	}
+}
+
+func TestCMOSFDMSerializationGrowsWithD(t *testing.T) {
+	// At d=9 (161 qubits) FDM-32 serialisation of the H layers is visible
+	// vs an 8-qubit FDM.
+	ex := esmExecutable(t, 9)
+	c32 := CMOSConfig()
+	r32, err := Run(ex, c32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := CMOSConfig()
+	c8.DriveGroupSize = 8
+	r8, _ := Run(ex, c8)
+	if r32.TotalTime <= r8.TotalTime {
+		t.Fatalf("FDM 32 (%v) should be slower than FDM 8 (%v)", r32.TotalTime, r8.TotalTime)
+	}
+}
+
+func TestVirtualRzTakesNoTime(t *testing.T) {
+	ex := compileSrc(t, "qreg q[1]; rz(0.7) q[0]; h q[0];", compile.DefaultOptions())
+	r, _ := Run(ex, CMOSConfig())
+	if math.Abs(r.TotalTime-25e-9) > 1e-12 {
+		t.Fatalf("virtual Rz should be free: total %v", r.TotalTime)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	ex := compileSrc(t, "qreg q[2]; h q[0]; h q[0]; barrier q; h q[1];", compile.DefaultOptions())
+	r, err := Run(ex, CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1's H starts only after q0's two H's (50 ns).
+	if math.Abs(r.TotalTime-75e-9) > 1e-12 {
+		t.Fatalf("total %v, want 75 ns with barrier", r.TotalTime)
+	}
+}
+
+func TestReadoutSerialisesWithOneSlot(t *testing.T) {
+	ex := compileSrc(t, "qreg q[2]; creg c[2]; measure q[0]->c[0]; measure q[1]->c[1];", compile.DefaultOptions())
+	cfg := CMOSConfig()
+	cfg.ReadoutGroupSize = 2
+	cfg.ReadoutSlots = 1
+	r, _ := Run(ex, cfg)
+	want := 2 * 517e-9
+	if math.Abs(r.TotalTime-want) > 1e-12 {
+		t.Fatalf("serialised readout total %v, want %v", r.TotalTime, want)
+	}
+	cfg.ReadoutSlots = 2
+	r2, _ := Run(ex, cfg)
+	if math.Abs(r2.TotalTime-517e-9) > 1e-12 {
+		t.Fatalf("parallel readout total %v, want 517 ns", r2.TotalTime)
+	}
+}
+
+func TestActivityFactorsBounded(t *testing.T) {
+	ex := esmExecutable(t, 5)
+	r, err := Run(ex, CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"drive", "pulse", "readout"} {
+		a := r.ActivityFactor(class)
+		if a < 0 || a > 1 {
+			t.Fatalf("%s activity %v out of range", class, a)
+		}
+	}
+	if r.ActivityFactor("pulse") <= 0 {
+		t.Fatal("ESM must exercise the pulse circuits")
+	}
+}
+
+func TestIdleTimeAccounting(t *testing.T) {
+	ex := compileSrc(t, "qreg q[2]; h q[0]; h q[0]; h q[1];", compile.DefaultOptions())
+	r, _ := Run(ex, CMOSConfig())
+	// q1 runs one 25 ns gate in a 50 ns schedule → 25 ns idle.
+	if math.Abs(r.IdleTime(1)-25e-9) > 1e-12 {
+		t.Fatalf("idle time %v, want 25 ns", r.IdleTime(1))
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	ex := compileSrc(t, "qreg q[1]; h q[0];", compile.DefaultOptions())
+	if _, err := Run(ex, Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}

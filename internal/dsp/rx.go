@@ -1,0 +1,85 @@
+package dsp
+
+import "math"
+
+// RXTone is one frequency-multiplexed readout channel: a resonator tone at
+// FreqHz whose phase encodes the qubit state (the dispersive shift rotates
+// the reflected tone by ±PhaseRad).
+type RXTone struct {
+	FreqHz   float64
+	PhaseRad float64
+	Amp      float64
+}
+
+// MultiTone synthesises the reflected readout waveform: the sum of all
+// channel tones sampled at rate fs for n samples — what the shared RX ADC
+// digitises before the per-qubit digital banks separate the channels.
+func MultiTone(tones []RXTone, fs float64, n int) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := float64(k) / fs
+		for _, tn := range tones {
+			out[k] += tn.Amp * math.Cos(2*math.Pi*tn.FreqHz*t+tn.PhaseRad)
+		}
+	}
+	return out
+}
+
+// DownConverter is one RX digital bank (Fig. 4(a)): an NCO tuned to its
+// channel, a mixer, and boxcar accumulation of the DC I/Q components.
+type DownConverter struct {
+	FreqHz float64
+	FsHz   float64
+	// LUT quantises the mixing sinusoids (0 = ideal float mixing).
+	LUT *SinCosLUT
+}
+
+// Demodulate mixes the waveform down and averages, returning the recovered
+// I/Q for this channel.
+func (d DownConverter) Demodulate(waveform []float64) (i, q float64) {
+	n := len(waveform)
+	for k := 0; k < n; k++ {
+		t := float64(k) / d.FsHz
+		theta := 2 * math.Pi * d.FreqHz * t
+		var c, s float64
+		if d.LUT != nil {
+			size := 1 << d.LUT.AddrBits
+			addr := int(math.Round(theta/(2*math.Pi)*float64(size))) & (size - 1)
+			ci, si := d.LUT.At(addr)
+			scale := float64(int64(1)<<uint(d.LUT.AmpBits-1)) - 1
+			c, s = float64(ci)/scale, float64(si)/scale
+		} else {
+			c, s = math.Cos(theta), math.Sin(theta)
+		}
+		i += waveform[k] * c
+		q += waveform[k] * s
+	}
+	// Mixing halves the amplitude; normalise so a unit tone returns 1.
+	i = 2 * i / float64(n)
+	q = -2 * q / float64(n)
+	return
+}
+
+// RecoveredPhase returns the demodulated tone phase.
+func (d DownConverter) RecoveredPhase(waveform []float64) float64 {
+	i, q := d.Demodulate(waveform)
+	return math.Atan2(q, i)
+}
+
+// ChannelLeakage measures adjacent-channel crosstalk: the apparent amplitude
+// this bank recovers from a waveform containing ONLY the other channels.
+func (d DownConverter) ChannelLeakage(others []RXTone, n int) float64 {
+	w := MultiTone(others, d.FsHz, n)
+	i, q := d.Demodulate(w)
+	return math.Hypot(i, q)
+}
+
+// FDMReadoutPlan builds the 8-channel tone plan of the CMOS readout: IF
+// channels spaced by spacingHz starting at baseHz.
+func FDMReadoutPlan(channels int, baseHz, spacingHz float64) []RXTone {
+	tones := make([]RXTone, channels)
+	for c := range tones {
+		tones[c] = RXTone{FreqHz: baseHz + float64(c)*spacingHz, Amp: 1}
+	}
+	return tones
+}

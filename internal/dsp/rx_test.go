@@ -1,0 +1,100 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	rxFs      = 2.5e9
+	rxBase    = 100e6
+	rxSpacing = 40e6
+	// One Horse Ridge readout window: 400 ns of sampling at 2.5 GS/s.
+	rxSamples = 1000
+)
+
+func TestSingleToneRecovery(t *testing.T) {
+	tone := RXTone{FreqHz: rxBase, PhaseRad: 0.6, Amp: 1}
+	w := MultiTone([]RXTone{tone}, rxFs, rxSamples)
+	d := DownConverter{FreqHz: rxBase, FsHz: rxFs}
+	i, q := d.Demodulate(w)
+	amp := math.Hypot(i, q)
+	if math.Abs(amp-1) > 0.02 {
+		t.Fatalf("recovered amplitude %v, want 1", amp)
+	}
+	if ph := d.RecoveredPhase(w); math.Abs(ph-0.6) > 0.02 {
+		t.Fatalf("recovered phase %v, want 0.6", ph)
+	}
+}
+
+func TestEightChannelFDMSeparation(t *testing.T) {
+	// The state-encoding phases of all 8 channels must come back through
+	// one shared waveform — the whole point of the 8-way readout FDM.
+	tones := FDMReadoutPlan(8, rxBase, rxSpacing)
+	for c := range tones {
+		if c%2 == 1 {
+			tones[c].PhaseRad = math.Pi / 3 // "qubit |1>" channels
+		}
+	}
+	w := MultiTone(tones, rxFs, rxSamples)
+	for c, tn := range tones {
+		d := DownConverter{FreqHz: tn.FreqHz, FsHz: rxFs}
+		ph := d.RecoveredPhase(w)
+		want := tn.PhaseRad
+		if math.Abs(ph-want) > 0.08 {
+			t.Fatalf("channel %d: recovered phase %v, want %v", c, ph, want)
+		}
+	}
+}
+
+func TestAdjacentChannelLeakage(t *testing.T) {
+	tones := FDMReadoutPlan(8, rxBase, rxSpacing)
+	d := DownConverter{FreqHz: tones[3].FreqHz, FsHz: rxFs}
+	var others []RXTone
+	for c, tn := range tones {
+		if c != 3 {
+			others = append(others, tn)
+		}
+	}
+	leak := d.ChannelLeakage(others, rxSamples)
+	// 40 MHz spacing over a 400 ns boxcar: 16 full beat cycles → low leak.
+	if leak > 0.05 {
+		t.Fatalf("adjacent-channel leakage %v too high for 8-way FDM", leak)
+	}
+}
+
+func TestLeakageGrowsWithTighterSpacing(t *testing.T) {
+	wide := DownConverter{FreqHz: rxBase, FsHz: rxFs}.
+		ChannelLeakage([]RXTone{{FreqHz: rxBase + 40e6, Amp: 1}}, rxSamples)
+	tight := DownConverter{FreqHz: rxBase, FsHz: rxFs}.
+		ChannelLeakage([]RXTone{{FreqHz: rxBase + 4e6, Amp: 1}}, rxSamples)
+	if tight <= wide {
+		t.Fatalf("tighter tone spacing should leak more: %v vs %v", tight, wide)
+	}
+}
+
+func TestLUTMixingCloseToIdeal(t *testing.T) {
+	// The 8-bit sin/cos LUT of the RX bank must not meaningfully distort
+	// the recovered phase.
+	tone := RXTone{FreqHz: rxBase + rxSpacing, PhaseRad: -0.4, Amp: 1}
+	w := MultiTone([]RXTone{tone}, rxFs, rxSamples)
+	ideal := DownConverter{FreqHz: tone.FreqHz, FsHz: rxFs}
+	lut := DownConverter{FreqHz: tone.FreqHz, FsHz: rxFs, LUT: NewSinCosLUT(8, 14)}
+	pi := ideal.RecoveredPhase(w)
+	pl := lut.RecoveredPhase(w)
+	if math.Abs(pi-pl) > 0.02 {
+		t.Fatalf("LUT mixing shifts phase: %v vs %v", pl, pi)
+	}
+}
+
+func TestShortWindowLeaksMore(t *testing.T) {
+	// Opt-#7 context: shorter readout rounds trade SNR — here visible as
+	// adjacent-channel leakage growing when the boxcar shrinks.
+	d := DownConverter{FreqHz: rxBase, FsHz: rxFs}
+	other := []RXTone{{FreqHz: rxBase + rxSpacing, Amp: 1}}
+	long := d.ChannelLeakage(other, 1000)
+	short := d.ChannelLeakage(other, 95) // not a beat multiple
+	if short <= long {
+		t.Fatalf("shorter window should leak more: %v vs %v", short, long)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/gateerror"
+	"qisim/internal/jpm"
+	"qisim/internal/microarch"
+	"qisim/internal/phys"
+	"qisim/internal/qasm"
+	"qisim/internal/readout"
+	"qisim/internal/scalability"
+	"qisim/internal/sfq"
+	"qisim/internal/surface"
+	"qisim/internal/wiring"
+)
+
+// Ablations runs the design-choice studies behind the eight optimisations
+// and returns one combined report. Individual studies are exported for the
+// tests and benchmarks.
+func Ablations() string {
+	var b strings.Builder
+	b.WriteString(AblationDRAG())
+	b.WriteString(AblationCZShape())
+	b.WriteString(AblationIQBits())
+	b.WriteString(AblationMultiRoundRange())
+	b.WriteString(AblationFDM())
+	b.WriteString(AblationBS())
+	b.WriteString(AblationSharing())
+	b.WriteString(AblationBottomUp())
+	b.WriteString(AblationLinkEnergy())
+	return b.String()
+}
+
+// AblationDRAG quantifies the DRAG quadrature's effect on leakage.
+func AblationDRAG() string {
+	cfg := gateerror.DefaultCMOS1QConfig()
+	cfg.SNRdB = 0
+	with := gateerror.CMOS1QError(cfg)
+	cfg.DRAG = false
+	without := gateerror.CMOS1QError(cfg)
+	var b strings.Builder
+	b.WriteString("== Ablation: DRAG correction (1Q drive) ==\n")
+	fmt.Fprintf(&b, "with DRAG:    error %.3g, leakage %.3g\n", with.Error, with.Leakage)
+	fmt.Fprintf(&b, "without DRAG: error %.3g, leakage %.3g\n", without.Error, without.Leakage)
+	fmt.Fprintf(&b, "leakage suppression: %.0fx\n\n", without.Leakage/with.Leakage)
+	return b.String()
+}
+
+// AblationCZShape contrasts the pulse-circuit shapes of Section 3.3.2.
+func AblationCZShape() string {
+	ramped := gateerror.CZError(gateerror.DefaultCZConfig())
+	step := gateerror.UnitStepCZError()
+	var b strings.Builder
+	b.WriteString("== Ablation: CZ pulse shape (new AWG vs Horse Ridge II unit step) ==\n")
+	fmt.Fprintf(&b, "flat-top+ramps: error %.3g (cond. phase %.3f)\n", ramped.Error, ramped.CondPhase)
+	fmt.Fprintf(&b, "unit step:      error %.3g (cond. phase %.3f) — 'almost cannot realize the CZ gate'\n\n",
+		step.Error, step.CondPhase)
+	return b.String()
+}
+
+// AblationIQBits justifies Opt-#1: 7-bit IQ is the error-saturating point,
+// so dropping the bin memory loses nothing.
+func AblationIQBits() string {
+	tm := readout.DefaultTiming()
+	var b strings.Builder
+	b.WriteString("== Ablation: readout IQ precision (Opt-#1 saturating point) ==\n")
+	for _, bits := range []int{2, 3, 4, 5, 6, 7, 8, 0} {
+		c := readout.DefaultChain()
+		c.IQBits = bits
+		label := fmt.Sprintf("%d-bit", bits)
+		if bits == 0 {
+			label = "ideal"
+		}
+		fmt.Fprintf(&b, "%-7s %.4g\n", label, readout.BinCountingError(c, tm, 8))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// AblationMultiRoundRange sweeps the Opt-#7 indecision range.
+func AblationMultiRoundRange() string {
+	c, tm := readout.DefaultChain(), readout.DefaultTiming()
+	var b strings.Builder
+	b.WriteString("== Ablation: multi-round decision range (Opt-#7) ==\n")
+	fmt.Fprintf(&b, "%7s %12s %10s %9s\n", "range", "error", "mean time", "speedup")
+	for _, rg := range []float64{10, 20, 30, 40, 60, 90} {
+		cfg := readout.DefaultMultiRoundConfig()
+		cfg.Range = rg
+		cfg.Shots = 100000
+		r := readout.MultiRoundError(c, tm, cfg)
+		fmt.Fprintf(&b, "%7.0f %12.3g %7.0f ns %8.1f%%\n", rg, r.Error, r.MeanTime*1e9, 100*r.Speedup)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// AblationFDM sweeps the drive FDM degree — the Opt-#7 power/error trade.
+func AblationFDM() string {
+	var b strings.Builder
+	b.WriteString("== Ablation: drive FDM degree (power vs logical error, Opt-#7) ==\n")
+	fmt.Fprintf(&b, "%5s %12s %12s %12s %12s\n", "FDM", "round", "p_L", "4K W/qubit", "max qubits")
+	for _, fdm := range []int{8, 16, 20, 32, 64} {
+		d := microarch.CMOS4KAdvancedOpt6()
+		d.CMOSCfg.DriveFDM = fdm
+		d.MultiRound = true
+		a := scalability.Analyze(d, scalability.DefaultOptions())
+		fmt.Fprintf(&b, "%5d %9.0f ns %12.3g %12.3g %12.0f\n",
+			fdm, d.RoundTiming().RoundTime()*1e9, a.LogicalError,
+			a.PerQubit[wiring.Stage4K], a.MaxQubits)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// AblationBS sweeps #BS through the cycle-accurate simulator on real ESM —
+// the Opt-#5 evidence.
+func AblationBS() string {
+	patch := surface.NewPatch(7)
+	prog := &qasm.Program{NQubits: patch.TotalQubits()}
+	c := 0
+	for _, op := range patch.ESMCircuit() {
+		switch op.Kind {
+		case "h":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "h", Qubits: []int{op.Q}, CBit: -1})
+		case "cz":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "cz", Qubits: []int{op.Q, op.Q2}, CBit: -1})
+		case "measure":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "measure", Qubits: []int{op.Q}, CBit: c})
+			c++
+		}
+	}
+	prog.NClbits = c
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	dev := sfq.MITLLSFQ5ee(sfq.RSFQ)
+	var b strings.Builder
+	b.WriteString("== Ablation: SFQ #BS (ESM time vs controller power, Opt-#5) ==\n")
+	fmt.Fprintf(&b, "%5s %12s %16s\n", "#BS", "ESM time", "controller power")
+	for _, bs := range []int{1, 2, 4, 8} {
+		r, err := cyclesim.Run(ex, cyclesim.SFQConfig(bs))
+		if err != nil {
+			panic(err)
+		}
+		spec := sfq.DefaultDriveSpec()
+		spec.BS = bs
+		p := sfq.BitstreamController(spec).TotalPower(dev, 24e9) +
+			sfq.PerQubitController(spec).TotalPower(dev, 24e9)
+		fmt.Fprintf(&b, "%5d %9.0f ns %13.2f mW\n", bs, r.TotalTime*1e9, p*1e3)
+	}
+	b.WriteString("→ ESM time is #BS-independent (broadcast), so #BS=1 is free (Opt-#5)\n\n")
+	return b.String()
+}
+
+// AblationSharing sweeps the JPM readout sharing degree beyond the paper's 8.
+func AblationSharing() string {
+	var b strings.Builder
+	b.WriteString("== Ablation: JPM readout sharing degree (Opt-#3 generalised) ==\n")
+	fmt.Fprintf(&b, "%8s %14s %12s %12s\n", "sharing", "mK nW/qubit", "readout", "p_L")
+	dev := sfq.MKDevice(sfq.RSFQ)
+	core := sfq.MKJPMReadout(1).StaticPower(dev)
+	pr := surface.DefaultProjection()
+	ep := surface.SFQErrorParams()
+	for _, share := range []int{1, 2, 4, 8, 16} {
+		p := jpm.NewPipeline(jpm.Pipelined)
+		p.GroupSize = share
+		p.LJJ.JPMsPerLine = share
+		if share == 1 {
+			p = jpm.NewPipeline(jpm.Unshared)
+		}
+		lat := p.TotalLatency()
+		rt := surface.RoundTiming{OneQTime: 25e-9, TwoQTime: 50e-9, ReadoutTime: lat, DriveSerialization: 1}
+		pl := pr.Logical(ep.Effective(rt.RoundTime(), 0))
+		fmt.Fprintf(&b, "%8d %14.1f %9.0f ns %12.3g\n", share, core/float64(share)*1e9, lat*1e9, pl)
+	}
+	b.WriteString("→ 8-way sharing balances mK power against decoherence; 16-way overshoots the error budget\n\n")
+	return b.String()
+}
+
+// AblationBottomUp contrasts the calibrated effective-error model
+// (P0 + C·t, fitted to the paper's logical-error anchors) against a naive
+// bottom-up per-round physical-error sum. The gap is the weighting the
+// paper's surface-code error model [Ghosh et al.] applies when distributing
+// physical errors across the X/Z syndrome sectors — the reason QIsim
+// calibrates holistically instead of adding raw error rates.
+func AblationBottomUp() string {
+	var b strings.Builder
+	b.WriteString("== Ablation: calibrated p_eff vs naive bottom-up sum ==\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %8s\n", "design", "calibrated", "naive sum", "ratio")
+	for _, d := range []microarch.Design{microarch.RSFQBaseline(), microarch.CMOS4KBaseline()} {
+		rt := d.RoundTiming().RoundTime()
+		cal := d.ErrorParams().Effective(rt, 0)
+		// Naive per-data-qubit per-round: 2 1Q + 4 CZ shares + readout share
+		// + full decoherence over the round.
+		var oneQ, twoQ, ro float64
+		if d.Family == microarch.SFQ4K {
+			s, _ := phys.SFQOperationSpecs()
+			oneQ, twoQ, ro = s.OneQ.Error, s.TwoQ.Error, s.Readout.Error
+		} else {
+			s := phys.CMOSOperationSpecs()
+			oneQ, twoQ, ro = s.OneQ.Error, s.TwoQ.Error, s.Readout.Error
+		}
+		dec := 1 - (0.5 + math.Exp(-rt/122e-6)/6 + math.Exp(-rt/118e-6)/3)
+		naive := 2*oneQ + 4*twoQ/2 + ro/2 + dec
+		fmt.Fprintf(&b, "%-18s %12.3g %12.3g %8.1f\n", d.Name, cal, naive, naive/cal)
+	}
+	b.WriteString("→ the ~10-30x gap is the error model's sector weighting; see EXPERIMENTS.md 'Calibration record'\n\n")
+	return b.String()
+}
+
+// AblationLinkEnergy sweeps the 300K→4K link energy — the sensitivity of the
+// Fig. 17(a) endpoint to the wire model.
+func AblationLinkEnergy() string {
+	var b strings.Builder
+	b.WriteString("== Ablation: 300K→4K link energy (Fig. 17(a) sensitivity) ==\n")
+	fmt.Fprintf(&b, "%10s %14s %12s %-14s\n", "pJ/bit", "wire W/qubit", "max qubits", "binding")
+	for _, e := range []float64{0.1e-12, 0.2e-12, 0.31e-12, 0.6e-12, 1.2e-12} {
+		d := microarch.CMOS4KAdvancedOpt67()
+		link := wiring.DefaultDataLink()
+		link.EnergyPerBitJ = e
+		d.DataLink = &link
+		a := scalability.Analyze(d, scalability.DefaultOptions())
+		fmt.Fprintf(&b, "%10.2f %14.3g %12.0f %-14s\n", e*1e12, d.PerQubitPower().WireW, a.MaxQubits, a.Binding)
+	}
+	b.WriteString("→ below ~0.6 pJ/bit the design stays error-limited at ~64k qubits (robust endpoint)\n\n")
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRun(t *testing.T) {
+	s := Ablations()
+	for _, marker := range []string{"DRAG", "CZ pulse shape", "IQ precision", "decision range",
+		"FDM degree", "#BS", "sharing degree", "link energy"} {
+		if !strings.Contains(s, marker) {
+			t.Fatalf("ablation report missing %q", marker)
+		}
+	}
+}
+
+func TestAblationRegisteredAsExperiment(t *testing.T) {
+	if _, err := Run("ablations"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationIQBitsShowsSaturation(t *testing.T) {
+	s := AblationIQBits()
+	// The 7-bit row must exist and the report must show a 2-bit penalty.
+	if !strings.Contains(s, "7-bit") || !strings.Contains(s, "2-bit") {
+		t.Fatalf("IQ ablation malformed:\n%s", s)
+	}
+}
+
+func TestAblationBSTimeIndependent(t *testing.T) {
+	s := AblationBS()
+	if !strings.Contains(s, "#BS=1 is free") {
+		t.Fatalf("missing Opt-#5 conclusion:\n%s", s)
+	}
+}
+
+func TestAblationSharingSixteenOvershoots(t *testing.T) {
+	// The generalised Opt-#3 study: 16-way sharing must push p_L above the
+	// near-term target (1.11e-11) while 8-way stays below — exactly why the
+	// paper picked 8.
+	s := AblationSharing()
+	if !strings.Contains(s, "16") {
+		t.Fatalf("sharing ablation missing the 16-way row:\n%s", s)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	for _, id := range []string{"fig12", "fig13", "fig17"} {
+		s, err := FigureCSV(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(s, "design,qubits") || len(strings.Split(s, "\n")) < 10 {
+			t.Fatalf("%s CSV malformed:\n%s", id, s)
+		}
+	}
+	if _, err := FigureCSV("fig8"); err == nil {
+		t.Fatal("non-sweep figures must be rejected")
+	}
+}

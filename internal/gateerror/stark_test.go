@@ -1,0 +1,62 @@
+package gateerror
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStarkPhaseMatchesPerturbation(t *testing.T) {
+	r := StarkShift(DefaultStarkConfig())
+	if r.Phase == 0 {
+		t.Fatal("FDM victim must acquire an AC-Stark phase")
+	}
+	// The perturbative estimate (εΩ)²/(2Δ)·∫env² should agree within ~15%.
+	if math.Abs(r.Phase-r.AnalyticPhase) > 0.15*math.Abs(r.AnalyticPhase) {
+		t.Fatalf("simulated phase %.4f vs analytic %.4f disagree", r.Phase, r.AnalyticPhase)
+	}
+}
+
+func TestZCorrectionBenefit(t *testing.T) {
+	// Section 3.3.1: without Z correction the AC-Stark shift is a large
+	// coherent error; the extended NCO's table removes it down to the
+	// unavoidable residual-excitation floor.
+	r := StarkShift(DefaultStarkConfig())
+	if r.Corrected > r.Uncorrected/20 {
+		t.Fatalf("Z correction should cut the error >20x: %.3g → %.3g", r.Uncorrected, r.Corrected)
+	}
+	if r.Corrected > 3*r.Residual+1e-9 {
+		t.Fatalf("corrected error %.3g should approach the residual-excitation floor %.3g", r.Corrected, r.Residual)
+	}
+}
+
+func TestStarkShiftScalesInverselyWithDetuning(t *testing.T) {
+	cfg := DefaultStarkConfig()
+	r1 := StarkShift(cfg)
+	cfg.DetuningHz *= 2
+	r2 := StarkShift(cfg)
+	// φ ∝ 1/Δ.
+	ratio := r1.Phase / r2.Phase
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("doubling detuning should halve the Stark phase: ratio %.2f", ratio)
+	}
+}
+
+func TestStarkShiftScalesWithCrosstalkSquared(t *testing.T) {
+	cfg := DefaultStarkConfig()
+	full := StarkShift(cfg)
+	cfg.Crosstalk = 0.5
+	half := StarkShift(cfg)
+	ratio := full.Phase / half.Phase
+	if ratio < 3.3 || ratio > 4.8 {
+		t.Fatalf("phase should scale with crosstalk²: ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestStarkNoCrosstalkNoError(t *testing.T) {
+	cfg := DefaultStarkConfig()
+	cfg.Crosstalk = 0
+	r := StarkShift(cfg)
+	if r.Uncorrected > 1e-10 || math.Abs(r.Phase) > 1e-9 {
+		t.Fatalf("no crosstalk must mean no victim error, got %.3g / phase %.3g", r.Uncorrected, r.Phase)
+	}
+}

@@ -1,0 +1,109 @@
+package ham
+
+import (
+	"math"
+	"testing"
+
+	"qisim/internal/cmath"
+)
+
+func TestLindbladPureDecay(t *testing.T) {
+	// Single qubit, H = 0, jump √γ·σ-: excited population decays as e^{-γt}.
+	gamma := 1e8
+	sm := cmath.NewMatrix(2, 2)
+	sm.Set(0, 1, complex(math.Sqrt(gamma), 0))
+	l := NewLindblad(cmath.NewMatrix(2, 2), []*cmath.Matrix{sm})
+	rho := cmath.NewMatrix(2, 2)
+	rho.Set(1, 1, 1)
+	tt := 10e-9
+	final := l.Evolve(rho, tt, 1e-11)
+	want := math.Exp(-gamma * tt)
+	if got := real(final.At(1, 1)); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("excited population %v, want e^{-γt} = %v", got, want)
+	}
+	// Trace preserved.
+	if tr := real(cmath.Trace(final)); math.Abs(tr-1) > 1e-6 {
+		t.Fatalf("trace %v, want 1", tr)
+	}
+}
+
+func TestLindbladDephasingKillsCoherence(t *testing.T) {
+	// Jump √γ·σz dephases: off-diagonals decay as e^{-2γt}.
+	gamma := 5e7
+	sz := cmath.Scale(complex(math.Sqrt(gamma), 0), cmath.PauliZ())
+	l := NewLindblad(cmath.NewMatrix(2, 2), []*cmath.Matrix{sz})
+	rho := cmath.FromRows([][]complex128{{0.5, 0.5}, {0.5, 0.5}}) // |+><+|
+	tt := 8e-9
+	final := l.Evolve(rho, tt, 1e-11)
+	want := 0.5 * math.Exp(-2*gamma*tt)
+	if got := real(final.At(0, 1)); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("coherence %v, want %v", got, want)
+	}
+	// Populations untouched by pure dephasing.
+	if math.Abs(real(final.At(0, 0))-0.5) > 1e-6 {
+		t.Fatal("dephasing must not move population")
+	}
+}
+
+func TestLindbladHamiltonianOnlyMatchesUnitary(t *testing.T) {
+	// Without jumps the Lindblad evolution equals the unitary one.
+	h := cmath.Scale(complex(2*math.Pi*50e6/2, 0), cmath.PauliX())
+	l := NewLindblad(h, nil)
+	rho := cmath.NewMatrix(2, 2)
+	rho.Set(0, 0, 1)
+	tt := 5e-9 // θ = 2π·50e6·5e-9 = π/2 worth of X rotation
+	final := l.Evolve(rho, tt, 1e-12)
+	u := cmath.Expm(cmath.Scale(complex(0, -tt), h))
+	psi := u.ApplyTo(cmath.BasisVec(2, 0))
+	wantP1 := real(psi[1])*real(psi[1]) + imag(psi[1])*imag(psi[1])
+	if got := real(final.At(1, 1)); math.Abs(got-wantP1) > 1e-4 {
+		t.Fatalf("P(1) = %v, want %v", got, wantP1)
+	}
+}
+
+func TestJPMTunnelDarkStateQuiet(t *testing.T) {
+	m := DefaultJPMTunnelModel()
+	if p := m.TunnelProbability(0, 12.8e-9); p > 1e-6 {
+		t.Fatalf("empty resonator must not tunnel the JPM, got %v", p)
+	}
+}
+
+func TestJPMTunnelMonotoneInPhotons(t *testing.T) {
+	// The bright (qubit |1>) resonator state tunnels the JPM far more often
+	// than the residual dark occupation — the discrimination mechanism.
+	m := DefaultJPMTunnelModel()
+	prev := -1.0
+	for _, nbar := range []float64{0, 0.05, 0.5, 1.5, 3.0} {
+		p := m.TunnelProbability(nbar, 12.8e-9)
+		if p < prev {
+			t.Fatalf("tunnel probability not monotone at nbar=%v: %v < %v", nbar, p, prev)
+		}
+		prev = p
+	}
+	dark := m.TunnelProbability(0.05, 12.8e-9)
+	bright := m.TunnelProbability(3.0, 12.8e-9)
+	if bright < 10*dark {
+		t.Fatalf("bright/dark contrast too low: %v vs %v", bright, dark)
+	}
+}
+
+func TestJPMTunnelGrowsWithDuration(t *testing.T) {
+	m := DefaultJPMTunnelModel()
+	short := m.TunnelProbability(1.0, 4e-9)
+	long := m.TunnelProbability(1.0, 12.8e-9)
+	if long <= short {
+		t.Fatalf("longer tunnelling stage should tunnel more: %v vs %v", long, short)
+	}
+}
+
+func TestJPMTunnelDetuningSuppresses(t *testing.T) {
+	// Off-resonance (flux pulse off) the JPM must stay quiet — the reset
+	// stage's premise ("just turning off the JPM flux").
+	m := DefaultJPMTunnelModel()
+	on := m.TunnelProbability(1.5, 12.8e-9)
+	m.DetuneHz = 1.5e9
+	off := m.TunnelProbability(1.5, 12.8e-9)
+	if off > on/5 {
+		t.Fatalf("detuned JPM should be suppressed: %v vs %v", off, on)
+	}
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDriveEncodeDecodeRoundTrip(t *testing.T) {
+	in := DriveInstr{StartTime: 123456, Target: 17, GateAddr: 4095, RzMode: true}
+	w, err := EncodeDrive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Width != 43 {
+		t.Fatalf("extended drive word is %d bits, want 43", w.Width)
+	}
+	out, err := DecodeDrive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the instruction: %+v vs %+v", out, in)
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	if _, err := EncodeDrive(DriveInstr{Target: 64}); err == nil {
+		t.Fatal("5-bit target field must reject 64")
+	}
+	if _, err := EncodeDrive(DriveInstr{GateAddr: 1 << 13}); err == nil {
+		t.Fatal("13-bit gate-address field must reject 2^13")
+	}
+}
+
+func TestEncoderRejectsWideFormats(t *testing.T) {
+	f := Format{Name: "huge", Fields: []Field{{"a", 40}, {"b", 40}}}
+	if _, err := NewEncoder(f); err == nil {
+		t.Fatal("formats over 64 bits must be rejected")
+	}
+}
+
+func TestEncoderMissingField(t *testing.T) {
+	enc, err := NewEncoder(HorseRidgeDrive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode(map[string]uint64{"start-time": 1}); err == nil {
+		t.Fatal("missing fields must be reported")
+	}
+}
+
+func TestQuickDriveRoundTrip(t *testing.T) {
+	f := func(start uint32, target uint8, addr uint16, rz bool) bool {
+		in := DriveInstr{
+			StartTime: uint64(start) & ((1 << 24) - 1),
+			Target:    int(target & 31),
+			GateAddr:  uint64(addr) & ((1 << 13) - 1),
+			RzMode:    rz,
+		}
+		w, err := EncodeDrive(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeDrive(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRzAngleWordResolution(t *testing.T) {
+	for _, phi := range []float64{0, math.Pi / 4, math.Pi, 1.234, -0.5, 7.0} {
+		w, repr := RzAngleWord(phi)
+		if w >= 1<<13 {
+			t.Fatalf("angle word %d exceeds 13 bits", w)
+		}
+		// Representable angle within half a step of the request (mod 2π).
+		step := 2 * math.Pi / float64(uint64(1)<<13)
+		diff := math.Mod(repr-phi, 2*math.Pi)
+		if diff > math.Pi {
+			diff -= 2 * math.Pi
+		}
+		if diff < -math.Pi {
+			diff += 2 * math.Pi
+		}
+		if math.Abs(diff) > step/2+1e-12 {
+			t.Fatalf("angle %v quantised to %v (err %v > step/2)", phi, repr, diff)
+		}
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	qs := []int{0, 3, 7, 31}
+	m, err := MaskWord(qs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := MaskQubits(m, 32)
+	if len(back) != len(qs) {
+		t.Fatalf("mask round trip %v → %v", qs, back)
+	}
+	for i := range qs {
+		if back[i] != qs[i] {
+			t.Fatalf("mask round trip %v → %v", qs, back)
+		}
+	}
+	if _, err := MaskWord([]int{32}, 32); err == nil {
+		t.Fatal("out-of-group qubit must be rejected")
+	}
+	if _, err := MaskWord(nil, 128); err == nil {
+		t.Fatal("groups over 64 must be rejected")
+	}
+}

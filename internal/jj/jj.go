@@ -1,0 +1,138 @@
+// Package jj is a JoSIM-lite: a small circuit-dynamics solver for Josephson
+// transmission lines, backing the behavioural LJJ model of internal/jpm with
+// physics. The mK JPM-readout circuit of Section 3.4.3-iii discriminates the
+// JPM state by the delay difference of two LJJ (long-Josephson-junction)
+// lines; this package simulates fluxon propagation along a discrete JTL —
+// the chain of junctions and inductors — with the RCSJ junction model, and
+// measures the propagation delay directly. The tests verify the delay's
+// N·√(L) scaling, which is exactly what jpm.LJJModel assumes, and the
+// JPM-current-induced delay asymmetry the discriminator exploits.
+package jj
+
+import "math"
+
+// Phi0 is the flux quantum (Wb).
+const Phi0 = 2.067833848e-15
+
+// JTLine is a discrete Josephson transmission line: N cells, each an RCSJ
+// junction (Ic, C, R) shunted to ground, coupled by series inductance L.
+type JTLine struct {
+	// Cells is the junction count.
+	Cells int
+	// Ic is the junction critical current (A).
+	Ic float64
+	// C is the junction capacitance (F).
+	C float64
+	// R is the junction shunt resistance (Ω).
+	R float64
+	// L is the coupling inductance between neighbouring cells (H).
+	L float64
+	// Bias is the uniform DC bias current as a fraction of Ic (inductively
+	// delivered in a real LJJ, so zero static dissipation).
+	Bias float64
+	// CouplingCurrent is an extra per-cell current injected by a coupled
+	// JPM's circulating current (sign encodes the JPM state), as a fraction
+	// of Ic.
+	CouplingCurrent float64
+}
+
+// DefaultJTLine returns a line with SFQ5ee-scale parameters.
+func DefaultJTLine(cells int, inductancePH float64) JTLine {
+	return JTLine{
+		Cells: cells,
+		Ic:    100e-6,
+		C:     0.07e-12,
+		R:     2.0,
+		L:     inductancePH * 1e-12,
+		Bias:  0.7,
+	}
+}
+
+// state holds the per-cell junction phases and their velocities.
+type state struct {
+	phi, dphi []float64
+}
+
+// derivs computes the RCSJ dynamics of the chain:
+//
+//	C·(Φ0/2π)·φ̈_i = I_bias + I_coupling − Ic·sin φ_i − (Φ0/2π)·φ̇_i/R
+//	                + (Φ0/2π)·(φ_{i-1} − 2φ_i + φ_{i+1})/L
+func (l JTLine) derivs(s state, ddphi []float64) {
+	k := Phi0 / (2 * math.Pi)
+	for i := 0; i < l.Cells; i++ {
+		lap := 0.0
+		if i > 0 {
+			lap += s.phi[i-1] - s.phi[i]
+		}
+		if i < l.Cells-1 {
+			lap += s.phi[i+1] - s.phi[i]
+		}
+		current := l.Ic*(l.Bias+l.CouplingCurrent) - l.Ic*math.Sin(s.phi[i]) -
+			k*s.dphi[i]/l.R + k*lap/l.L
+		ddphi[i] = current / (l.C * k)
+	}
+}
+
+// PropagationDelay injects a fluxon at cell 0 (a 2π phase kick) and returns
+// the time until the last cell's phase passes π (the pulse arrival), or a
+// negative value if the pulse dies within maxTime.
+func (l JTLine) PropagationDelay(maxTime float64) float64 {
+	s := state{phi: make([]float64, l.Cells), dphi: make([]float64, l.Cells)}
+	// Rest state: all junctions at asin(bias).
+	rest := math.Asin(clamp(l.Bias+l.CouplingCurrent, -0.999, 0.999))
+	for i := range s.phi {
+		s.phi[i] = rest
+	}
+	// Launch: push the first junction over the barrier.
+	s.phi[0] += 2 * math.Pi
+
+	dt := math.Sqrt(l.C*l.L) / 20 // resolve the plasma/LC scale
+	if dt <= 0 {
+		return -1
+	}
+	ddphi := make([]float64, l.Cells)
+	tmp := state{phi: make([]float64, l.Cells), dphi: make([]float64, l.Cells)}
+	threshold := rest + math.Pi
+
+	for t := 0.0; t < maxTime; t += dt {
+		// Midpoint (RK2) integration.
+		l.derivs(s, ddphi)
+		for i := 0; i < l.Cells; i++ {
+			tmp.phi[i] = s.phi[i] + 0.5*dt*s.dphi[i]
+			tmp.dphi[i] = s.dphi[i] + 0.5*dt*ddphi[i]
+		}
+		l.derivs(tmp, ddphi)
+		for i := 0; i < l.Cells; i++ {
+			s.phi[i] += dt * tmp.dphi[i]
+			s.dphi[i] += dt * ddphi[i]
+		}
+		if s.phi[l.Cells-1] > threshold {
+			return t
+		}
+	}
+	return -1
+}
+
+// DelayAsymmetry returns the propagation delays with the JPM circulating
+// current aiding (+) and opposing (−) the bias — the discrimination
+// mechanism of the mK JPM readout circuit: "the circulating JPM current
+// reversely affects the pulse-transfer speed of each coupled LJJ train".
+func (l JTLine) DelayAsymmetry(coupling, maxTime float64) (fast, slow float64) {
+	lp := l
+	lp.CouplingCurrent = coupling
+	fast = lp.PropagationDelay(maxTime)
+	lm := l
+	lm.CouplingCurrent = -coupling
+	slow = lm.PropagationDelay(maxTime)
+	return
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

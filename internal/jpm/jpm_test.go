@@ -1,0 +1,155 @@
+package jpm
+
+import (
+	"math"
+	"testing"
+)
+
+func nsApprox(got, wantNS, tolNS float64) bool {
+	return math.Abs(got*1e9-wantNS) <= tolNS
+}
+
+func TestBaselineDriveTimeTable2(t *testing.T) {
+	m := DefaultResonatorDriveModel()
+	if !nsApprox(m.BaselineDriveTime(), 578.2, 1.0) {
+		t.Fatalf("baseline drive time %.1f ns, want 578.2 ns (Table 2)", m.BaselineDriveTime()*1e9)
+	}
+}
+
+func TestFastDriveTimeOpt8(t *testing.T) {
+	m := DefaultResonatorDriveModel()
+	// Opt-#8 anchor: 230.9 ns. Our first-principles rate boost is 2.0, which
+	// lands at ~228 ns — same error target, same shape.
+	if !nsApprox(m.FastDriveTime(), 230.9, 6.0) {
+		t.Fatalf("fast drive time %.1f ns, want ~230.9 ns (Opt-#8)", m.FastDriveTime()*1e9)
+	}
+	if m.FastDriveTime() >= m.BaselineDriveTime()/2 {
+		t.Fatal("fast driving should be more than 2x faster (ring-up saturation)")
+	}
+}
+
+func TestRateBoostFromFirstPrinciples(t *testing.T) {
+	m := DefaultResonatorDriveModel()
+	boost := m.RateBoost()
+	if boost < 1.7 || boost > 2.2 {
+		t.Fatalf("48 GHz burst train rate boost = %.3f, want ~2", boost)
+	}
+}
+
+func TestDriveTimeBelowTargetIsInfinite(t *testing.T) {
+	m := DefaultResonatorDriveModel()
+	if !math.IsInf(m.DriveTime(m.TargetFrac*0.9), 1) {
+		t.Fatal("a drive rate below the target fraction can never reach it")
+	}
+}
+
+func TestLJJDelays(t *testing.T) {
+	if !nsApprox(DefaultLJJ().Delay(), 4.0, 0.01) {
+		t.Fatalf("unshared LJJ delay %.2f ns, want 4 ns (Table 2)", DefaultLJJ().Delay()*1e9)
+	}
+	if !nsApprox(SharedLJJ().Delay(), 13.0, 0.1) {
+		t.Fatalf("shared LJJ delay %.2f ns, want 13 ns (Opt-#3)", SharedLJJ().Delay()*1e9)
+	}
+}
+
+func TestLJJNoObservedError(t *testing.T) {
+	// "neither our results nor the previous studies observe any error".
+	for _, l := range []LJJModel{DefaultLJJ(), SharedLJJ()} {
+		if f := l.FailureRate(); f > 1e-12 {
+			t.Fatalf("LJJ failure rate %.3g should be numerically zero", f)
+		}
+		if !l.StaticPowerZero() {
+			t.Fatal("inductance-biased LJJ must have zero static power")
+		}
+	}
+}
+
+func TestUnsharedLatencyTable2(t *testing.T) {
+	p := NewPipeline(Unshared)
+	if !nsApprox(p.TotalLatency(), 665.0, 0.5) {
+		t.Fatalf("unshared readout %.1f ns, want 665 ns", p.TotalLatency()*1e9)
+	}
+}
+
+func TestNaiveSharingLatencyFig15(t *testing.T) {
+	p := NewPipeline(NaiveShared)
+	// Paper: 5,320 ns (8 × 665 with the 4 ns read); our shared line reads in
+	// 13 ns → 5,392 ns. Same pathology, ~1% apart.
+	got := p.TotalLatency() * 1e9
+	if got < 5200 || got > 5500 {
+		t.Fatalf("naive sharing latency %.0f ns, want ~5,320 ns (Fig. 15)", got)
+	}
+}
+
+func TestPipelinedLatencyFig15(t *testing.T) {
+	p := NewPipeline(Pipelined)
+	if !nsApprox(p.TotalLatency(), 1255.0, 1.0) {
+		t.Fatalf("pipelined latency %.1f ns, want 1,255 ns (Opt-#3)", p.TotalLatency()*1e9)
+	}
+}
+
+func TestPipelinedInvariant(t *testing.T) {
+	// The Opt-#3 core rule: reads never overlap writes on a shared line.
+	for _, mode := range []ShareMode{NaiveShared, Pipelined} {
+		p := NewPipeline(mode)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v schedule violates the read/write rule: %v", mode, err)
+		}
+	}
+}
+
+func TestPipelinedBeatsNaive(t *testing.T) {
+	naive := NewPipeline(NaiveShared).TotalLatency()
+	pipe := NewPipeline(Pipelined).TotalLatency()
+	if pipe >= naive/3 {
+		t.Fatalf("pipelining should cut latency several-fold: %.0f vs %.0f ns", pipe*1e9, naive*1e9)
+	}
+}
+
+func TestOpt8UnsharedFast(t *testing.T) {
+	p := NewPipeline(Unshared)
+	p.FastDriving = true
+	// 230.9 + 12.8 + 4 + 70 ≈ 317.7 ns in the paper; ours ~315 ns.
+	if !nsApprox(p.TotalLatency(), 317.7, 6.0) {
+		t.Fatalf("Opt-#8 readout %.1f ns, want ~317.7 ns", p.TotalLatency()*1e9)
+	}
+}
+
+func TestReadoutErrorTable2Band(t *testing.T) {
+	p := NewPipeline(Unshared)
+	e := p.ReadoutError()
+	// Driving/tunnelling 7.8e-3 + reset 7e-3 → ~1.47e-2 combined; the
+	// Table 1 validation point (6.1e-3 model vs 6.0e-3 reference) applies to
+	// the decoherence-free driving stage alone.
+	if e < 7.8e-3 || e > 2e-2 {
+		t.Fatalf("SFQ readout error %.3g outside the Table 2 band", e)
+	}
+	// Sharing must not change the per-qubit error, only latency.
+	if s := NewPipeline(Pipelined).ReadoutError(); math.Abs(s-e) > 1e-12 {
+		t.Fatalf("sharing changed readout error: %.3g vs %.3g", s, e)
+	}
+}
+
+func TestTimelineStagesComplete(t *testing.T) {
+	for _, mode := range []ShareMode{Unshared, NaiveShared, Pipelined} {
+		p := NewPipeline(mode)
+		counts := map[string]int{}
+		for _, e := range p.Timeline() {
+			counts[e.Stage]++
+			if e.End <= e.Start {
+				t.Fatalf("%v: empty stage event %+v", mode, e)
+			}
+		}
+		for _, st := range []string{"drive", "tunnel", "read", "reset"} {
+			if counts[st] != p.GroupSize {
+				t.Fatalf("%v: stage %q occurs %d times, want %d", mode, st, counts[st], p.GroupSize)
+			}
+		}
+	}
+}
+
+func TestShareModeString(t *testing.T) {
+	if Unshared.String() != "unshared" || Pipelined.String() != "shared+pipelined" {
+		t.Fatal("ShareMode strings changed")
+	}
+}

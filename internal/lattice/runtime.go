@@ -1,0 +1,98 @@
+package lattice
+
+import (
+	"math"
+
+	"qisim/internal/microarch"
+	"qisim/internal/surface"
+)
+
+// Execution estimates how a logical program runs on a concrete QCI design:
+// wall-clock time (rounds × the design's ESM round time) and logical success
+// probability (every busy patch·round survives with 1 - p_L).
+type Execution struct {
+	Stats      WorkloadStats
+	RoundTime  float64
+	WallClock  float64
+	LogicalErr float64 // per patch per round at the layout's distance
+	Success    float64
+}
+
+// Execute estimates a program's execution on a design.
+func Execute(pr Program, d microarch.Design) (Execution, error) {
+	st, err := pr.Stats()
+	if err != nil {
+		return Execution{}, err
+	}
+	rt := d.RoundTiming().RoundTime()
+	// Project at the layout's distance rather than the default 23.
+	proj := surface.DefaultProjection()
+	proj.D = pr.Layout.D
+	pEff := d.ErrorParams().Effective(rt, 0)
+	pl := proj.Logical(pEff)
+	ex := Execution{
+		Stats:      st,
+		RoundTime:  rt,
+		WallClock:  float64(st.TotalRounds) * rt,
+		LogicalErr: pl,
+	}
+	ex.Success = math.Exp(float64(st.BusyPatchRounds) * math.Log1p(-clampP(pl)))
+	return ex, nil
+}
+
+// RequiredDistance returns the smallest odd distance at which the program
+// reaches the target success probability on the design (or 0 if none ≤ 51
+// suffices) — the near-term "grow d until the target" procedure of
+// Section 6.1.
+func RequiredDistance(pr Program, d microarch.Design, targetSuccess float64) int {
+	for dist := 3; dist <= 51; dist += 2 {
+		trial := pr
+		trial.Layout.D = dist
+		ex, err := Execute(trial, d)
+		if err != nil {
+			return 0
+		}
+		if ex.Success >= targetSuccess {
+			return dist
+		}
+	}
+	return 0
+}
+
+func clampP(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.999999 {
+		return 0.999999
+	}
+	return p
+}
+
+// CNOTProgram builds the canonical lattice-surgery CNOT between control and
+// target via an ancilla patch: Z⊗Z(control, ancilla) then X⊗X(ancilla,
+// target) then Z(ancilla) measurement — the textbook two-PPM construction.
+func CNOTProgram(l Layout, control, target, ancilla int) Program {
+	return Program{
+		Layout: l,
+		PPMs: []PPM{
+			{Ops: []PauliOp{{control, 'Z'}, {ancilla, 'Z'}}},
+			{Ops: []PauliOp{{ancilla, 'X'}, {target, 'X'}}},
+			{Ops: []PauliOp{{ancilla, 'Z'}}},
+		},
+	}
+}
+
+// MemoryProgram is n idle logical qubits held for rounds ESM rounds — the
+// pure-memory workload (every patch runs ESM every round).
+func MemoryProgram(l Layout, rounds int) Program {
+	var ppms []PPM
+	// Represent memory as repeated single-qubit Z "identity checks" whose
+	// schedule degenerates to ESM rounds on every patch.
+	for r := 0; r < rounds; r++ {
+		for q := 0; q < l.LogicalQubits(); q++ {
+			ppms = append(ppms, PPM{Ops: []PauliOp{{q, 'Z'}}})
+		}
+	}
+	return Program{Layout: l, PPMs: ppms}
+}

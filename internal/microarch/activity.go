@@ -1,0 +1,97 @@
+package microarch
+
+import (
+	"fmt"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/qasm"
+	"qisim/internal/surface"
+)
+
+// MeasuredDuties runs one ESM round of a distance-d patch through the
+// cycle-accurate simulator with this design's resources and returns the
+// measured per-unit activity factors — the cross-check for the analytic
+// duty cycles the power model uses (Section 4.2's "activity factor" output
+// feeding Section 4.3's runtime-power model).
+type MeasuredDuties struct {
+	Drive, Pulse, Readout float64
+	RoundTime             float64
+}
+
+// MeasureESMDuties simulates one ESM round at distance d on this design.
+func (d Design) MeasureESMDuties(dist int) (MeasuredDuties, error) {
+	patch := surface.NewPatch(dist)
+	prog := &qasm.Program{NQubits: patch.TotalQubits()}
+	c := 0
+	for _, op := range patch.ESMCircuit() {
+		switch op.Kind {
+		case "h":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "h", Qubits: []int{op.Q}, CBit: -1})
+		case "cz":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "cz", Qubits: []int{op.Q, op.Q2}, CBit: -1})
+		case "measure":
+			prog.Gates = append(prog.Gates, qasm.Gate{Name: "measure", Qubits: []int{op.Q}, CBit: c})
+			c++
+		}
+	}
+	prog.NClbits = c
+	opt := compile.DefaultOptions()
+	opt.ReadoutTime = d.ReadoutLatency()
+	ex, err := compile.Compile(prog, opt)
+	if err != nil {
+		return MeasuredDuties{}, err
+	}
+	var cfg cyclesim.Config
+	if d.Family == SFQ4K {
+		cfg = cyclesim.SFQConfig(d.DriveSpec.BS)
+	} else {
+		cfg = cyclesim.CMOSConfig()
+		cfg.DriveGroupSize = d.DriveFDM()
+		cfg.ReadoutGroupSize = d.ReadoutFDM()
+		cfg.ReadoutSlots = d.ReadoutFDM()
+		if cfg.DriveGroupSize < 1 {
+			cfg.DriveGroupSize = 1
+		}
+	}
+	res, err := cyclesim.Run(ex, cfg)
+	if err != nil {
+		return MeasuredDuties{}, err
+	}
+	return MeasuredDuties{
+		Drive:     res.ActivityFactor("drive"),
+		Pulse:     res.ActivityFactor("pulse"),
+		Readout:   res.ActivityFactor("readout"),
+		RoundTime: res.TotalTime,
+	}, nil
+}
+
+// DutyConsistency compares the analytic duty cycles against the measured
+// ones at a given distance, returning a formatted report and the worst
+// ratio.
+func (d Design) DutyConsistency(dist int) (string, float64, error) {
+	m, err := d.MeasureESMDuties(dist)
+	if err != nil {
+		return "", 0, err
+	}
+	aDrive, aPulse, aRO := d.dutyCycles()
+	worst := 1.0
+	cmp := func(a, b float64) float64 {
+		if a <= 0 || b <= 0 {
+			return 1
+		}
+		r := a / b
+		if r < 1 {
+			r = 1 / r
+		}
+		return r
+	}
+	for _, pair := range [][2]float64{{aDrive, m.Drive}, {aPulse, m.Pulse}, {aRO, m.Readout}} {
+		if r := cmp(pair[0], pair[1]); r > worst {
+			worst = r
+		}
+	}
+	rep := fmt.Sprintf("%s d=%d: drive %.3f/%.3f  pulse %.3f/%.3f  readout %.3f/%.3f (analytic/measured), round %.0f ns",
+		d.Name, dist, aDrive, m.Drive, aPulse, m.Pulse, aRO, m.Readout, m.RoundTime*1e9)
+	return rep, worst, nil
+}

@@ -1,0 +1,49 @@
+package microarch
+
+import "testing"
+
+func TestMeasuredDutiesPlausible(t *testing.T) {
+	for _, d := range []Design{CMOS4KBaseline(), RSFQBaseline(), RSFQOpt345()} {
+		m, err := d.MeasureESMDuties(7)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		for name, v := range map[string]float64{"drive": m.Drive, "pulse": m.Pulse, "readout": m.Readout} {
+			if v <= 0 || v > 1 {
+				t.Fatalf("%s: %s duty %v out of range", d.Name, name, v)
+			}
+		}
+		if m.RoundTime <= 0 {
+			t.Fatalf("%s: zero round time", d.Name)
+		}
+	}
+}
+
+func TestDutyConsistencyAnalyticVsMeasured(t *testing.T) {
+	// The analytic duty cycles feeding the power model must track the
+	// cycle-accurate measurement within a small factor (the single-round
+	// measurement saturates the readout units at 1.0, so allow ~3.5x).
+	for _, d := range []Design{CMOS4KBaseline(), RSFQOpt345()} {
+		rep, worst, err := d.DutyConsistency(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 3.5 {
+			t.Fatalf("duty mismatch beyond 3.5x: %s", rep)
+		}
+	}
+}
+
+func TestMeasuredSFQRoundMatchesAnalytic(t *testing.T) {
+	// For the SFQ design (no FDM serialisation) the measured single-round
+	// time must equal the analytic round time exactly.
+	d := RSFQOpt345()
+	m, err := d.MeasureESMDuties(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.RoundTiming().RoundTime()
+	if diff := m.RoundTime - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("SFQ measured round %v vs analytic %v", m.RoundTime, want)
+	}
+}

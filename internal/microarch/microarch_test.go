@@ -1,0 +1,206 @@
+package microarch
+
+import (
+	"math"
+	"testing"
+
+	"qisim/internal/jpm"
+	"qisim/internal/wiring"
+)
+
+func TestDesignInventoryComplete(t *testing.T) {
+	ds := AllDesigns()
+	if len(ds) != 12 {
+		t.Fatalf("design inventory has %d entries, want 12", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Name] {
+			t.Fatalf("duplicate design name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestRoundTimes(t *testing.T) {
+	cases := []struct {
+		d      Design
+		wantNS float64
+		tolNS  float64
+	}{
+		{CMOS4KBaseline(), 1373.4, 2}, // 2·25·13.13 + 200 + 517
+		{RSFQBaseline(), 915, 1},      // 50 + 200 + 665
+		{RSFQNaiveSharing(), 5642, 1}, // 50 + 200 + 5392
+		{RSFQOpt345(), 1505, 1},       // 50 + 200 + 1255
+		{ERSFQOpt8(), 565.1, 2},       // 50 + 200 + ~315
+		{CMOS4KAdvancedOpt67(), 916.2, 2},
+	}
+	for _, c := range cases {
+		got := c.d.RoundTiming().RoundTime() * 1e9
+		if math.Abs(got-c.wantNS) > c.tolNS {
+			t.Errorf("%s round time %.1f ns, want %.1f", c.d.Name, got, c.wantNS)
+		}
+	}
+}
+
+func TestBaselineBindingStages(t *testing.T) {
+	// Fig. 12/13 binding constraints.
+	cases := []struct {
+		d     Design
+		stage wiring.Stage
+	}{
+		{Baseline300KCoax(), wiring.Stage100mK},
+		{Baseline300KMicrostrip(), wiring.Stage100mK},
+		{Baseline300KPhotonic(), wiring.Stage20mK},
+		{CMOS4KBaseline(), wiring.Stage4K},
+		{RSFQBaseline(), wiring.Stage20mK},
+	}
+	budgets := map[wiring.Stage]float64{wiring.Stage4K: 1.5, wiring.Stage100mK: 200e-6, wiring.Stage20mK: 20e-6}
+	for _, c := range cases {
+		pb := c.d.PerQubitPower()
+		var worst wiring.Stage
+		bestN := math.Inf(1)
+		for st, w := range pb.StageW {
+			if w <= 0 {
+				continue
+			}
+			if n := budgets[st] / w; n < bestN {
+				bestN, worst = n, st
+			}
+		}
+		if worst != c.stage {
+			t.Errorf("%s binding stage %v, want %v", c.d.Name, worst, c.stage)
+		}
+	}
+}
+
+func TestFig12QubitLimits(t *testing.T) {
+	// 300 K QCIs: coax ≈400, microstrip ≈650, photonic ≈70 (ours ~34).
+	limit := func(d Design) float64 {
+		pb := d.PerQubitPower()
+		return math.Min(math.Min(1.5/pb.StageW[wiring.Stage4K],
+			200e-6/pb.StageW[wiring.Stage100mK]), 20e-6/pb.StageW[wiring.Stage20mK])
+	}
+	if n := limit(Baseline300KCoax()); n < 330 || n > 470 {
+		t.Errorf("coax limit %.0f, want ~400", n)
+	}
+	if n := limit(Baseline300KMicrostrip()); n < 560 || n > 820 {
+		t.Errorf("microstrip limit %.0f, want ~650", n)
+	}
+	if n := limit(Baseline300KPhotonic()); n < 20 || n > 110 {
+		t.Errorf("photonic limit %.0f, want ~70 (ours ~34)", n)
+	}
+	// No 300 K design reaches 1,000 qubits (Section 6.2.1 conclusion).
+	for _, d := range []Design{Baseline300KCoax(), Baseline300KMicrostrip(), Baseline300KPhotonic()} {
+		if limit(d) >= 1000 {
+			t.Errorf("%s should not reach 1,000 qubits", d.Name)
+		}
+	}
+}
+
+func TestOpt12LiftsCMOS(t *testing.T) {
+	base := CMOS4KBaseline().PerQubitPower().StageW[wiring.Stage4K]
+	opt := CMOS4KOpt12().PerQubitPower().StageW[wiring.Stage4K]
+	nBase, nOpt := 1.5/base, 1.5/opt
+	if nBase >= 700 {
+		t.Errorf("baseline limit %.0f, want <700", nBase)
+	}
+	if nOpt < 1152 {
+		t.Errorf("Opt-#1/2 limit %.0f must clear the 1,152 near-term target", nOpt)
+	}
+	if nOpt > 1600 {
+		t.Errorf("Opt-#1/2 limit %.0f implausibly high (paper: 1,399)", nOpt)
+	}
+}
+
+func TestAdvancedWireShare(t *testing.T) {
+	// Fig. 18(a): wire power dominates the advanced design's 4 K power
+	// (~81%).
+	pb := CMOS4KAdvanced().PerQubitPower()
+	share := pb.WireW / pb.StageW[wiring.Stage4K]
+	if share < 0.70 || share > 0.90 {
+		t.Fatalf("advanced wire share %.3f, want ~0.81", share)
+	}
+}
+
+func TestOpt6CutsWirePower(t *testing.T) {
+	base := CMOS4KAdvanced().PerQubitPower().WireW
+	opt := CMOS4KAdvancedOpt6().PerQubitPower().WireW
+	red := 1 - opt/base
+	if red < 0.88 || red > 0.99 {
+		t.Fatalf("Opt-#6 wire reduction %.3f, want ~0.93", red)
+	}
+}
+
+func TestRSFQSharingPowerAndError(t *testing.T) {
+	base := RSFQBaseline().PerQubitPower().StageW[wiring.Stage20mK]
+	shared := RSFQOpt345().PerQubitPower().StageW[wiring.Stage20mK]
+	if r := base / shared; r < 6.5 || r > 9.5 {
+		t.Fatalf("Opt-#3 mK power reduction %.2f, want ~8x", r)
+	}
+	// Naive sharing wrecks the logical error (Fig. 15): 3.5e-7 vs 1.34e-13.
+	naive := RSFQNaiveSharing().LogicalError(0)
+	pipe := RSFQOpt345().LogicalError(0)
+	if naive < 1e5*pipe {
+		t.Fatalf("naive sharing p_L %.3g should dwarf pipelined %.3g", naive, pipe)
+	}
+}
+
+func TestERSFQEliminatesPowerBottleneck(t *testing.T) {
+	rsfq := RSFQOpt345().PerQubitPower()
+	ersfq := ERSFQOpt8().PerQubitPower()
+	if ersfq.DeviceW > rsfq.DeviceW/50 {
+		t.Fatalf("ERSFQ device power %.3g should collapse vs RSFQ %.3g", ersfq.DeviceW, rsfq.DeviceW)
+	}
+	if ersfq.StageW[wiring.Stage20mK] > rsfq.StageW[wiring.Stage20mK]/50 {
+		t.Fatal("ERSFQ mK power should collapse (zero static)")
+	}
+}
+
+func TestOpt8ErrorReduction(t *testing.T) {
+	pipe := RSFQOpt345().LogicalError(0)
+	fast := ERSFQOpt8().LogicalError(0)
+	ratio := pipe / fast
+	if ratio < 5e3 || ratio > 1e5 {
+		t.Fatalf("Opt-#8 logical-error reduction %.0fx, paper 28,355x", ratio)
+	}
+}
+
+func TestFDMAccessors(t *testing.T) {
+	if Baseline300KPhotonic().DriveFDM() != 1 {
+		t.Fatal("photonic design uses per-qubit AWGs")
+	}
+	if CMOS4KBaseline().DriveFDM() != 32 || CMOS4KAdvancedOpt67().DriveFDM() != 20 {
+		t.Fatal("CMOS FDM degrees wrong")
+	}
+	if RSFQBaseline().DriveFDM() != 8 {
+		t.Fatal("SFQ drive group size wrong")
+	}
+}
+
+func TestReadoutLatencies(t *testing.T) {
+	if got := CMOS4KBaseline().ReadoutLatency(); math.Abs(got-517e-9) > 1e-12 {
+		t.Fatalf("CMOS readout %v, want 517 ns", got)
+	}
+	if got := CMOS4KAdvancedOpt67().ReadoutLatency(); math.Abs(got-306e-9) > 1e-12 {
+		t.Fatalf("multi-round readout %v, want 306 ns", got)
+	}
+	if got := RSFQOpt345().ReadoutLatency(); math.Abs(got-1255e-9) > 2e-9 {
+		t.Fatalf("pipelined readout %v, want 1,255 ns", got)
+	}
+}
+
+func TestSFQBandwidthBelowCMOS(t *testing.T) {
+	sfq := RSFQBaseline().InstructionBandwidth()
+	cmos := CMOS4KBaseline().InstructionBandwidth()
+	if sfq >= cmos {
+		t.Fatal("SFQ broadcast ISA should need less bandwidth than Horse Ridge")
+	}
+}
+
+func TestReadoutModeWiring(t *testing.T) {
+	d := RSFQOpt345()
+	if d.ReadoutMode != jpm.Pipelined || !d.LowPowerBitgen || d.DriveSpec.BS != 1 {
+		t.Fatal("RSFQOpt345 must bundle Opt-#3, #4 and #5")
+	}
+}

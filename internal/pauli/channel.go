@@ -1,0 +1,140 @@
+package pauli
+
+import (
+	"math"
+	"math/rand"
+
+	"qisim/internal/cmath"
+)
+
+// KrausChannel is a completely positive map given by Kraus operators.
+type KrausChannel struct {
+	Ops []*cmath.Matrix
+}
+
+// Apply returns E(ρ) = Σ K ρ K†.
+func (c KrausChannel) Apply(rho *cmath.Matrix) *cmath.Matrix {
+	out := cmath.NewMatrix(rho.Rows, rho.Cols)
+	for _, k := range c.Ops {
+		term := cmath.Mul(cmath.Mul(k, rho), cmath.Dagger(k))
+		cmath.AddInPlace(out, 1, term)
+	}
+	return out
+}
+
+// TracePreserving checks Σ K†K = I within tol.
+func (c KrausChannel) TracePreserving(tol float64) bool {
+	if len(c.Ops) == 0 {
+		return false
+	}
+	n := c.Ops[0].Rows
+	sum := cmath.NewMatrix(n, n)
+	for _, k := range c.Ops {
+		cmath.AddInPlace(sum, 1, cmath.Mul(cmath.Dagger(k), k))
+	}
+	return cmath.Sub(sum, cmath.Identity(n)).FrobeniusNorm() < tol
+}
+
+// DecoherenceChannel builds the single-qubit T1/T2 channel over duration t:
+// amplitude damping with γ = 1 − e^{−t/T1} composed with pure dephasing so
+// the off-diagonals decay as e^{−t/T2} (requires T2 ≤ 2·T1).
+func DecoherenceChannel(t, t1, t2 float64) KrausChannel {
+	gamma := 1 - math.Exp(-t/t1)
+	// Off-diagonal decay from amplitude damping alone is √(1−γ) = e^{−t/2T1};
+	// pure dephasing supplies the rest of e^{−t/T2}.
+	target := math.Exp(-t / t2)
+	fromAD := math.Sqrt(1 - gamma)
+	lam := 0.0
+	if fromAD > 0 {
+		r := target / fromAD
+		if r < 1 {
+			lam = 1 - r*r // dephasing parameter: off-diag × √(1−λ)
+		}
+	}
+	k0 := cmath.FromRows([][]complex128{
+		{1, 0},
+		{0, complex(math.Sqrt((1-gamma)*(1-lam)), 0)},
+	})
+	k1 := cmath.FromRows([][]complex128{
+		{0, complex(math.Sqrt(gamma), 0)},
+		{0, 0},
+	})
+	k2 := cmath.FromRows([][]complex128{
+		{0, 0},
+		{0, complex(math.Sqrt((1-gamma)*lam), 0)},
+	})
+	return KrausChannel{Ops: []*cmath.Matrix{k0, k1, k2}}
+}
+
+// cardinalStates returns the six single-qubit 2-design states.
+func cardinalStates() [][]complex128 {
+	s := complex(1/math.Sqrt2, 0)
+	return [][]complex128{
+		{1, 0},
+		{0, 1},
+		{s, s},
+		{s, -s},
+		{s, 1i * s},
+		{s, -1i * s},
+	}
+}
+
+// AverageChannelFidelity computes F_avg = mean over the six cardinal states
+// of ⟨ψ|E(|ψ⟩⟨ψ|)|ψ⟩ — an exact 2-design average, the first-principles
+// counterpart of gateerror.DecoherenceFidelity.
+func AverageChannelFidelity(c KrausChannel) float64 {
+	var sum float64
+	for _, psi := range cardinalStates() {
+		rho := outer(psi)
+		rho2 := c.Apply(rho)
+		sum += real(expectation(rho2, psi))
+	}
+	return sum / 6
+}
+
+// TrajectoryAverageFidelity estimates the same quantity by Monte-Carlo
+// quantum trajectories: sampling a Kraus outcome per shot.
+func TrajectoryAverageFidelity(c KrausChannel, shots int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	states := cardinalStates()
+	var sum float64
+	for s := 0; s < shots; s++ {
+		psi := states[s%len(states)]
+		// Outcome probabilities p_k = ⟨ψ|K†K|ψ⟩.
+		r := rng.Float64()
+		var acc float64
+		for _, k := range c.Ops {
+			kpsi := k.ApplyTo(psi)
+			p := 0.0
+			for _, a := range kpsi {
+				p += real(a)*real(a) + imag(a)*imag(a)
+			}
+			acc += p
+			if r < acc || acc >= 1-1e-12 {
+				cmath.NormalizeVec(kpsi)
+				ov := cmath.Overlap(psi, kpsi)
+				sum += real(ov)*real(ov) + imag(ov)*imag(ov)
+				break
+			}
+		}
+	}
+	return sum / float64(shots)
+}
+
+func outer(psi []complex128) *cmath.Matrix {
+	n := len(psi)
+	m := cmath.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, psi[i]*conj(psi[j]))
+		}
+	}
+	return m
+}
+
+func expectation(rho *cmath.Matrix, psi []complex128) complex128 {
+	v := rho.ApplyTo(psi)
+	return cmath.Overlap(psi, v)
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

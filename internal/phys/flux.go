@@ -1,0 +1,67 @@
+package phys
+
+import "math"
+
+// FluxTunable models the frequency-vs-flux curve of a flux-tunable
+// (symmetric-SQUID) transmon:
+//
+//	f(Φ) = f_max · √|cos(πΦ/Φ0)|
+//
+// The CZ pulse circuit detunes a qubit by driving its flux line; this model
+// converts the detunings the gate-error models work with into the flux (and
+// hence DAC amplitude) the pulse circuit must deliver.
+type FluxTunable struct {
+	// FMaxHz is the sweet-spot (zero-flux) frequency.
+	FMaxHz float64
+	// FluxPerVolt converts pulse-DAC output voltage to flux in units of Φ0
+	// (mutual-inductance coupling of the flux line).
+	FluxPerVolt float64
+}
+
+// DefaultFluxTunable returns a 5 GHz sweet-spot transmon with a typical
+// flux-line coupling.
+func DefaultFluxTunable() FluxTunable {
+	return FluxTunable{FMaxHz: 5.0e9, FluxPerVolt: 0.5}
+}
+
+// FreqAt returns f(Φ) for flux in units of Φ0.
+func (f FluxTunable) FreqAt(fluxPhi0 float64) float64 {
+	return f.FMaxHz * math.Sqrt(math.Abs(math.Cos(math.Pi*fluxPhi0)))
+}
+
+// FluxFor returns the (smallest non-negative) flux in Φ0 units that detunes
+// the qubit DOWN by detuneHz from the sweet spot. Detunings beyond the
+// tuning range return NaN.
+func (f FluxTunable) FluxFor(detuneHz float64) float64 {
+	target := f.FMaxHz - detuneHz
+	if target > f.FMaxHz || target < 0 {
+		return math.NaN()
+	}
+	// cos(πΦ) = (target/fmax)²
+	c := (target / f.FMaxHz) * (target / f.FMaxHz)
+	return math.Acos(c) / math.Pi
+}
+
+// VoltageFor converts a downward detuning to the pulse-DAC voltage.
+func (f FluxTunable) VoltageFor(detuneHz float64) float64 {
+	return f.FluxFor(detuneHz) / f.FluxPerVolt
+}
+
+// Sensitivity returns |df/dΦ| (Hz per Φ0) at a flux point — the flux-noise
+// susceptibility, which vanishes at the sweet spot and grows toward the CZ
+// interaction point (why detuned qubits dephase faster).
+func (f FluxTunable) Sensitivity(fluxPhi0 float64) float64 {
+	c := math.Cos(math.Pi * fluxPhi0)
+	if c == 0 {
+		return math.Inf(1)
+	}
+	s := math.Sin(math.Pi * fluxPhi0)
+	return math.Abs(f.FMaxHz * math.Pi * s / (2 * math.Sqrt(math.Abs(c))))
+}
+
+// DephasingScale returns the relative T2-degradation factor at a flux point
+// versus the sweet spot, for a given 1/f flux-noise amplitude (in Φ0):
+// Γφ ∝ sensitivity × noise.
+func (f FluxTunable) DephasingScale(fluxPhi0, noisePhi0 float64) float64 {
+	return f.Sensitivity(fluxPhi0) * noisePhi0
+}

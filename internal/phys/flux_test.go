@@ -1,0 +1,81 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFluxCurveSweetSpot(t *testing.T) {
+	f := DefaultFluxTunable()
+	if got := f.FreqAt(0); math.Abs(got-f.FMaxHz) > 1 {
+		t.Fatalf("sweet-spot frequency %v, want %v", got, f.FMaxHz)
+	}
+	// Half a flux quantum kills the frequency.
+	if got := f.FreqAt(0.5); got > 1e6 {
+		t.Fatalf("f(Φ0/2) = %v, want ~0", got)
+	}
+}
+
+func TestFluxForInvertsFreqAt(t *testing.T) {
+	f := DefaultFluxTunable()
+	for _, det := range []float64{50e6, 300e6, 800e6, 2e9} {
+		phi := f.FluxFor(det)
+		if math.IsNaN(phi) {
+			t.Fatalf("detuning %v should be reachable", det)
+		}
+		back := f.FMaxHz - f.FreqAt(phi)
+		if math.Abs(back-det) > 1 {
+			t.Fatalf("detuning %v maps to flux %v which detunes %v", det, phi, back)
+		}
+	}
+}
+
+func TestFluxForOutOfRange(t *testing.T) {
+	f := DefaultFluxTunable()
+	if !math.IsNaN(f.FluxFor(-1e6)) || !math.IsNaN(f.FluxFor(6e9)) {
+		t.Fatal("out-of-range detunings must return NaN")
+	}
+}
+
+func TestCZOperatingPointVoltage(t *testing.T) {
+	// The CZ interaction point of the gate-error model sits 500 MHz below
+	// the sweet spot (idle 800 MHz − resonance 300 MHz): the DAC voltage
+	// must be finite and modest.
+	f := DefaultFluxTunable()
+	v := f.VoltageFor(500e6)
+	if math.IsNaN(v) || v <= 0 || v > 1 {
+		t.Fatalf("CZ flux-pulse voltage %v V implausible", v)
+	}
+}
+
+func TestSensitivityGrowsAwayFromSweetSpot(t *testing.T) {
+	f := DefaultFluxTunable()
+	if s0 := f.Sensitivity(0); s0 != 0 {
+		t.Fatalf("sweet-spot sensitivity %v, want 0", s0)
+	}
+	s1 := f.Sensitivity(0.1)
+	s2 := f.Sensitivity(0.3)
+	if !(s2 > s1 && s1 > 0) {
+		t.Fatal("flux sensitivity must grow away from the sweet spot")
+	}
+	// Dephasing scales with it.
+	if f.DephasingScale(0.3, 1e-6) <= f.DephasingScale(0.1, 1e-6) {
+		t.Fatal("dephasing scale must follow sensitivity")
+	}
+}
+
+func TestQuickFreqMonotoneOnBranch(t *testing.T) {
+	f := DefaultFluxTunable()
+	q := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 0.49))
+		y := math.Abs(math.Mod(b, 0.49))
+		if x > y {
+			x, y = y, x
+		}
+		return f.FreqAt(x) >= f.FreqAt(y)-1e-6
+	}
+	if err := quick.Check(q, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

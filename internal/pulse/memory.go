@@ -1,0 +1,106 @@
+package pulse
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemoryImage is a QCI envelope-memory image: the bytes the drive/pulse/TX
+// circuits stream every gate. Section 6.1 adopts Intel's per-qubit budget
+// (7.65 KB/qubit) sized for eight drive, four pulse and one TX envelope per
+// qubit at 2.5 GS/s with 25/50/517 ns durations.
+type MemoryImage struct {
+	// Entries maps envelope names to their sample words.
+	Entries map[string][]uint16
+}
+
+// EnvelopeSpec sizes one stored envelope.
+type EnvelopeSpec struct {
+	Name     string
+	Env      Envelope
+	Duration float64
+	// IQ doubles storage (drive envelopes carry amplitude and phase words).
+	IQ bool
+}
+
+// IntelSpec returns the Section 6.1 memory plan: 8 drive + 4 pulse + 1 TX
+// envelopes per qubit.
+func IntelSpec() []EnvelopeSpec {
+	specs := make([]EnvelopeSpec, 0, 13)
+	for i := 0; i < 8; i++ {
+		specs = append(specs, EnvelopeSpec{
+			Name: fmt.Sprintf("drive%d", i), Env: GaussianEnvelope{}, Duration: 25e-9, IQ: true,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		specs = append(specs, EnvelopeSpec{
+			Name: fmt.Sprintf("pulse%d", i), Env: FlatTopEnvelope{RampFrac: 0.14}, Duration: 50e-9,
+		})
+	}
+	specs = append(specs, EnvelopeSpec{Name: "tx", Env: SquareEnvelope{}, Duration: 517e-9})
+	return specs
+}
+
+// BuildMemoryImage samples every envelope at the given rate and bit width.
+func BuildMemoryImage(specs []EnvelopeSpec, sampleRateHz float64, bits int) *MemoryImage {
+	img := &MemoryImage{Entries: make(map[string][]uint16, len(specs))}
+	scale := float64(uint64(1)<<uint(bits)) - 1
+	for _, s := range specs {
+		n := int(math.Round(s.Duration * sampleRateHz))
+		if n < 1 {
+			n = 1
+		}
+		samples := Samples(s.Env, n, s.Duration)
+		words := make([]uint16, 0, n*wordsPerSample(s.IQ))
+		for _, a := range samples {
+			w := uint16(math.Round(a * scale))
+			words = append(words, w)
+			if s.IQ {
+				words = append(words, w) // phase word slot
+			}
+		}
+		img.Entries[s.Name] = words
+	}
+	return img
+}
+
+func wordsPerSample(iq bool) int {
+	if iq {
+		return 2
+	}
+	return 1
+}
+
+// Bytes returns the total image size with each word stored in ceil(bits/8)
+// bytes (14-bit words occupy two bytes in the Intel layout).
+func (m *MemoryImage) Bytes(bits int) int {
+	per := (bits + 7) / 8
+	total := 0
+	for _, words := range m.Entries {
+		total += len(words) * per
+	}
+	return total
+}
+
+// AddressTable builds the gate-table address ranges (start, end) per
+// envelope — the "gate table address" field of the drive ISA points here.
+func (m *MemoryImage) AddressTable() map[string][2]int {
+	// Deterministic order: sort names.
+	names := make([]string, 0, len(m.Entries))
+	for n := range m.Entries {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := make(map[string][2]int, len(names))
+	addr := 0
+	for _, n := range names {
+		end := addr + len(m.Entries[n])
+		out[n] = [2]int{addr, end}
+		addr = end
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package pulse
+
+import "testing"
+
+func TestIntelBudgetSufficient(t *testing.T) {
+	// Section 6.1: Intel's 7.65 KB/qubit envelope memory is "enough to
+	// support eight drive, four pulse, and one TX envelopes per qubit" at
+	// 2.5 GS/s with 25/50/517 ns durations. Verify by construction.
+	img := BuildMemoryImage(IntelSpec(), 2.5e9, 14)
+	if got := img.Bytes(14); got > 7650 {
+		t.Fatalf("memory image %d bytes exceeds the 7.65 KB Intel budget", got)
+	}
+	if got := img.Bytes(14); got < 3000 {
+		t.Fatalf("memory image %d bytes implausibly small", got)
+	}
+	if len(img.Entries) != 13 {
+		t.Fatalf("Intel spec stores 13 envelopes, got %d", len(img.Entries))
+	}
+}
+
+func TestMemoryImageWordCounts(t *testing.T) {
+	img := BuildMemoryImage(IntelSpec(), 2.5e9, 14)
+	// Drive: ~62 samples x 2 words (IQ); pulse: 125 x 1; TX: ~1292 x 1.
+	if n := len(img.Entries["drive0"]); n < 120 || n > 130 {
+		t.Fatalf("drive envelope words %d, want ~124", n)
+	}
+	if n := len(img.Entries["pulse0"]); n != 125 {
+		t.Fatalf("pulse envelope words %d, want 125", n)
+	}
+	if n := len(img.Entries["tx"]); n < 1280 || n > 1300 {
+		t.Fatalf("TX envelope words %d, want ~1293", n)
+	}
+}
+
+func TestOpt2ShrinksNothingInWordCount(t *testing.T) {
+	// Opt-#2 cuts bit PRECISION, not sample counts: a 6-bit image has the
+	// same word counts but packs into single bytes.
+	img14 := BuildMemoryImage(IntelSpec(), 2.5e9, 14)
+	img6 := BuildMemoryImage(IntelSpec(), 2.5e9, 6)
+	if len(img14.Entries["drive0"]) != len(img6.Entries["drive0"]) {
+		t.Fatal("bit precision must not change sample counts")
+	}
+	if img6.Bytes(6) >= img14.Bytes(14) {
+		t.Fatal("6-bit image must be smaller in bytes")
+	}
+}
+
+func TestAddressTableContiguous(t *testing.T) {
+	img := BuildMemoryImage(IntelSpec(), 2.5e9, 14)
+	tbl := img.AddressTable()
+	if len(tbl) != len(img.Entries) {
+		t.Fatal("address table incomplete")
+	}
+	// Ranges must be non-overlapping and exactly cover the image.
+	total := 0
+	covered := 0
+	for name, r := range tbl {
+		if r[1] <= r[0] {
+			t.Fatalf("%s: empty range %v", name, r)
+		}
+		covered += r[1] - r[0]
+		total += len(img.Entries[name])
+	}
+	if covered != total {
+		t.Fatalf("address table covers %d words, image has %d", covered, total)
+	}
+}
+
+func TestEnvelopeWordsBounded(t *testing.T) {
+	img := BuildMemoryImage(IntelSpec(), 2.5e9, 14)
+	max := uint16(1<<14 - 1)
+	for name, words := range img.Entries {
+		for i, w := range words {
+			if w > max {
+				t.Fatalf("%s[%d] = %d exceeds 14 bits", name, i, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package qcp
+
+import (
+	"testing"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/isa"
+	"qisim/internal/lattice"
+)
+
+func esmRun(t *testing.T, d int) (*cyclesim.Result, int) {
+	t.Helper()
+	l := lattice.NewLayout(1, d)
+	tr := NewTranslator(l)
+	rr, err := tr.Run(lattice.MemoryProgram(l, 2), cyclesim.CMOSConfig(), compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr.Physical, tr.TotalQubits()
+}
+
+func TestEncodeStreamCounts(t *testing.T) {
+	res, _ := esmRun(t, 5)
+	st, err := EncodeStream(res, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DriveWords == 0 || st.PulseWords == 0 || st.ReadoutWords == 0 {
+		t.Fatalf("every stream class must carry words: %+v", st)
+	}
+	if st.TotalBits != st.DriveBits+st.PulseBits+st.ReadoutBits {
+		t.Fatal("bit accounting broken")
+	}
+	// Drive words carry the 43-bit extended format.
+	if st.DriveBits != st.DriveWords*isa.ExtendedDrive().Bits() {
+		t.Fatal("drive width accounting broken")
+	}
+}
+
+func TestMeasuredBandwidthTracksAnalyticModel(t *testing.T) {
+	// The bit-level encoded stream and the analytic isa bandwidth model
+	// must agree within a small factor (the analytic model normalises per
+	// ESM round; the measured stream includes the real schedule).
+	res, nq := esmRun(t, 7)
+	st, err := EncodeStream(res, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := st.BandwidthPerQubit(nq)
+	round := res.TotalTime / 2 // two ESM rounds
+	analytic := isa.BaselineCMOSBandwidth(round)
+	ratio := measured / analytic
+	if ratio < 0.1 || ratio > 3 {
+		t.Fatalf("measured %.3g b/s/qubit vs analytic %.3g diverge (%.2fx)", measured, analytic, ratio)
+	}
+}
+
+func TestEncodeStreamDedupesGroupIssues(t *testing.T) {
+	// Two qubits of the same readout group measured at the same start must
+	// share one readout word.
+	res, _ := esmRun(t, 3)
+	st, _ := EncodeStream(res, 32, 8)
+	measures := 0
+	for _, op := range res.Ops {
+		if op.Kind == compile.Measure {
+			measures++
+		}
+	}
+	if st.ReadoutWords >= measures {
+		t.Fatalf("grouped readout should dedupe: %d words for %d measures", st.ReadoutWords, measures)
+	}
+}

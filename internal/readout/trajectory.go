@@ -1,0 +1,133 @@
+package readout
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qisim/internal/ham"
+	"qisim/internal/phys"
+)
+
+// TrajectoryConfig drives the slow, physics-level readout Monte-Carlo: full
+// cavity trajectories from the dispersive model with per-sample noise, the
+// square TX envelope of Section 4.4.4, and T1 decay mid-readout.
+type TrajectoryConfig struct {
+	Resonator    phys.Resonator
+	Qubit        phys.Transmon
+	DriveEps     float64 // TX drive amplitude (rad/s)
+	SampleRateHz float64
+	Timing       Timing
+	NoiseSigma   float64 // per-sample IQ noise σ in units of |α| steady state
+	Shots        int
+	Seed         int64
+}
+
+// DefaultTrajectoryConfig returns a setup consistent with DefaultChain.
+func DefaultTrajectoryConfig() TrajectoryConfig {
+	return TrajectoryConfig{
+		Resonator:    phys.DefaultResonator(),
+		Qubit:        phys.DefaultTransmon(),
+		DriveEps:     2 * math.Pi * 2e6,
+		SampleRateHz: 2.5e9,
+		Timing:       DefaultTiming(),
+		NoiseSigma:   0, // filled from chain SNR when zero
+		Shots:        2000,
+		Seed:         5,
+	}
+}
+
+// TrajectoryResult reports the physics-level MC outcome for one decision
+// method.
+type TrajectoryResult struct {
+	BinError    float64
+	SingleError float64
+	Separation  float64 // steady-state pointer separation |α1-α0|
+}
+
+// TrajectoryMC draws full readout records and replays the bin-counting and
+// single-point decision units on the same records. It cross-checks the fast
+// analytic tier: with the noise scaled to the same per-sample SNR the error
+// rates must agree to MC precision.
+func TrajectoryMC(cfg TrajectoryConfig, chain Chain) TrajectoryResult {
+	r := ham.DispersiveResonator{
+		DetuningRad: 0,
+		ChiRad:      cfg.Resonator.Chi(),
+		KappaRad:    cfg.Resonator.Kappa(),
+	}
+	dt := 1 / cfg.SampleRateHz
+	nRing := int(cfg.Timing.RingUp * cfg.SampleRateHz)
+	nSamp := cfg.Timing.MaxRounds * cfg.Timing.RoundSamples
+	total := nRing + nSamp
+
+	drive := func(t float64) float64 { return cfg.DriveEps }
+	traj0 := r.Trajectory(-1, drive, total, dt)
+	traj1 := r.Trajectory(+1, drive, total, dt)
+
+	s0 := r.SteadyState(-1, cfg.DriveEps)
+	s1 := r.SteadyState(+1, cfg.DriveEps)
+	sep := cmplx.Abs(s1 - s0)
+
+	// Discriminating axis: unit vector from α0 to α1; line through midpoint.
+	axis := (s1 - s0) / complex(sep, 0)
+	mid := (s1 + s0) / 2
+	project := func(alpha complex128) float64 {
+		d := alpha - mid
+		return real(d)*real(axis) + imag(d)*imag(axis)
+	}
+
+	sigma := cfg.NoiseSigma
+	if sigma <= 0 {
+		sigma = sep / chain.SNRPerSample
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	binErrs, singleErrs := 0, 0
+	for shot := 0; shot < cfg.Shots; shot++ {
+		prepared1 := shot%2 == 1
+		traj := traj0
+		if prepared1 {
+			traj = traj1
+		}
+		// Decay: prepared |1> relaxes at an exponential time; afterwards the
+		// cavity relaxes toward the |0> pointer with rate κ/2.
+		decayAt := math.Inf(1)
+		if prepared1 && rng.Float64() < chain.DecayProb*float64(total)/float64(nSamp) {
+			decayAt = float64(nRing) + rng.Float64()*float64(nSamp)
+		}
+		var count, sumProj float64
+		used := 0
+		for k := nRing; k < total; k++ {
+			mean := traj[k]
+			if fk := float64(k); fk > decayAt {
+				// exponential pull toward the |0> trajectory
+				lam := math.Exp(-r.KappaRad / 2 * (fk - decayAt) * dt)
+				mean = traj1[k]*complex(lam, 0) + traj0[k]*complex(1-lam, 0)
+			}
+			ns := sigma
+			if rng.Float64() < chain.OutlierProb {
+				ns *= chain.OutlierFactor
+			}
+			sample := mean + complex(ns*rng.NormFloat64(), ns*rng.NormFloat64())
+			p := project(sample)
+			if p > 0 {
+				count++
+			}
+			sumProj += p
+			used++
+		}
+		majority1 := count > float64(used)/2
+		mean1 := sumProj > 0
+		if majority1 != prepared1 {
+			binErrs++
+		}
+		if mean1 != prepared1 {
+			singleErrs++
+		}
+	}
+	return TrajectoryResult{
+		BinError:    float64(binErrs) / float64(cfg.Shots),
+		SingleError: float64(singleErrs) / float64(cfg.Shots),
+		Separation:  sep,
+	}
+}

@@ -1,0 +1,192 @@
+// Package scalability is QIsim's headline analysis (Section 6): for a QCI
+// design point it combines the per-qubit per-stage power model with the
+// refrigerator budgets and the logical-error target model, and reports the
+// maximum supportable physical-qubit count together with the binding
+// constraint — reproducing Figs. 12, 13 and 17.
+package scalability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qisim/internal/cryo"
+	"qisim/internal/microarch"
+	"qisim/internal/surface"
+	"qisim/internal/wiring"
+)
+
+// Constraint identifies what limits a design's scale.
+type Constraint string
+
+const (
+	Power4K    Constraint = "4K power"
+	Power70K   Constraint = "70K power"
+	Power100mK Constraint = "100mK power"
+	Power20mK  Constraint = "20mK power"
+	LogicalErr Constraint = "logical error"
+	Unbounded  Constraint = "unbounded"
+)
+
+func stageConstraint(s wiring.Stage) Constraint {
+	switch s {
+	case wiring.Stage4K:
+		return Power4K
+	case wiring.Stage70K:
+		return Power70K
+	case wiring.Stage100mK:
+		return Power100mK
+	default:
+		return Power20mK
+	}
+}
+
+// Analysis is the scalability verdict for one design.
+type Analysis struct {
+	Design microarch.Design
+	// PerQubit is the per-qubit per-stage power.
+	PerQubit map[wiring.Stage]float64
+	// StageLimit is the power-limited qubit count per stage.
+	StageLimit map[wiring.Stage]float64
+	// LogicalError is the achieved p_L at d = 23.
+	LogicalError float64
+	// ErrorLimit is the error-limited qubit count (target-model crossing).
+	ErrorLimit float64
+	// MaxQubits is min over all limits; Binding names the constraint.
+	MaxQubits float64
+	Binding   Constraint
+	// MeetsNearTerm reports whether the design satisfies the near-term
+	// (1,152-qubit, Jellium N=2) logical-error target.
+	MeetsNearTerm bool
+}
+
+// Options configure the analysis.
+type Options struct {
+	Budgets  cryo.Budgets
+	Targets  surface.TargetModel
+	Distance int
+}
+
+// DefaultOptions returns the Table 2 budgets, Jellium targets and d = 23.
+func DefaultOptions() Options {
+	return Options{Budgets: cryo.DefaultBudgets(), Targets: surface.DefaultTargets(), Distance: 23}
+}
+
+// ExtendedOptions adds the 30 W 70 K stage of the Section 7.3 extension, for
+// designs that offload components there.
+func ExtendedOptions() Options {
+	opt := DefaultOptions()
+	opt.Budgets = cryo.ExtendedBudgets()
+	return opt
+}
+
+// Analyze evaluates one design point.
+func Analyze(d microarch.Design, opt Options) Analysis {
+	a := Analysis{
+		Design:     d,
+		PerQubit:   map[wiring.Stage]float64{},
+		StageLimit: map[wiring.Stage]float64{},
+	}
+	pb := d.PerQubitPower()
+	a.MaxQubits = math.Inf(1)
+	a.Binding = Unbounded
+	for st, budget := range opt.Budgets {
+		w := pb.StageW[st]
+		a.PerQubit[st] = w
+		if w <= 0 {
+			a.StageLimit[st] = math.Inf(1)
+			continue
+		}
+		lim := budget / w
+		a.StageLimit[st] = lim
+		if lim < a.MaxQubits {
+			a.MaxQubits = lim
+			a.Binding = stageConstraint(st)
+		}
+	}
+	a.LogicalError = d.LogicalError(0)
+	a.ErrorLimit = opt.Targets.MaxPhysicalQubits(a.LogicalError, opt.Distance)
+	if a.ErrorLimit < a.MaxQubits {
+		a.MaxQubits = a.ErrorLimit
+		a.Binding = LogicalErr
+	}
+	near := opt.Targets.Target(1) // one logical qubit, Jellium N=2 floor
+	a.MeetsNearTerm = a.LogicalError <= near
+	return a
+}
+
+// AnalyzeAll evaluates every named design point.
+func AnalyzeAll(opt Options) []Analysis {
+	ds := microarch.AllDesigns()
+	out := make([]Analysis, len(ds))
+	for i, d := range ds {
+		out[i] = Analyze(d, opt)
+	}
+	return out
+}
+
+// CurvePoint is one sample of a Fig. 12/13/17-style sweep.
+type CurvePoint struct {
+	Qubits int
+	// Utilization is power/budget per stage at this scale.
+	Utilization map[wiring.Stage]float64
+	// LogicalError and Target at this scale (target falls as the algorithm
+	// grows with the machine).
+	LogicalError float64
+	Target       float64
+	Feasible     bool
+}
+
+// Sweep samples a design across qubit counts, producing the data behind the
+// scalability figures.
+func Sweep(d microarch.Design, qubitCounts []int, opt Options) []CurvePoint {
+	pb := d.PerQubitPower()
+	pl := d.LogicalError(0)
+	perPatch := float64(surface.PhysicalQubitsPerPatch(opt.Distance))
+	out := make([]CurvePoint, 0, len(qubitCounts))
+	for _, n := range qubitCounts {
+		cp := CurvePoint{Qubits: n, Utilization: map[wiring.Stage]float64{}, LogicalError: pl}
+		cp.Feasible = true
+		for st, budget := range opt.Budgets {
+			u := pb.StageW[st] * float64(n) / budget
+			cp.Utilization[st] = u
+			if u > 1 {
+				cp.Feasible = false
+			}
+		}
+		nLogical := float64(n) / perPatch
+		cp.Target = opt.Targets.Target(nLogical)
+		if pl > cp.Target {
+			cp.Feasible = false
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Table renders a set of analyses as an aligned text table.
+func Table(as []Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %12s %12s %12s %12s %12s %10s %-14s\n",
+		"design", "4K W/qubit", "100mK", "20mK", "p_L(d=23)", "err-limit", "max-qubits", "binding")
+	for _, a := range as {
+		fmt.Fprintf(&b, "%-26s %12.3g %12.3g %12.3g %12.3g %12.0f %10.0f %-14s\n",
+			a.Design.Name,
+			a.PerQubit[wiring.Stage4K], a.PerQubit[wiring.Stage100mK], a.PerQubit[wiring.Stage20mK],
+			a.LogicalError, capInf(a.ErrorLimit), capInf(a.MaxQubits), a.Binding)
+	}
+	return b.String()
+}
+
+func capInf(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
+}
+
+// SortByMax orders analyses by achievable scale (descending).
+func SortByMax(as []Analysis) {
+	sort.Slice(as, func(i, j int) bool { return as[i].MaxQubits > as[j].MaxQubits })
+}

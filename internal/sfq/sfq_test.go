@@ -1,0 +1,179 @@
+package sfq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceStaticPower(t *testing.T) {
+	d := MITLLSFQ5ee(RSFQ)
+	// 100 µA · 0.7 · 2.6 mV = 182 nW per JJ.
+	if got := d.StaticPowerPerJJ(); math.Abs(got-182e-9) > 1e-12 {
+		t.Fatalf("RSFQ static/JJ = %v, want 182 nW", got)
+	}
+	if MITLLSFQ5ee(ERSFQ).StaticPowerPerJJ() != 0 {
+		t.Fatal("ERSFQ static power must be zero (inductive biasing)")
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	r := MITLLSFQ5ee(RSFQ).SwitchEnergyPerJJ()
+	e := MITLLSFQ5ee(ERSFQ).SwitchEnergyPerJJ()
+	if math.Abs(e-2*r) > 1e-30 {
+		t.Fatal("ERSFQ switch energy should be 2x RSFQ (bias JJ co-switch)")
+	}
+	// Ic·Φ0 ≈ 2.07e-19 J.
+	if r < 2.0e-19 || r > 2.2e-19 {
+		t.Fatalf("RSFQ switch energy %.3g J implausible", r)
+	}
+}
+
+func TestMKIcScaling(t *testing.T) {
+	d4k := MITLLSFQ5ee(RSFQ)
+	dmk := MKDevice(RSFQ)
+	if math.Abs(dmk.StaticPowerPerJJ()-0.01*d4k.StaticPowerPerJJ()) > 1e-18 {
+		t.Fatal("mK device must apply the 0.01 Ic scaling to static power")
+	}
+	if math.Abs(dmk.SwitchEnergyPerJJ()-0.01*d4k.SwitchEnergyPerJJ()) > 1e-30 {
+		t.Fatal("mK device must apply the 0.01 Ic scaling to switch energy")
+	}
+}
+
+func TestCircuitComposition(t *testing.T) {
+	c := NewCircuit("x", 5, 0.1)
+	c.Add(DFF, 10).Add(JTL, 20)
+	if got := c.JJCount(); got != 10*6+20*2 {
+		t.Fatalf("JJ count = %d", got)
+	}
+	d := MITLLSFQ5ee(RSFQ)
+	if c.StaticPower(d) <= 0 || c.DynamicPower(d, 24e9) <= 0 {
+		t.Fatal("powers must be positive")
+	}
+	if c.FMax(d) != 1/(5*d.GateDelayS) {
+		t.Fatal("fmax formula changed")
+	}
+}
+
+func TestFMaxAboveSFQClock(t *testing.T) {
+	// Every drive-path circuit must close timing at the 24 GHz Table 2 clock
+	// — except the deep select trees, which are internally pipelined; their
+	// fmax must still be within 2x of the clock.
+	d := MITLLSFQ5ee(RSFQ)
+	s := DefaultDriveSpec()
+	for _, c := range []*Circuit{ControlDataBuffer(s), BitstreamGenerator(s), LowPowerBitstreamGenerator(s), PerQubitController(s)} {
+		if c.FMax(d) < 24e9/2 {
+			t.Errorf("%s fmax %.1f GHz too far below the 24 GHz clock", c.Name, c.FMax(d)/1e9)
+		}
+	}
+}
+
+func TestOpt4BitgenReduction(t *testing.T) {
+	// Opt-#4: the splitter-based generator removes ~98% of the baseline's
+	// JJs (paper: 98.2% of bitgen power).
+	s := DefaultDriveSpec()
+	d := MITLLSFQ5ee(RSFQ)
+	base := BitstreamGenerator(s).StaticPower(d)
+	lp := LowPowerBitstreamGenerator(s).StaticPower(d)
+	red := 1 - lp/base
+	if red < 0.93 || red > 0.999 {
+		t.Fatalf("Opt-#4 bitgen reduction %.3f, want ~0.98", red)
+	}
+}
+
+func TestOpt5ControllerScaling(t *testing.T) {
+	// Opt-#5: controllers scale with #BS; 8→1 must save ~43.8% of the 4 K
+	// drive-group power.
+	s := DefaultDriveSpec()
+	d := MITLLSFQ5ee(RSFQ)
+	group := func(sp DriveSpec) float64 {
+		return ControlDataBuffer(sp).StaticPower(d) +
+			BitstreamGenerator(sp).StaticPower(d) +
+			BitstreamController(sp).StaticPower(d) +
+			PerQubitController(sp).StaticPower(d) +
+			PulseCircuit(sp.Qubits, 4, 6).StaticPower(d) +
+			ReadoutFrontEnd(sp.Qubits).StaticPower(d)
+	}
+	base := group(s)
+	s1 := s
+	s1.BS = 1
+	save := 1 - group(s1)/base
+	if save < 0.38 || save > 0.50 {
+		t.Fatalf("Opt-#5 saving %.3f, want ~0.438", save)
+	}
+}
+
+func TestBaselinePerQubitPower(t *testing.T) {
+	// Calibration check: baseline RSFQ per-qubit 4 K power ≈ 2.6 mW, which
+	// bounds the baseline at <600 qubits from 4 K alone (Fig. 13(b)).
+	s := DefaultDriveSpec()
+	d := MITLLSFQ5ee(RSFQ)
+	tot := ControlDataBuffer(s).StaticPower(d) +
+		BitstreamGenerator(s).StaticPower(d) +
+		BitstreamController(s).StaticPower(d) +
+		PerQubitController(s).StaticPower(d) +
+		PulseCircuit(s.Qubits, 4, 6).StaticPower(d) +
+		ReadoutFrontEnd(s.Qubits).StaticPower(d)
+	perQubit := tot / float64(s.Qubits)
+	if perQubit < 2.2e-3 || perQubit > 3.2e-3 {
+		t.Fatalf("per-qubit 4K RSFQ power %.3g W outside calibration band ~2.6 mW", perQubit)
+	}
+}
+
+func TestMKReadoutSharingExactly8x(t *testing.T) {
+	// Opt-#3: one mK core per 8 JPMs divides per-qubit mK static by 8.
+	d := MKDevice(RSFQ)
+	core := MKJPMReadout(1).StaticPower(d)
+	perQubitUnshared := core
+	perQubitShared := MKJPMReadout(8).StaticPower(d) / 8
+	if math.Abs(perQubitUnshared/perQubitShared-8) > 1e-9 {
+		t.Fatalf("sharing ratio = %v, want exactly 8", perQubitUnshared/perQubitShared)
+	}
+	// ~129 nW/qubit unshared → <160 qubits under the 20 µW budget.
+	if n := int(20e-6 / perQubitUnshared); n < 120 || n > 200 {
+		t.Fatalf("unshared mK-limited qubit count %d, want ~155 (paper <160)", n)
+	}
+	if n := int(20e-6 / perQubitShared); n < 1100 || n > 1400 {
+		t.Fatalf("shared mK-limited qubit count %d, want ~1,240 (paper 1,248)", n)
+	}
+}
+
+func TestERSFQEliminatesStatic(t *testing.T) {
+	s := DefaultDriveSpec()
+	e := MITLLSFQ5ee(ERSFQ)
+	c := BitstreamController(s)
+	if c.StaticPower(e) != 0 {
+		t.Fatal("ERSFQ circuit must have zero static power")
+	}
+	if c.DynamicPower(e, 24e9) <= 0 {
+		t.Fatal("ERSFQ circuit must still dissipate dynamically")
+	}
+}
+
+func TestDynamicPowerLinearInFrequency(t *testing.T) {
+	d := MITLLSFQ5ee(RSFQ)
+	c := PulseCircuit(8, 4, 6)
+	p24 := c.DynamicPower(d, 24e9)
+	p48 := c.DynamicPower(d, 48e9)
+	if math.Abs(p48-2*p24) > 1e-15 {
+		t.Fatal("dynamic power must be linear in clock frequency")
+	}
+}
+
+func TestQuickCircuitPowerMonotonicInCells(t *testing.T) {
+	d := MITLLSFQ5ee(RSFQ)
+	f := func(n uint8) bool {
+		a := NewCircuit("a", 4, 0.05).Add(DFF, int(n))
+		b := NewCircuit("b", 4, 0.05).Add(DFF, int(n)+1)
+		return b.StaticPower(d) > a.StaticPower(d) || n == 0 && a.StaticPower(d) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if RSFQ.String() != "RSFQ" || ERSFQ.String() != "ERSFQ" {
+		t.Fatal("Tech strings changed")
+	}
+}

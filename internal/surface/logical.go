@@ -1,0 +1,129 @@
+package surface
+
+import "math"
+
+// Projection is the standard sub-threshold logical-error projection
+// p_L = A·(p/p_th)^((d+1)/2) used by the paper's error model [Ghosh/Fowler].
+type Projection struct {
+	A   float64 // prefactor (0.1)
+	PTh float64 // threshold physical error rate (0.57%)
+	D   int     // code distance
+}
+
+// DefaultProjection returns the d = 23 projection of the Section 6 analysis.
+func DefaultProjection() Projection { return Projection{A: 0.1, PTh: 0.0057, D: 23} }
+
+// Logical returns p_L for an effective per-round physical error rate p.
+func (pr Projection) Logical(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return pr.A * math.Pow(p/pr.PTh, float64(pr.D+1)/2)
+}
+
+// PhysicalFor inverts Logical: the p_eff that yields the given p_L.
+func (pr Projection) PhysicalFor(pL float64) float64 {
+	if pL <= 0 {
+		return 0
+	}
+	return pr.PTh * math.Pow(pL/pr.A, 2/float64(pr.D+1))
+}
+
+// RoundTiming describes one ESM round's schedule for a QCI technology.
+type RoundTiming struct {
+	// OneQTime and TwoQTime are single-gate latencies (25/50 ns).
+	OneQTime, TwoQTime float64
+	// ReadoutTime is the full readout latency (incl. ring-up / JPM stages).
+	ReadoutTime float64
+	// DriveSerialization is the effective serialisation factor of the two H
+	// layers caused by frequency multiplexing: the layer takes
+	// OneQTime · max(1, DriveSerialization). For the SFQ QCI (broadcast
+	// bitstreams) this is 1; for the CMOS QCI it is k·FDM with k ≈ 0.41
+	// (calibrated — see EXPERIMENTS.md).
+	DriveSerialization float64
+}
+
+// RoundTime returns the ESM round duration: two (possibly serialised) 1Q
+// layers, four CZ layers, and the readout.
+func (t RoundTiming) RoundTime() float64 {
+	ser := t.DriveSerialization
+	if ser < 1 {
+		ser = 1
+	}
+	return 2*t.OneQTime*ser + 4*t.TwoQTime + t.ReadoutTime
+}
+
+// CMOSSerialization returns the calibrated CMOS drive serialisation factor
+// for an FDM degree (k·FDM with k = 0.4103, jointly fitted to the paper's
+// Opt-#7 logical-error ratios — see EXPERIMENTS.md).
+func CMOSSerialization(fdm int) float64 { return 0.4103 * float64(fdm) }
+
+// ErrorParams are the calibrated per-technology coefficients of the
+// effective per-round physical error rate
+//
+//	p_eff = P0 + C·t_round + ExtraGateError
+//
+// P0 absorbs the gate/readout error contributions of the Table 2 operating
+// points; C converts ESM-round decoherence exposure into Pauli-twirled
+// physical error. Both are calibrated once against the paper's published
+// logical-error anchors (Figs. 13, 15, 17, 20) and then reproduce all of
+// them; the derivation is recorded in EXPERIMENTS.md.
+type ErrorParams struct {
+	P0 float64
+	C  float64 // per second of round time
+}
+
+// CMOSErrorParams returns the 4 K CMOS calibration.
+func CMOSErrorParams() ErrorParams { return ErrorParams{P0: 1.3933e-4, C: 1.4703e-7 / 1e-9} }
+
+// SFQErrorParams returns the 4 K SFQ calibration.
+func SFQErrorParams() ErrorParams { return ErrorParams{P0: 4.9e-5, C: 3.52e-7 / 1e-9} }
+
+// Effective returns p_eff for a round time (seconds) plus any additional
+// gate error beyond the calibrated operating point (e.g. the Opt-#2
+// bit-precision sweep adds e1q(bits) - e1q(14)).
+func (e ErrorParams) Effective(roundTime, extraGateError float64) float64 {
+	return e.P0 + e.C*roundTime + extraGateError
+}
+
+// TargetModel is the Jellium-anchored logical-error target: running Jellium
+// N with 99% success requires p_L below a budget that falls as the algorithm
+// (and so the logical-qubit count) grows. Anchors: Jellium N=2 → 1.11e-11;
+// Jellium N=54 → 1.69e-17 (Section 6.1).
+type TargetModel struct {
+	AnchorN      float64
+	AnchorTarget float64
+	Exponent     float64
+}
+
+// DefaultTargets returns the model through both paper anchors.
+func DefaultTargets() TargetModel {
+	// exponent = ln(1.69e-17/1.11e-11) / ln(54/2)
+	return TargetModel{AnchorN: 2, AnchorTarget: 1.11e-11, Exponent: 4.0636}
+}
+
+// Target returns the required logical error rate for n logical qubits.
+func (t TargetModel) Target(nLogical float64) float64 {
+	if nLogical < t.AnchorN {
+		nLogical = t.AnchorN
+	}
+	return t.AnchorTarget * math.Pow(nLogical/t.AnchorN, -t.Exponent)
+}
+
+// MaxLogicalQubits returns the largest logical-qubit count whose target the
+// achieved p_L still satisfies.
+func (t TargetModel) MaxLogicalQubits(pL float64) float64 {
+	if pL <= 0 {
+		return math.Inf(1)
+	}
+	if pL > t.AnchorTarget {
+		return 0
+	}
+	return t.AnchorN * math.Pow(t.AnchorTarget/pL, 1/t.Exponent)
+}
+
+// MaxPhysicalQubits converts the error-limited logical count into physical
+// qubits at distance d (2(d+1)² per patch).
+func (t TargetModel) MaxPhysicalQubits(pL float64, d int) float64 {
+	return t.MaxLogicalQubits(pL) * float64(PhysicalQubitsPerPatch(d))
+}

@@ -1,0 +1,355 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DecoderResult summarises a Monte-Carlo logical-error estimate.
+type DecoderResult struct {
+	Shots    int
+	Failures int
+}
+
+// Rate returns the logical error estimate.
+func (r DecoderResult) Rate() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Shots)
+}
+
+// matcher holds the Z-stabilizer syndrome graph of a patch for X-error
+// decoding (the X sector is symmetric; the paper generates both X and Z
+// errors from QIsim and feeds the standard error model, and so do we via
+// two independent sectors).
+type matcher struct {
+	p *Patch
+	// zIdx maps ancilla index → compact Z index; coords for distances.
+	zAncillas []int
+	dataToZ   [][]int // data qubit → list of Z-ancilla compact ids
+	shared    map[[2]int]int
+	// boundaryQubit[z] is a data qubit adjacent only to Z-ancilla z (a path
+	// to the top/bottom boundary), or -1.
+	boundaryQubit []int
+	boundaryDist  []int
+}
+
+func newMatcher(p *Patch) *matcher {
+	m := &matcher{p: p, shared: make(map[[2]int]int)}
+	compact := make(map[int]int)
+	for i, a := range p.Ancillas {
+		if a.Type == ZAncilla {
+			compact[i] = len(m.zAncillas)
+			m.zAncillas = append(m.zAncillas, i)
+		}
+	}
+	m.dataToZ = make([][]int, p.DataQubits())
+	for i, a := range p.Ancillas {
+		if a.Type != ZAncilla {
+			continue
+		}
+		z := compact[i]
+		for _, q := range a.Data {
+			m.dataToZ[q] = append(m.dataToZ[q], z)
+		}
+	}
+	// Shared data qubits between Z-ancilla pairs; boundary qubits for
+	// singly-attached data qubits.
+	m.boundaryQubit = make([]int, len(m.zAncillas))
+	m.boundaryDist = make([]int, len(m.zAncillas))
+	for z := range m.boundaryQubit {
+		m.boundaryQubit[z] = -1
+	}
+	for q, zs := range m.dataToZ {
+		switch len(zs) {
+		case 2:
+			key := [2]int{min(zs[0], zs[1]), max(zs[0], zs[1])}
+			m.shared[key] = q
+		case 1:
+			m.boundaryQubit[zs[0]] = q
+		}
+	}
+	// Boundary distance: rows to nearest X boundary (top/bottom), in
+	// ancilla-grid steps.
+	d := p.D
+	for z, ai := range m.zAncillas {
+		r2 := p.Ancillas[ai].R2
+		top := (r2 + 1) / 2
+		bot := (2*d - 1 - r2) / 2
+		m.boundaryDist[z] = min(top, bot)
+		if m.boundaryQubit[z] == -1 {
+			// Bulk ancilla: walking to the boundary passes through
+			// neighbouring ancillas; the final step uses their boundary
+			// qubits. Handled in pathToBoundary.
+			_ = z
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dist is the decoding metric between two Z-ancillas: Chebyshev distance on
+// the ancilla sub-lattice (diagonal steps are single shared-qubit hops).
+func (m *matcher) dist(z1, z2 int) int {
+	a1, a2 := m.p.Ancillas[m.zAncillas[z1]], m.p.Ancillas[m.zAncillas[z2]]
+	dr := abs(a1.R2-a2.R2) / 2
+	dc := abs(a1.C2-a2.C2) / 2
+	return max(dr, dc)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// neighbours returns the Z-ancillas one shared-qubit hop from z.
+func (m *matcher) neighbours(z int) []int {
+	var out []int
+	for key := range m.shared {
+		if key[0] == z {
+			out = append(out, key[1])
+		} else if key[1] == z {
+			out = append(out, key[0])
+		}
+	}
+	return out
+}
+
+// pathFlip flips the data qubits on a shortest ancilla-graph path z1→z2.
+func (m *matcher) pathFlip(err []bool, z1, z2 int) {
+	cur := z1
+	for cur != z2 {
+		best, bd := -1, 1<<30
+		for _, nb := range m.neighbours(cur) {
+			if d := m.dist(nb, z2); d < bd {
+				bd, best = d, nb
+			}
+		}
+		if best == -1 {
+			return // disconnected (cannot happen on a valid patch)
+		}
+		key := [2]int{min(cur, best), max(cur, best)}
+		q := m.shared[key]
+		err[q] = !err[q]
+		cur = best
+	}
+}
+
+// boundaryFlip flips data qubits from ancilla z to the nearest X boundary.
+func (m *matcher) boundaryFlip(err []bool, z int) {
+	cur := z
+	for {
+		if q := m.boundaryQubit[cur]; q != -1 && m.boundaryDist[cur] <= 1 {
+			err[q] = !err[q]
+			return
+		}
+		// Step toward the nearest boundary through the ancilla graph.
+		best, bd := -1, m.boundaryDist[cur]
+		for _, nb := range m.neighbours(cur) {
+			if d := m.boundaryDist[nb]; d < bd {
+				bd, best = d, nb
+			}
+		}
+		if best == -1 {
+			// No strictly closer neighbour: use own boundary qubit if any.
+			if q := m.boundaryQubit[cur]; q != -1 {
+				err[q] = !err[q]
+			}
+			return
+		}
+		key := [2]int{min(cur, best), max(cur, best)}
+		err[m.shared[key]] = !err[m.shared[key]]
+		cur = best
+	}
+}
+
+// decode matches the flipped syndromes (against each other or the boundary)
+// minimising the TOTAL correction weight — exact min-weight matching via
+// bitmask DP for up to 16 flipped syndromes (ample below threshold), greedy
+// beyond — and applies the corrections in place.
+func (m *matcher) decode(err []bool, syndrome []bool) {
+	var flipped []int
+	for z, s := range syndrome {
+		if s {
+			flipped = append(flipped, z)
+		}
+	}
+	n := len(flipped)
+	if n == 0 {
+		return
+	}
+	if n <= 16 {
+		m.decodeExact(err, flipped)
+		return
+	}
+	m.decodeGreedy(err, flipped)
+}
+
+func (m *matcher) decodeExact(err []bool, flipped []int) {
+	n := len(flipped)
+	const inf = 1 << 29
+	full := 1 << n
+	cost := make([]int32, full)
+	choice := make([]int32, full) // encoded move: i*64+j (j==63 → boundary)
+	for s := 1; s < full; s++ {
+		cost[s] = inf
+	}
+	for s := 1; s < full; s++ {
+		// lowest set bit
+		i := 0
+		for ; s&(1<<i) == 0; i++ {
+		}
+		rest := s &^ (1 << i)
+		// boundary
+		if c := int32(m.boundaryDist[flipped[i]]) + cost[rest]; c < cost[s] {
+			cost[s] = c
+			choice[s] = int32(i*64 + 63)
+		}
+		for j := i + 1; j < n; j++ {
+			if s&(1<<j) == 0 {
+				continue
+			}
+			r2 := rest &^ (1 << j)
+			if c := int32(m.dist(flipped[i], flipped[j])) + cost[r2]; c < cost[s] {
+				cost[s] = c
+				choice[s] = int32(i*64 + j)
+			}
+		}
+	}
+	// Reconstruct.
+	for s := full - 1; s > 0; {
+		ch := choice[s]
+		i, j := int(ch/64), int(ch%64)
+		if j == 63 {
+			m.boundaryFlip(err, flipped[i])
+			s &^= 1 << i
+		} else {
+			m.pathFlip(err, flipped[i], flipped[j])
+			s &^= (1 << i) | (1 << j)
+		}
+	}
+}
+
+func (m *matcher) decodeGreedy(err []bool, flipped []int) {
+	used := make(map[int]bool)
+	for {
+		bestCost := 1 << 30
+		bi, bj := -1, -1 // bj == -2 means boundary
+		for x := 0; x < len(flipped); x++ {
+			if used[flipped[x]] {
+				continue
+			}
+			for y := x + 1; y < len(flipped); y++ {
+				if used[flipped[y]] {
+					continue
+				}
+				if c := m.dist(flipped[x], flipped[y]); c < bestCost {
+					bestCost, bi, bj = c, flipped[x], flipped[y]
+				}
+			}
+			if c := m.boundaryDist[flipped[x]]; c < bestCost {
+				bestCost, bi, bj = c, flipped[x], -2
+			}
+		}
+		if bi == -1 {
+			return
+		}
+		used[bi] = true
+		if bj == -2 {
+			m.boundaryFlip(err, bi)
+		} else {
+			used[bj] = true
+			m.pathFlip(err, bi, bj)
+		}
+	}
+}
+
+// syndrome computes the Z-stabilizer syndrome of an X-error pattern.
+func (m *matcher) syndrome(err []bool) []bool {
+	s := make([]bool, len(m.zAncillas))
+	for q, e := range err {
+		if !e {
+			continue
+		}
+		for _, z := range m.dataToZ[q] {
+			s[z] = !s[z]
+		}
+	}
+	return s
+}
+
+// logicalFlip reports whether the residual X pattern flips the logical
+// qubit: odd parity over the Z-logical support (data row 0).
+func (m *matcher) logicalFlip(err []bool) bool {
+	parity := false
+	for c := 0; c < m.p.D; c++ {
+		if err[c] { // row 0: qubits 0..d-1
+			parity = !parity
+		}
+	}
+	return parity
+}
+
+// MonteCarloLogicalError estimates the code-capacity logical X error rate of
+// a distance-d patch under i.i.d. X errors of probability p, using the
+// greedy matching decoder. It validates the Projection's (p/p_th)^((d+1)/2)
+// scaling; the paper's timing-dependent effects enter through ErrorParams.
+func MonteCarloLogicalError(d int, p float64, shots int, seed int64) DecoderResult {
+	patch := NewPatch(d)
+	m := newMatcher(patch)
+	rng := rand.New(rand.NewSource(seed))
+	res := DecoderResult{Shots: shots}
+	nd := patch.DataQubits()
+	err := make([]bool, nd)
+	for s := 0; s < shots; s++ {
+		anyErr := false
+		for q := 0; q < nd; q++ {
+			err[q] = rng.Float64() < p
+			anyErr = anyErr || err[q]
+		}
+		if !anyErr {
+			continue
+		}
+		syn := m.syndrome(err)
+		m.decode(err, syn)
+		// After correction the syndrome must be clear; any remaining flip is
+		// logical.
+		if m.logicalFlip(err) {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// ThresholdEstimate locates the crossing point of the d and d+2 logical
+// error curves by bisection over p — a coarse decoder-threshold probe.
+func ThresholdEstimate(d int, shots int, seed int64) float64 {
+	lo, hi := 0.005, 0.2
+	for i := 0; i < 12; i++ {
+		mid := math.Sqrt(lo * hi)
+		pSmall := MonteCarloLogicalError(d, mid, shots, seed).Rate()
+		pLarge := MonteCarloLogicalError(d+2, mid, shots, seed+1).Rate()
+		if pLarge < pSmall {
+			lo = mid // below threshold: bigger code wins
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

@@ -1,0 +1,202 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+)
+
+// spacetimeNode is one detection event in the 3D (space × time) syndrome
+// history.
+type spacetimeNode struct {
+	z int // compact Z-ancilla index
+	t int // round index
+}
+
+// MonteCarloPhenomenological estimates the logical X error rate of a
+// distance-d patch over `rounds` noisy ESM rounds: data qubits flip with
+// probability p per round and syndrome measurements flip with probability q,
+// followed by one final perfect round (the standard phenomenological noise
+// model). Decoding matches detection events (syndrome differences between
+// consecutive rounds) in space-time: spatial path segments flip data,
+// time-like segments flip nothing (they explain measurement errors).
+func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int64) DecoderResult {
+	patch := NewPatch(d)
+	m := newMatcher(patch)
+	rng := rand.New(rand.NewSource(seed))
+	res := DecoderResult{Shots: shots}
+	nd := patch.DataQubits()
+	nz := len(m.zAncillas)
+
+	err := make([]bool, nd)
+	prevMeas := make([]bool, nz)
+	curTrue := make([]bool, nz)
+
+	for s := 0; s < shots; s++ {
+		for i := range err {
+			err[i] = false
+		}
+		for i := range prevMeas {
+			prevMeas[i] = false
+		}
+		var events []spacetimeNode
+
+		for r := 0; r < rounds; r++ {
+			// New data errors this round.
+			for qb := 0; qb < nd; qb++ {
+				if rng.Float64() < p {
+					err[qb] = !err[qb]
+				}
+			}
+			truth := m.syndrome(err)
+			copy(curTrue, truth)
+			for z := 0; z < nz; z++ {
+				meas := curTrue[z]
+				if rng.Float64() < q {
+					meas = !meas
+				}
+				if meas != prevMeas[z] {
+					events = append(events, spacetimeNode{z: z, t: r})
+				}
+				prevMeas[z] = meas
+			}
+		}
+		// Final perfect round.
+		truth := m.syndrome(err)
+		for z := 0; z < nz; z++ {
+			if truth[z] != prevMeas[z] {
+				events = append(events, spacetimeNode{z: z, t: rounds})
+			}
+		}
+
+		m.decodeSpacetime(err, events)
+		if m.logicalFlip(err) {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// stDist is the space-time decoding metric: spatial Chebyshev distance plus
+// the time separation.
+func (m *matcher) stDist(a, b spacetimeNode) int {
+	dt := a.t - b.t
+	if dt < 0 {
+		dt = -dt
+	}
+	return m.dist(a.z, b.z) + dt
+}
+
+// stBoundary is the cost of terminating a detection event at the spatial
+// boundary (time boundaries are closed off by the final perfect round).
+func (m *matcher) stBoundary(a spacetimeNode) int {
+	return m.boundaryDist[a.z]
+}
+
+// decodeSpacetime matches detection events (exact for <= 14 events, greedy
+// beyond) and applies the SPATIAL components of the matched paths as data
+// corrections.
+func (m *matcher) decodeSpacetime(err []bool, events []spacetimeNode) {
+	n := len(events)
+	if n == 0 {
+		return
+	}
+	if n <= 14 {
+		m.stExact(err, events)
+		return
+	}
+	m.stGreedy(err, events)
+}
+
+func (m *matcher) stExact(err []bool, ev []spacetimeNode) {
+	n := len(ev)
+	const inf = 1 << 29
+	full := 1 << n
+	cost := make([]int32, full)
+	choice := make([]int32, full)
+	for s := 1; s < full; s++ {
+		cost[s] = inf
+	}
+	for s := 1; s < full; s++ {
+		i := 0
+		for ; s&(1<<i) == 0; i++ {
+		}
+		rest := s &^ (1 << i)
+		if c := int32(m.stBoundary(ev[i])) + cost[rest]; c < cost[s] {
+			cost[s] = c
+			choice[s] = int32(i*64 + 63)
+		}
+		for j := i + 1; j < n; j++ {
+			if s&(1<<j) == 0 {
+				continue
+			}
+			r2 := rest &^ (1 << j)
+			if c := int32(m.stDist(ev[i], ev[j])) + cost[r2]; c < cost[s] {
+				cost[s] = c
+				choice[s] = int32(i*64 + j)
+			}
+		}
+	}
+	for s := full - 1; s > 0; {
+		ch := choice[s]
+		i, j := int(ch/64), int(ch%64)
+		if j == 63 {
+			m.boundaryFlip(err, ev[i].z)
+			s &^= 1 << i
+		} else {
+			m.pathFlip(err, ev[i].z, ev[j].z)
+			s &^= (1 << i) | (1 << j)
+		}
+	}
+}
+
+func (m *matcher) stGreedy(err []bool, ev []spacetimeNode) {
+	used := make([]bool, len(ev))
+	for {
+		best := 1 << 30
+		bi, bj := -1, -1
+		for x := range ev {
+			if used[x] {
+				continue
+			}
+			for y := x + 1; y < len(ev); y++ {
+				if used[y] {
+					continue
+				}
+				if c := m.stDist(ev[x], ev[y]); c < best {
+					best, bi, bj = c, x, y
+				}
+			}
+			if c := m.stBoundary(ev[x]); c < best {
+				best, bi, bj = c, x, -2
+			}
+		}
+		if bi == -1 {
+			return
+		}
+		used[bi] = true
+		if bj == -2 {
+			m.boundaryFlip(err, ev[bi].z)
+		} else {
+			used[bj] = true
+			m.pathFlip(err, ev[bi].z, ev[bj].z)
+		}
+	}
+}
+
+// PhenomenologicalThreshold locates the p = q crossing point of the d and
+// d+2 curves — the phenomenological threshold (literature: ~2.9–3.3% for
+// matching decoders).
+func PhenomenologicalThreshold(d, rounds, shots int, seed int64) float64 {
+	lo, hi := 0.002, 0.1
+	for i := 0; i < 10; i++ {
+		mid := math.Sqrt(lo * hi)
+		pS := MonteCarloPhenomenological(d, mid, mid, rounds, shots, seed).Rate()
+		pL := MonteCarloPhenomenological(d+2, mid, mid, rounds, shots, seed+1).Rate()
+		if pL < pS {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

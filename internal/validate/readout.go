@@ -1,0 +1,11 @@
+package validate
+
+import "qisim/internal/readout"
+
+// readoutChain returns the calibrated readout noise chain.
+func readoutChain() readout.Chain { return readout.DefaultChain() }
+
+// binErr evaluates the full-integration bin-counting error.
+func binErr(c readout.Chain) float64 {
+	return readout.BinCountingError(c, readout.DefaultTiming(), 8)
+}

@@ -1,0 +1,125 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateQCIBundleChecks(t *testing.T) {
+	for _, cfg := range []struct {
+		fdm, phase, amp, iq int
+		bin                 bool
+	}{
+		{32, 24, 14, 7, true},
+		{32, 24, 6, 7, false}, // the Opt-#1/#2 variant
+		{20, 24, 6, 7, false}, // the Opt-#7 FDM
+		{8, 16, 8, 5, true},
+	} {
+		mods := GenerateQCI(cfg.fdm, cfg.phase, cfg.amp, cfg.iq, cfg.bin)
+		if err := CheckBundle(mods); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestNCOHasVirtualRzDatapath(t *testing.T) {
+	m := NCO(24, 14)
+	for _, sig := range []string{"rz_mode", "rz_angle", "zcorr_valid", "zcorr_angle", "phase_acc"} {
+		if !strings.Contains(m.Source, sig) {
+			t.Fatalf("NCO missing the %q path (Fig. 4(b))", sig)
+		}
+	}
+}
+
+func TestPulseCircuitHasAWGWalker(t *testing.T) {
+	m := PulseCircuit(14, 10, 64)
+	for _, sig := range []string{"amp_mem", "len_mem", "addr_cnt", "len_cnt", "cz_target"} {
+		if !strings.Contains(m.Source, sig) {
+			t.Fatalf("pulse circuit missing %q (Fig. 4(c))", sig)
+		}
+	}
+}
+
+func TestDecisionUnitVariants(t *testing.T) {
+	bin := DecisionUnit(7, true)
+	if !strings.Contains(bin.Source, "bin_mem") {
+		t.Fatal("bin-counting unit must have the bin memory")
+	}
+	stream := DecisionUnit(7, false)
+	if strings.Contains(stream.Source, "bin_mem") {
+		t.Fatal("Opt-#1 unit must not have a bin memory")
+	}
+	if !strings.Contains(stream.Source, "diff_cnt") {
+		t.Fatal("Opt-#1 unit needs its 32-bit counter")
+	}
+}
+
+func TestControlDataBufferShape(t *testing.T) {
+	m := ControlDataBuffer(29)
+	for _, sig := range []string{"shift_reg", "ndro_reg", "valid", "go"} {
+		if !strings.Contains(m.Source, sig) {
+			t.Fatalf("SFQ buffer missing %q (Fig. 5(b))", sig)
+		}
+	}
+}
+
+func TestCheckerCatchesImbalance(t *testing.T) {
+	bad := Module{Name: "bad", Source: "module bad (input wire a);\nalways @(posedge a) begin\nendmodule\n"}
+	if err := CheckModule(bad, nil); err == nil {
+		t.Fatal("unbalanced begin must be rejected")
+	}
+}
+
+func TestCheckerCatchesUndeclared(t *testing.T) {
+	bad := Module{Name: "bad2", Source: "module bad2 (input wire a, output wire b);\nassign b = a & ghost_wire;\nendmodule\n"}
+	if err := CheckModule(bad2Fix(bad), nil); err == nil || !strings.Contains(err.Error(), "ghost_wire") {
+		t.Fatalf("undeclared identifier must be reported, got %v", err)
+	}
+}
+
+func bad2Fix(m Module) Module { return m }
+
+func TestCheckerAcceptsCleanModule(t *testing.T) {
+	ok := Module{Name: "ok", Source: `module ok (
+  input  wire a,
+  output wire b
+);
+  assign b = ~a;
+endmodule
+`}
+	if err := CheckModule(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerIgnoresComments(t *testing.T) {
+	ok := Module{Name: "okc", Source: `module okc (input wire a, output reg b);
+  // this comment mentions end and begin and ghost_wire
+  always @(posedge a) begin
+    b <= ~b;
+  end
+endmodule
+`}
+	if err := CheckModule(ok, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 64: 6, 65: 7}
+	for n, want := range cases {
+		if got := clog2(n); got != want {
+			t.Fatalf("clog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDriveTopInstantiatesPerQubitNCOs(t *testing.T) {
+	m := DriveTop(32, 24, 14)
+	if !strings.Contains(m.Source, "generate") || !strings.Contains(m.Source, "nco_p24_a14") {
+		t.Fatal("drive top must generate per-qubit NCO instances")
+	}
+	if !strings.Contains(m.Source, "NQ      = 32") {
+		t.Fatal("drive top must parameterise the FDM degree")
+	}
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"qisim/internal/qasm"
+)
+
+// Features is the SupermarQ-style feature vector of a benchmark circuit —
+// the characterisation the suite uses to argue coverage of the application
+// space. All features are normalised to [0, 1].
+type Features struct {
+	// ProgramCommunication: average degree of the qubit interaction graph
+	// over the maximum possible (n-1).
+	ProgramCommunication float64
+	// CriticalDepth: fraction of the circuit's depth occupied by two-qubit
+	// gates on the longest dependency chain.
+	CriticalDepth float64
+	// Entanglement: ratio of two-qubit gates to all gates.
+	Entanglement float64
+	// Parallelism: how many gates run per layer relative to width.
+	Parallelism float64
+	// Liveness: fraction of qubit·layer slots where the qubit is active.
+	Liveness float64
+}
+
+// Analyze computes the feature vector of a program (measurements excluded,
+// as SupermarQ does).
+func Analyze(p *qasm.Program) Features {
+	n := p.NQubits
+	if n == 0 {
+		return Features{}
+	}
+	// Interaction graph degrees.
+	adj := map[[2]int]bool{}
+	var total, twoQ int
+	// Layering: greedy ASAP levels per qubit.
+	level := make([]int, n)
+	layerGates := map[int]int{}
+	layerBusy := map[int]int{}
+	critTwoQ := make([]int, n) // 2Q gates on the chain ending at qubit q
+	for _, g := range p.Gates {
+		if g.Name == "measure" || g.Name == "barrier" {
+			continue
+		}
+		total++
+		if len(g.Qubits) == 2 {
+			twoQ++
+			a, b := g.Qubits[0], g.Qubits[1]
+			if a > b {
+				a, b = b, a
+			}
+			adj[[2]int{a, b}] = true
+			lv := max(level[g.Qubits[0]], level[g.Qubits[1]]) + 1
+			level[g.Qubits[0]], level[g.Qubits[1]] = lv, lv
+			c := max(critTwoQ[g.Qubits[0]], critTwoQ[g.Qubits[1]]) + 1
+			critTwoQ[g.Qubits[0]], critTwoQ[g.Qubits[1]] = c, c
+			layerGates[lv]++
+			layerBusy[lv] += 2
+		} else {
+			level[g.Qubits[0]]++
+			layerGates[level[g.Qubits[0]]]++
+			layerBusy[level[g.Qubits[0]]]++
+		}
+	}
+	if total == 0 {
+		return Features{}
+	}
+	depth := 0
+	maxCrit := 0
+	for q := 0; q < n; q++ {
+		depth = max(depth, level[q])
+		maxCrit = max(maxCrit, critTwoQ[q])
+	}
+	degree := make([]int, n)
+	for e := range adj {
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	var degSum float64
+	for _, d := range degree {
+		degSum += float64(d)
+	}
+
+	f := Features{Entanglement: float64(twoQ) / float64(total)}
+	if n > 1 {
+		f.ProgramCommunication = degSum / float64(n) / float64(n-1)
+	}
+	if depth > 0 {
+		f.CriticalDepth = float64(maxCrit) / float64(depth)
+		f.Parallelism = (float64(total)/float64(depth) - 1) / float64(max(n-1, 1))
+		busy := 0
+		for _, b := range layerBusy {
+			busy += b
+		}
+		f.Liveness = float64(busy) / float64(depth*n)
+	}
+	return clampFeatures(f)
+}
+
+func clampFeatures(f Features) Features {
+	c := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return Features{
+		ProgramCommunication: c(f.ProgramCommunication),
+		CriticalDepth:        c(f.CriticalDepth),
+		Entanglement:         c(f.Entanglement),
+		Parallelism:          c(f.Parallelism),
+		Liveness:             c(f.Liveness),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FeatureTable renders the suite's feature vectors — the SupermarQ coverage
+// table.
+func FeatureTable(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %8s\n",
+		"benchmark", "comm", "crit", "entang", "paral", "live")
+	for _, name := range Names() {
+		f := Analyze(Catalog()[name](n))
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			name, f.ProgramCommunication, f.CriticalDepth, f.Entanglement, f.Parallelism, f.Liveness)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"qisim/internal/qasm"
+)
+
+func TestFeaturesInUnitInterval(t *testing.T) {
+	for _, name := range Names() {
+		f := Analyze(Catalog()[name](12))
+		for label, v := range map[string]float64{
+			"comm": f.ProgramCommunication, "crit": f.CriticalDepth,
+			"entang": f.Entanglement, "paral": f.Parallelism, "live": f.Liveness,
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: feature %s = %v out of [0,1]", name, label, v)
+			}
+		}
+	}
+}
+
+func TestGHZFeatureShape(t *testing.T) {
+	// GHZ is the canonical high-entanglement, fully-serial benchmark.
+	f := Analyze(GHZ(12))
+	if f.Entanglement < 0.8 {
+		t.Fatalf("GHZ entanglement %v, want ~0.92", f.Entanglement)
+	}
+	if f.Parallelism > 0.05 {
+		t.Fatalf("GHZ parallelism %v should be ~0 (serial chain)", f.Parallelism)
+	}
+	if f.CriticalDepth < 0.8 {
+		t.Fatalf("GHZ critical depth %v should be ~1", f.CriticalDepth)
+	}
+}
+
+func TestBVFeatureShape(t *testing.T) {
+	// BV is the low-entanglement, high-parallelism member of the suite.
+	bv := Analyze(BernsteinVazirani(12))
+	ghz := Analyze(GHZ(12))
+	if bv.Entanglement >= ghz.Entanglement {
+		t.Fatal("BV should entangle far less than GHZ")
+	}
+	if bv.Parallelism <= ghz.Parallelism {
+		t.Fatal("BV should parallelise more than GHZ")
+	}
+}
+
+func TestSuiteCoversFeatureSpace(t *testing.T) {
+	// SupermarQ's argument: the suite must spread across the feature space.
+	var minE, maxE, minP, maxP float64 = 2, -1, 2, -1
+	for _, name := range Names() {
+		f := Analyze(Catalog()[name](12))
+		if f.Entanglement < minE {
+			minE = f.Entanglement
+		}
+		if f.Entanglement > maxE {
+			maxE = f.Entanglement
+		}
+		if f.Parallelism < minP {
+			minP = f.Parallelism
+		}
+		if f.Parallelism > maxP {
+			maxP = f.Parallelism
+		}
+	}
+	if maxE-minE < 0.4 {
+		t.Fatalf("entanglement spread %v too narrow", maxE-minE)
+	}
+	if maxP-minP < 0.1 {
+		t.Fatalf("parallelism spread %v too narrow", maxP-minP)
+	}
+}
+
+func TestAnalyzeEmptyAndTrivial(t *testing.T) {
+	if f := Analyze(&qasm.Program{}); f != (Features{}) {
+		t.Fatal("empty program should yield zero features")
+	}
+	p := &qasm.Program{NQubits: 2, Gates: []qasm.Gate{{Name: "measure", Qubits: []int{0}, CBit: 0}}}
+	if f := Analyze(p); f != (Features{}) {
+		t.Fatal("measure-only program should yield zero features")
+	}
+}
+
+func TestFeatureTableRendering(t *testing.T) {
+	s := FeatureTable(8)
+	if !strings.Contains(s, "ghz") || !strings.Contains(s, "entang") {
+		t.Fatalf("feature table malformed:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 10 {
+		t.Fatal("feature table should have header + 9 benchmarks")
+	}
+}

@@ -1,0 +1,212 @@
+// Package workloads generates the benchmark circuits of the Fig. 11
+// validation: SupermarQ-style kernels (GHZ, mermin-bell, QAOA, VQE,
+// Hamiltonian simulation, bit code, phase code) and ScaffCC-style kernels
+// (Bernstein–Vazirani, adder) at the ≤16-qubit scales the paper uses, in our
+// OpenQASM subset.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"qisim/internal/qasm"
+)
+
+// Generator builds a benchmark program over n qubits.
+type Generator func(n int) *qasm.Program
+
+// Catalog returns the nine named benchmarks of the Fig. 11 validation.
+func Catalog() map[string]Generator {
+	return map[string]Generator{
+		"ghz":         GHZ,
+		"mermin-bell": MerminBell,
+		"qaoa":        QAOA,
+		"vqe":         VQE,
+		"hamiltonian": HamiltonianSim,
+		"bit-code":    BitCode,
+		"phase-code":  PhaseCode,
+		"bv":          BernsteinVazirani,
+		"adder":       Adder,
+	}
+}
+
+// Names returns the catalog keys in a fixed presentation order.
+func Names() []string {
+	return []string{"ghz", "mermin-bell", "qaoa", "vqe", "hamiltonian", "bit-code", "phase-code", "bv", "adder"}
+}
+
+func newProg(n int) *qasm.Program {
+	return &qasm.Program{NQubits: n, NClbits: n}
+}
+
+func g1(name string, q int, params ...float64) qasm.Gate {
+	return qasm.Gate{Name: name, Qubits: []int{q}, Params: params, CBit: -1}
+}
+
+func g2(name string, a, b int) qasm.Gate {
+	return qasm.Gate{Name: name, Qubits: []int{a, b}, CBit: -1}
+}
+
+func meas(q int) qasm.Gate {
+	return qasm.Gate{Name: "measure", Qubits: []int{q}, CBit: q}
+}
+
+func measureAll(p *qasm.Program) {
+	for q := 0; q < p.NQubits; q++ {
+		p.Gates = append(p.Gates, meas(q))
+	}
+}
+
+// GHZ prepares the n-qubit GHZ state with a CNOT chain.
+func GHZ(n int) *qasm.Program {
+	p := newProg(n)
+	p.Gates = append(p.Gates, g1("h", 0))
+	for q := 0; q < n-1; q++ {
+		p.Gates = append(p.Gates, g2("cx", q, q+1))
+	}
+	measureAll(p)
+	return p
+}
+
+// MerminBell is the SupermarQ Mermin–Bell test: GHZ preparation followed by
+// a rotated measurement basis.
+func MerminBell(n int) *qasm.Program {
+	p := newProg(n)
+	p.Gates = append(p.Gates, g1("h", 0))
+	for q := 0; q < n-1; q++ {
+		p.Gates = append(p.Gates, g2("cx", q, q+1))
+	}
+	for q := 0; q < n; q++ {
+		p.Gates = append(p.Gates, g1("rz", q, math.Pi/4), g1("h", q))
+	}
+	measureAll(p)
+	return p
+}
+
+// QAOA is one cost+mixer layer of MaxCut QAOA on a ring.
+func QAOA(n int) *qasm.Program {
+	p := newProg(n)
+	for q := 0; q < n; q++ {
+		p.Gates = append(p.Gates, g1("h", q))
+	}
+	gamma, beta := 0.7, 0.3
+	for q := 0; q < n; q++ {
+		a, b := q, (q+1)%n
+		if b == 0 && n > 2 {
+			a, b = 0, n-1
+		}
+		p.Gates = append(p.Gates, g2("cx", a, b), g1("rz", b, 2*gamma), g2("cx", a, b))
+	}
+	for q := 0; q < n; q++ {
+		p.Gates = append(p.Gates, g1("rx", q, 2*beta))
+	}
+	measureAll(p)
+	return p
+}
+
+// VQE is one hardware-efficient ansatz layer (Ry ladder + CZ entangler).
+func VQE(n int) *qasm.Program {
+	p := newProg(n)
+	for rep := 0; rep < 2; rep++ {
+		for q := 0; q < n; q++ {
+			p.Gates = append(p.Gates, g1("ry", q, 0.1+0.2*float64(q+rep)))
+		}
+		for q := 0; q < n-1; q++ {
+			p.Gates = append(p.Gates, g2("cz", q, q+1))
+		}
+	}
+	measureAll(p)
+	return p
+}
+
+// HamiltonianSim is one Trotter step of a transverse-field Ising chain.
+func HamiltonianSim(n int) *qasm.Program {
+	p := newProg(n)
+	dt := 0.2
+	for step := 0; step < 2; step++ {
+		for q := 0; q < n; q++ {
+			p.Gates = append(p.Gates, g1("rx", q, 2*dt))
+		}
+		for q := 0; q < n-1; q++ {
+			p.Gates = append(p.Gates, g2("cx", q, q+1), g1("rz", q+1, 2*dt), g2("cx", q, q+1))
+		}
+	}
+	measureAll(p)
+	return p
+}
+
+// BitCode is the SupermarQ bit-flip code memory benchmark: encode, one
+// stabilizer round, decode.
+func BitCode(n int) *qasm.Program {
+	p := newProg(n)
+	// Data on even indices, ancillas on odd.
+	for q := 0; q+2 < n; q += 2 {
+		p.Gates = append(p.Gates, g2("cx", q, q+2))
+	}
+	for q := 1; q < n-1; q += 2 {
+		p.Gates = append(p.Gates, g2("cx", q-1, q), g2("cx", q+1, q))
+	}
+	measureAll(p)
+	return p
+}
+
+// PhaseCode is the phase-flip analogue (Hadamard-conjugated bit code).
+func PhaseCode(n int) *qasm.Program {
+	p := newProg(n)
+	for q := 0; q < n; q += 2 {
+		p.Gates = append(p.Gates, g1("h", q))
+	}
+	for q := 0; q+2 < n; q += 2 {
+		p.Gates = append(p.Gates, g2("cz", q, q+2))
+	}
+	for q := 1; q < n-1; q += 2 {
+		p.Gates = append(p.Gates, g1("h", q), g2("cz", q-1, q), g2("cz", q+1, q), g1("h", q))
+	}
+	for q := 0; q < n; q += 2 {
+		p.Gates = append(p.Gates, g1("h", q))
+	}
+	measureAll(p)
+	return p
+}
+
+// BernsteinVazirani recovers the secret 1010... over n-1 data qubits.
+func BernsteinVazirani(n int) *qasm.Program {
+	if n < 2 {
+		panic(fmt.Sprintf("workloads: BV needs >= 2 qubits, got %d", n))
+	}
+	p := newProg(n)
+	anc := n - 1
+	p.Gates = append(p.Gates, g1("x", anc), g1("h", anc))
+	for q := 0; q < anc; q++ {
+		p.Gates = append(p.Gates, g1("h", q))
+	}
+	for q := 0; q < anc; q += 2 { // secret bits
+		p.Gates = append(p.Gates, g2("cx", q, anc))
+	}
+	for q := 0; q < anc; q++ {
+		p.Gates = append(p.Gates, g1("h", q))
+	}
+	for q := 0; q < anc; q++ {
+		p.Gates = append(p.Gates, meas(q))
+	}
+	return p
+}
+
+// Adder is a ripple-carry-style adder kernel (ScaffCC family) using
+// Toffoli-free majority gates approximated with CX/CZ+T layers.
+func Adder(n int) *qasm.Program {
+	p := newProg(n)
+	for q := 0; q+2 < n; q += 2 {
+		a, b, c := q, q+1, q+2
+		p.Gates = append(p.Gates,
+			g2("cx", a, b),
+			g1("t", b),
+			g2("cx", b, c),
+			g1("tdg", c),
+			g2("cx", a, c),
+			g1("t", c),
+		)
+	}
+	measureAll(p)
+	return p
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"testing"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/qasm"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 9 {
+		t.Fatalf("catalog has %d benchmarks, want 9 (Fig. 11)", len(cat))
+	}
+	for _, name := range Names() {
+		if cat[name] == nil {
+			t.Fatalf("missing benchmark %q", name)
+		}
+	}
+}
+
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, name := range Names() {
+		gen := Catalog()[name]
+		for _, n := range []int{4, 8, 16} {
+			p := gen(n)
+			if p.NQubits != n {
+				t.Fatalf("%s(%d): NQubits = %d", name, n, p.NQubits)
+			}
+			if len(p.Gates) == 0 {
+				t.Fatalf("%s(%d): empty circuit", name, n)
+			}
+			ex, err := compile.Compile(p, compile.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s(%d): compile: %v", name, n, err)
+			}
+			r, err := cyclesim.Run(ex, cyclesim.CMOSConfig())
+			if err != nil {
+				t.Fatalf("%s(%d): simulate: %v", name, n, err)
+			}
+			if r.TotalTime <= 0 {
+				t.Fatalf("%s(%d): zero execution time", name, n)
+			}
+		}
+	}
+}
+
+func TestBenchmarksEmitValidQASM(t *testing.T) {
+	for _, name := range Names() {
+		p := Catalog()[name](8)
+		src := qasm.Emit(p)
+		if _, err := qasm.Parse(src); err != nil {
+			t.Fatalf("%s: emitted QASM does not re-parse: %v", name, err)
+		}
+	}
+}
+
+func TestGHZStructure(t *testing.T) {
+	p := GHZ(5)
+	// 1 H + 4 CX + 5 measures.
+	var h, cx, m int
+	for _, g := range p.Gates {
+		switch g.Name {
+		case "h":
+			h++
+		case "cx":
+			cx++
+		case "measure":
+			m++
+		}
+	}
+	if h != 1 || cx != 4 || m != 5 {
+		t.Fatalf("GHZ(5) structure h=%d cx=%d m=%d", h, cx, m)
+	}
+}
+
+func TestBVMeasuresDataOnly(t *testing.T) {
+	p := BernsteinVazirani(6)
+	for _, g := range p.Gates {
+		if g.Name == "measure" && g.Qubits[0] == 5 {
+			t.Fatal("BV must not measure the oracle ancilla")
+		}
+	}
+}
+
+func TestTwoQubitGateDensityVaries(t *testing.T) {
+	// The benchmarks should span a range of 2Q densities (that is what makes
+	// the Fig. 11 fidelity spread informative).
+	densities := map[string]float64{}
+	for _, name := range Names() {
+		p := Catalog()[name](12)
+		twoQ, tot := 0, 0
+		for _, g := range p.Gates {
+			if g.Name == "measure" {
+				continue
+			}
+			tot++
+			if len(g.Qubits) == 2 {
+				twoQ++
+			}
+		}
+		densities[name] = float64(twoQ) / float64(tot)
+	}
+	if densities["ghz"] <= densities["vqe"]-1 {
+		t.Fatal("sanity")
+	}
+	var lo, hi float64 = 2, -1
+	for _, d := range densities {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi-lo < 0.2 {
+		t.Fatalf("benchmark 2Q densities too uniform: %v", densities)
+	}
+}
