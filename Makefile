@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race fuzz verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke of the QASM parser boundary (the long runs happen in CI
+# and on demand: `go test ./internal/qasm -fuzz FuzzParse -fuzztime 5m`).
+fuzz:
+	$(GO) test ./internal/qasm -fuzz FuzzParse -fuzztime 15s
+
+# The CI gate: everything that must be green before a change lands.
+verify: vet build race fuzz
+
+clean:
+	$(GO) clean ./...

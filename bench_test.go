@@ -54,7 +54,10 @@ func BenchmarkTable1GateErrors(b *testing.B) {
 
 func BenchmarkFig11WorkloadFidelity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := validate.Fig11Workloads()
+		rows, err := validate.Fig11Workloads()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if m := validate.MeanError(rows); m > 0.08 {
 			b.Fatal("Fig. 11 accuracy regression")
 		}

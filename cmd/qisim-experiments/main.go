@@ -6,48 +6,81 @@
 //	qisim-experiments              run every experiment
 //	qisim-experiments list         list experiment ids
 //	qisim-experiments <id> ...     run specific experiments (e.g. fig13)
+//
+// SIGINT/SIGTERM and -timeout cancel cooperatively between experiments: the
+// reports already generated stay on stdout and the process exits with
+// code 3. Experiment failures exit with the per-class codes of
+// internal/simerr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"qisim/internal/experiments"
+	"qisim/internal/simerr"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit sweep data as CSV (fig12/fig13/fig17 only)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Print(experiments.RunAll())
-		fmt.Print(experiments.HeadlineTable())
-		return
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if args[0] == "list" {
+
+	if err := run(ctx, args, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
+		os.Exit(simerr.ExitCode(err))
+	}
+}
+
+func run(ctx context.Context, args []string, csv bool) error {
+	if len(args) == 1 && args[0] == "list" {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return nil
 	}
-	if *csv {
-		for _, id := range args {
-			s, err := experiments.FigureCSV(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
-				os.Exit(1)
-			}
-			fmt.Print(s)
+	ids := args
+	headline := false
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+		headline = true
+	}
+	for i, id := range ids {
+		// Cooperative cancellation between experiments: reports already on
+		// stdout survive; the remainder is flagged as skipped.
+		if cerr := ctx.Err(); cerr != nil {
+			return simerr.Interruptedf("stopped after %d/%d experiments (%v)", i, len(ids), cerr)
 		}
-		return
-	}
-	for _, id := range args {
-		s, err := experiments.Run(id)
+		var s string
+		var err error
+		if csv {
+			s, err = experiments.FigureCSV(id)
+		} else {
+			s, err = experiments.Run(id)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(s)
+		if headline {
+			fmt.Println()
+		}
 	}
+	if headline && !csv {
+		fmt.Print(experiments.HeadlineTable())
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"qisim/internal/cyclesim"
 	"qisim/internal/pauli"
 	"qisim/internal/qasm"
+	"qisim/internal/simerr"
 	"qisim/internal/validate"
 )
 
@@ -41,11 +42,11 @@ func main() {
 
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
-		fatal(err.Error())
+		fatalErr(err)
 	}
 	prog, err := qasm.Parse(src)
 	if err != nil {
-		fatal(err.Error())
+		fatalErr(err) // unsupported/malformed QASM exits with code 7
 	}
 
 	var rates pauli.ErrorRates
@@ -61,7 +62,7 @@ func main() {
 
 	ex, err := compile.Compile(prog, compile.DefaultOptions())
 	if err != nil {
-		fatal(err.Error())
+		fatalErr(err)
 	}
 	var cfg cyclesim.Config
 	switch *arch {
@@ -74,7 +75,7 @@ func main() {
 	}
 	res, err := cyclesim.Run(ex, cfg)
 	if err != nil {
-		fatal(err.Error())
+		fatalErr(err)
 	}
 
 	fmt.Printf("qubits:        %d\n", prog.NQubits)
@@ -103,4 +104,11 @@ func readSource(path string) (string, error) {
 func fatal(msg string) {
 	fmt.Fprintln(os.Stderr, "qisim-fidelity:", msg)
 	os.Exit(1)
+}
+
+// fatalErr exits with the per-class code of the simerr contract (7 for
+// unsupported QASM, 4 for invalid configuration, ...).
+func fatalErr(err error) {
+	fmt.Fprintln(os.Stderr, "qisim-fidelity:", err)
+	os.Exit(simerr.ExitCode(err))
 }

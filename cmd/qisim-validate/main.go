@@ -6,22 +6,58 @@
 //
 //	qisim-validate                 run the full campaign
 //	qisim-validate fig8|fig10|table1|fig11
+//
+// SIGINT/SIGTERM and -timeout cancel cooperatively between validations:
+// reports already printed survive and the exit code is 3. Pipeline failures
+// exit with the per-class codes of internal/simerr; accuracy-bound
+// violations keep the campaign's own exit code 1.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"qisim/internal/simerr"
 	"qisim/internal/validate"
 )
 
 func main() {
-	ids := os.Args[1:]
+	timeout := flag.Duration("timeout", 0, "cancel the campaign after this duration (0 = none)")
+	flag.Parse()
+	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = []string{"fig8", "fig10", "table1", "fig11"}
 	}
-	failed := false
-	for _, id := range ids {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	failed, err := campaign(ctx, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-validate:", err)
+		os.Exit(simerr.ExitCode(err))
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "qisim-validate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("qisim-validate: all validations within published accuracy bands")
+}
+
+func campaign(ctx context.Context, ids []string) (failed bool, err error) {
+	for i, id := range ids {
+		if cerr := ctx.Err(); cerr != nil {
+			return failed, simerr.Interruptedf("stopped after %d/%d validations (%v)", i, len(ids), cerr)
+		}
 		switch id {
 		case "fig8":
 			rows := validate.Fig8CMOSPower()
@@ -38,21 +74,19 @@ func main() {
 			fmt.Print(validate.Report("Table 1 — gate error-rate validation", rows))
 			failed = check("table1", validate.MaxError(rows), 0.30) || failed
 		case "fig11":
-			rows := validate.Fig11Workloads()
+			rows, ferr := validate.Fig11Workloads()
+			if ferr != nil {
+				return failed, ferr
+			}
 			fmt.Print(validate.Report("Fig. 11 — workload-level fidelity", rows))
 			mean := validate.MeanError(rows)
 			fmt.Printf("average fidelity difference: %.1f%% (paper: 5.1%%)\n", 100*mean)
 			failed = check("fig11-mean", mean, 0.08) || failed
 		default:
-			fmt.Fprintf(os.Stderr, "qisim-validate: unknown id %q\n", id)
-			os.Exit(2)
+			return failed, simerr.Invalidf("unknown id %q", id)
 		}
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "qisim-validate: FAILED")
-		os.Exit(1)
-	}
-	fmt.Println("qisim-validate: all validations within published accuracy bands")
+	return failed, nil
 }
 
 func check(name string, got, bound float64) bool {

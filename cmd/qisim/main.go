@@ -5,72 +5,114 @@
 //
 // Usage:
 //
-//	qisim designs                  list the named design points
-//	qisim analyze [name ...]       analyze designs (default: all)
-//	qisim sweep <name> <N ...>     per-stage utilisation at qubit counts
-//	qisim scorecard                reproduction headlines vs the paper
+//	qisim [-timeout d] [-json] designs            list the named design points
+//	qisim [-timeout d] [-json] analyze [name ...] analyze designs (default: all)
+//	qisim [-timeout d] [-json] sweep <name> <N ...>  per-stage utilisation at qubit counts
+//	qisim [-timeout d] [-json] mc [flags]         phenomenological Monte-Carlo run
+//	qisim scorecard                               reproduction headlines vs the paper
+//	qisim lattice <design> <d>                    logical CNOT/memory estimate
+//
+// SIGINT/SIGTERM and -timeout cancel the run cooperatively: partial results
+// computed so far are still printed (flagged "truncated" in -json output)
+// and the process exits with code 3 (interrupted). Other failures exit with
+// the per-class codes of internal/simerr (4 invalid config, 5 numerical,
+// 6 budget infeasible, 7 unsupported QASM).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"qisim/internal/experiments"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
 	"qisim/internal/scalability"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
 	"qisim/internal/wiring"
 )
 
 func main() {
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (analyze, sweep, mc)")
+	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		os.Exit(simerr.ExitUsage)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, args, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "qisim:", err)
+		os.Exit(simerr.ExitCode(err))
+	}
+}
+
+func run(ctx context.Context, args []string, jsonOut bool) error {
 	switch args[0] {
 	case "designs":
 		for _, d := range microarch.AllDesigns() {
 			fmt.Println(d)
 		}
+		return nil
 	case "analyze":
-		analyze(args[1:])
+		return analyze(ctx, args[1:], jsonOut)
 	case "sweep":
 		if len(args) < 3 {
-			fatal("sweep requires a design name and at least one qubit count")
+			return simerr.Invalidf("sweep requires a design name and at least one qubit count")
 		}
-		sweep(args[1], args[2:])
+		return sweep(ctx, args[1], args[2:], jsonOut)
+	case "mc":
+		return mc(ctx, args[1:], jsonOut)
 	case "scorecard":
 		fmt.Print(experiments.HeadlineTable())
+		return nil
 	case "lattice":
 		if len(args) != 3 {
-			fatal("lattice requires <design> <distance>")
+			return simerr.Invalidf("lattice requires <design> <distance>")
 		}
-		latticeCmd(args[1], args[2])
+		return latticeCmd(args[1], args[2])
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(simerr.ExitUsage)
+		return nil
 	}
 }
 
 // latticeCmd estimates a logical CNOT and a 1,000-round memory on a design.
-func latticeCmd(name, distStr string) {
+func latticeCmd(name, distStr string) error {
 	d, ok := findDesign(name)
 	if !ok {
-		fatal(fmt.Sprintf("unknown design %q", name))
+		return simerr.Invalidf("unknown design %q", name)
 	}
 	dist, err := strconv.Atoi(distStr)
-	if err != nil || dist < 3 || dist%2 == 0 {
-		fatal("distance must be odd and >= 3")
+	if err != nil {
+		return simerr.Invalidf("bad distance %q", distStr)
 	}
-	layout := lattice.NewLayout(3, dist)
+	layout, err := lattice.NewLayoutChecked(3, dist)
+	if err != nil {
+		return err
+	}
 	cnot := lattice.CNOTProgram(layout, 0, 1, 2)
 	ex, err := lattice.Execute(cnot, d)
 	if err != nil {
-		fatal(err.Error())
+		return err
 	}
 	fmt.Printf("logical CNOT at d=%d on %s:\n", dist, d.Name)
 	fmt.Printf("  rounds %d, wall clock %.2f µs, p_L %.3g/patch/round, success %.8f\n",
@@ -78,48 +120,134 @@ func latticeCmd(name, distStr string) {
 	mem := lattice.MemoryProgram(lattice.NewLayout(2, dist), 1000)
 	need := lattice.RequiredDistance(mem, d, 0.99)
 	fmt.Printf("distance needed for 99%% over 1,000 memory rounds: d = %d\n", need)
+	return nil
 }
 
-func analyze(names []string) {
+func analyze(ctx context.Context, names []string, jsonOut bool) error {
 	opt := scalability.DefaultOptions()
 	var as []scalability.Analysis
+	var status simrun.Status
 	if len(names) == 0 {
-		as = scalability.AnalyzeAll(opt)
+		var err error
+		as, status, err = scalability.AnalyzeAllCtx(ctx, opt)
+		if err != nil {
+			return err
+		}
 	} else {
 		for _, n := range names {
 			d, ok := findDesign(n)
 			if !ok {
-				fatal(fmt.Sprintf("unknown design %q (see `qisim designs`)", n))
+				return simerr.Invalidf("unknown design %q (see `qisim designs`)", n)
 			}
-			as = append(as, scalability.Analyze(d, opt))
+			a, err := scalability.AnalyzeChecked(d, opt)
+			if err != nil {
+				return err
+			}
+			as = append(as, a)
 		}
 	}
-	fmt.Print(scalability.Table(as))
+	if jsonOut {
+		if err := scalability.WriteJSON(os.Stdout, as); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(scalability.Table(as))
+	}
+	return status.Err() // exit 3 with the partial table already printed
 }
 
-func sweep(name string, counts []string) {
+func sweep(ctx context.Context, name string, counts []string, jsonOut bool) error {
 	d, ok := findDesign(name)
 	if !ok {
-		fatal(fmt.Sprintf("unknown design %q", name))
+		return simerr.Invalidf("unknown design %q", name)
 	}
 	var ns []int
 	for _, c := range counts {
 		n, err := strconv.Atoi(c)
-		if err != nil || n <= 0 {
-			fatal(fmt.Sprintf("bad qubit count %q", c))
+		if err != nil {
+			return simerr.Invalidf("bad qubit count %q", c)
 		}
 		ns = append(ns, n)
 	}
-	pts := scalability.Sweep(d, ns, scalability.DefaultOptions())
-	fmt.Printf("%10s %10s %10s %10s %12s %12s %9s\n", "qubits", "4K", "100mK", "20mK", "p_L", "target", "feasible")
-	for _, p := range pts {
-		fmt.Printf("%10d %9.1f%% %9.1f%% %9.1f%% %12.3g %12.3g %9v\n",
-			p.Qubits,
-			100*p.Utilization[wiring.Stage4K],
-			100*p.Utilization[wiring.Stage100mK],
-			100*p.Utilization[wiring.Stage20mK],
-			p.LogicalError, p.Target, p.Feasible)
+	res, err := scalability.SweepCtx(ctx, d, ns, scalability.DefaultOptions())
+	if err != nil {
+		return err
 	}
+	if jsonOut {
+		if err := emitJSON(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("%10s %10s %10s %10s %12s %12s %9s\n", "qubits", "4K", "100mK", "20mK", "p_L", "target", "feasible")
+		for _, p := range res.Points {
+			fmt.Printf("%10d %9.1f%% %9.1f%% %9.1f%% %12.3g %12.3g %9v\n",
+				p.Qubits,
+				100*p.Utilization[wiring.Stage4K],
+				100*p.Utilization[wiring.Stage100mK],
+				100*p.Utilization[wiring.Stage20mK],
+				p.LogicalError, p.Target, p.Feasible)
+		}
+		if res.Status.Truncated {
+			fmt.Printf("(truncated after %d/%d points)\n", res.Status.Completed, res.Status.Requested)
+		}
+	}
+	return res.Status.Err()
+}
+
+// mc runs the phenomenological surface-code Monte-Carlo decoder with full
+// cancellation support — the CLI face of the context-aware simulation layer.
+// On SIGINT or timeout it emits the partial estimate (valid JSON with
+// status.truncated=true under -json) and exits with code 3.
+func mc(ctx context.Context, args []string, jsonOut bool) error {
+	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
+	d := fs.Int("d", 11, "code distance (odd, >= 3)")
+	p := fs.Float64("p", 0.005, "data error probability per round")
+	q := fs.Float64("q", 0.005, "measurement error probability per round")
+	rounds := fs.Int("rounds", 0, "syndrome rounds (0 = d rounds)")
+	shots := fs.Int("shots", 200000, "shot budget")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	relSE := fs.Float64("rel-se", 0, "convergence target: stop once the relative std-err drops below this (0 = run full budget)")
+	if err := fs.Parse(args); err != nil {
+		return simerr.Invalidf("mc: %v", err)
+	}
+	r := *rounds
+	if r == 0 {
+		r = *d
+	}
+	res, err := surface.MonteCarloPhenomenologicalCtx(ctx, *d, *p, *q, r, *shots, *seed,
+		simrun.Options{TargetRelStdErr: *relSE})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := struct {
+			Distance int     `json:"distance"`
+			P        float64 `json:"p"`
+			Q        float64 `json:"q"`
+			Rounds   int     `json:"rounds"`
+			Rate     float64 `json:"logical_error_rate"`
+			surface.DecoderResult
+		}{*d, *p, *q, r, res.Rate(), res}
+		if err := emitJSON(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("d=%d p=%g q=%g rounds=%d: p_L = %.4g (%d failures / %d shots)\n",
+			*d, *p, *q, r, res.Rate(), res.Failures, res.Shots)
+		if res.Status.Truncated {
+			fmt.Printf("(truncated: %s after %d/%d shots — partial estimate)\n",
+				res.Status.StopReason, res.Status.Completed, res.Status.Requested)
+		} else if res.Status.Converged {
+			fmt.Printf("(converged after %d/%d shots)\n", res.Status.Completed, res.Status.Requested)
+		}
+	}
+	return res.Status.Err()
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func findDesign(name string) (microarch.Design, bool) {
@@ -134,14 +262,14 @@ func findDesign(name string) (microarch.Design, bool) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `qisim — QCI scalability analysis (QIsim reproduction)
 
-  qisim designs                  list the named design points
-  qisim analyze [name ...]       analyze designs (default: all)
-  qisim sweep <name> <N ...>     per-stage utilisation at qubit counts
-  qisim scorecard                reproduction headlines vs the paper
-  qisim lattice <design> <d>     logical CNOT/memory estimate on a design`)
-}
+  qisim [-timeout d] [-json] designs             list the named design points
+  qisim [-timeout d] [-json] analyze [name ...]  analyze designs (default: all)
+  qisim [-timeout d] [-json] sweep <name> <N ...> per-stage utilisation at qubit counts
+  qisim [-timeout d] [-json] mc [flags]          phenomenological MC decoder run
+  qisim scorecard                                reproduction headlines vs the paper
+  qisim lattice <design> <d>                     logical CNOT/memory estimate on a design
 
-func fatal(msg string) {
-	fmt.Fprintln(os.Stderr, "qisim:", msg)
-	os.Exit(1)
+SIGINT or -timeout cancels cooperatively: partial results are printed
+(flagged truncated in -json) and the exit code is 3. Error-class exit codes:
+4 invalid config, 5 numerical, 6 budget infeasible, 7 unsupported QASM.`)
 }

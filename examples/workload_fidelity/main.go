@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
@@ -28,7 +29,12 @@ func main() {
 	for _, b := range workloads.Names() {
 		fmt.Printf("%-14s", b)
 		for _, m := range machines {
-			fmt.Printf(" %14.4f", validate.ModelFidelity(m, b, sizes[b]))
+			f, err := validate.ModelFidelity(m, b, sizes[b])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "workload_fidelity: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %14.4f", f)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,128 @@
+package cmath
+
+import (
+	"math"
+
+	"qisim/internal/simerr"
+)
+
+// This file adds the NaN/Inf sentinels of the robustness layer: cmath keeps
+// hot-path panics for programmer errors (shape mismatches), but numerical
+// corruption — NaN or Inf appearing in a kernel's input or output — must be
+// caught where it originates and surfaced as a typed ErrNumerical instead of
+// poisoning every downstream fidelity and power figure. The *Checked
+// variants wrap the three kernels the error models depend on (Expm, EigenH,
+// AverageGateFidelity); the predicates are cheap enough to call anywhere.
+
+// IsFinite reports whether every entry of the matrix is finite (no NaN/Inf
+// in either component).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.Data {
+		if !finiteC(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func finiteC(v complex128) bool {
+	return !math.IsNaN(real(v)) && !math.IsInf(real(v), 0) &&
+		!math.IsNaN(imag(v)) && !math.IsInf(imag(v), 0)
+}
+
+// CheckFinite returns a typed ErrNumerical naming op when the matrix
+// contains a NaN/Inf entry, nil otherwise.
+func CheckFinite(op string, m *Matrix) error {
+	if m == nil {
+		return simerr.Numericalf("cmath: %s: nil matrix", op)
+	}
+	for i, v := range m.Data {
+		if !finiteC(v) {
+			return simerr.Numericalf("cmath: %s: non-finite entry (%v) at [%d,%d]",
+				op, v, i/m.Cols, i%m.Cols)
+		}
+	}
+	return nil
+}
+
+// CheckFiniteVec is CheckFinite for state vectors.
+func CheckFiniteVec(op string, v []complex128) error {
+	for i, x := range v {
+		if !finiteC(x) {
+			return simerr.Numericalf("cmath: %s: non-finite amplitude (%v) at [%d]", op, x, i)
+		}
+	}
+	return nil
+}
+
+// CheckFiniteScalar is CheckFinite for real scalars (fidelities, error
+// rates, power figures).
+func CheckFiniteScalar(op string, x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return simerr.Numericalf("cmath: %s: non-finite value %v", op, x)
+	}
+	return nil
+}
+
+// ExpmChecked is Expm with NaN/Inf sentinels on both sides: corrupted input
+// (e.g. a NaN pulse sample folded into a Hamiltonian) and any overflow the
+// scaling-and-squaring loop produces surface as ErrNumerical.
+func ExpmChecked(m *Matrix) (*Matrix, error) {
+	if !m.IsSquare() {
+		return nil, simerr.Invalidf("cmath: Expm of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	if err := CheckFinite("Expm input", m); err != nil {
+		return nil, err
+	}
+	out := Expm(m)
+	if err := CheckFinite("Expm output", out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EigenHChecked is EigenH with NaN/Inf sentinels on the input matrix and the
+// returned spectrum.
+func EigenHChecked(h *Matrix) ([]float64, *Matrix, error) {
+	if !h.IsSquare() {
+		return nil, nil, simerr.Invalidf("cmath: EigenH of non-square %dx%d matrix", h.Rows, h.Cols)
+	}
+	if err := CheckFinite("EigenH input", h); err != nil {
+		return nil, nil, err
+	}
+	vals, vecs := EigenH(h)
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, simerr.Numericalf("cmath: EigenH: non-finite eigenvalue %v at [%d]", v, i)
+		}
+	}
+	if err := CheckFinite("EigenH eigenvectors", vecs); err != nil {
+		return nil, nil, err
+	}
+	return vals, vecs, nil
+}
+
+// AverageGateFidelityChecked is AverageGateFidelity with sentinels: the
+// operands must be finite and the fidelity must land in [0, 1] (within a
+// small tolerance for sub-unitary leakage round-off).
+func AverageGateFidelityChecked(ideal, actual *Matrix) (float64, error) {
+	if ideal.Rows != actual.Rows || ideal.Cols != actual.Cols || !ideal.IsSquare() {
+		return 0, simerr.Invalidf("cmath: AverageGateFidelity shape mismatch %dx%d vs %dx%d",
+			ideal.Rows, ideal.Cols, actual.Rows, actual.Cols)
+	}
+	if err := CheckFinite("AverageGateFidelity ideal", ideal); err != nil {
+		return 0, err
+	}
+	if err := CheckFinite("AverageGateFidelity actual", actual); err != nil {
+		return 0, err
+	}
+	f := AverageGateFidelity(ideal, actual)
+	if err := CheckFiniteScalar("AverageGateFidelity", f); err != nil {
+		return 0, err
+	}
+	const tol = 1e-9
+	if f < -tol || f > 1+tol {
+		return 0, simerr.Numericalf("cmath: AverageGateFidelity %v outside [0,1]", f)
+	}
+	return f, nil
+}

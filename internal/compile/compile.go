@@ -10,6 +10,7 @@ import (
 
 	"qisim/internal/phys"
 	"qisim/internal/qasm"
+	"qisim/internal/simerr"
 )
 
 // Kind classifies instructions for the simulator and the power model.
@@ -80,9 +81,16 @@ func DefaultOptions() Options {
 
 var zFamily = map[string]bool{"z": true, "s": true, "sdg": true, "t": true, "tdg": true, "rz": true}
 
-// Compile lowers a program.
-func Compile(p *qasm.Program, opt Options) (*Executable, error) {
-	ex := &Executable{NQubits: p.NQubits, Queues: make([][]Instr, p.NQubits)}
+// Compile lowers a program. Corrupted instruction streams — out-of-range
+// qubit indices, wrong arity, non-finite parameters — are rejected with a
+// typed ErrInvalidConfig before lowering; no input program can make Compile
+// panic.
+func Compile(p *qasm.Program, opt Options) (ex *Executable, err error) {
+	defer simerr.RecoverInto(&err, simerr.ErrInvalidConfig)
+	if verr := p.Validate(); verr != nil {
+		return nil, verr
+	}
+	ex = &Executable{NQubits: p.NQubits, Queues: make([][]Instr, p.NQubits)}
 	ro := opt.Specs.Readout.Latency
 	if opt.ReadoutTime > 0 {
 		ro = opt.ReadoutTime

@@ -21,19 +21,24 @@ import (
 
 // Ablations runs the design-choice studies behind the eight optimisations
 // and returns one combined report. Individual studies are exported for the
-// tests and benchmarks.
-func Ablations() string {
+// tests and benchmarks. A pipeline failure in any study aborts the suite
+// with a wrapped error rather than a panic.
+func Ablations() (string, error) {
 	var b strings.Builder
 	b.WriteString(AblationDRAG())
 	b.WriteString(AblationCZShape())
 	b.WriteString(AblationIQBits())
 	b.WriteString(AblationMultiRoundRange())
 	b.WriteString(AblationFDM())
-	b.WriteString(AblationBS())
+	bs, err := AblationBS()
+	if err != nil {
+		return "", fmt.Errorf("experiments: ablation suite: %w", err)
+	}
+	b.WriteString(bs)
 	b.WriteString(AblationSharing())
 	b.WriteString(AblationBottomUp())
 	b.WriteString(AblationLinkEnergy())
-	return b.String()
+	return b.String(), nil
 }
 
 // AblationDRAG quantifies the DRAG quadrature's effect on leakage.
@@ -118,8 +123,9 @@ func AblationFDM() string {
 }
 
 // AblationBS sweeps #BS through the cycle-accurate simulator on real ESM —
-// the Opt-#5 evidence.
-func AblationBS() string {
+// the Opt-#5 evidence. Compile or simulation failures surface as wrapped
+// errors instead of panics.
+func AblationBS() (string, error) {
 	patch := surface.NewPatch(7)
 	prog := &qasm.Program{NQubits: patch.TotalQubits()}
 	c := 0
@@ -137,7 +143,7 @@ func AblationBS() string {
 	prog.NClbits = c
 	ex, err := compile.Compile(prog, compile.DefaultOptions())
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("experiments: AblationBS compile ESM circuit: %w", err)
 	}
 	dev := sfq.MITLLSFQ5ee(sfq.RSFQ)
 	var b strings.Builder
@@ -146,7 +152,7 @@ func AblationBS() string {
 	for _, bs := range []int{1, 2, 4, 8} {
 		r, err := cyclesim.Run(ex, cyclesim.SFQConfig(bs))
 		if err != nil {
-			panic(err)
+			return "", fmt.Errorf("experiments: AblationBS simulate #BS=%d: %w", bs, err)
 		}
 		spec := sfq.DefaultDriveSpec()
 		spec.BS = bs
@@ -155,7 +161,7 @@ func AblationBS() string {
 		fmt.Fprintf(&b, "%5d %9.0f ns %13.2f mW\n", bs, r.TotalTime*1e9, p*1e3)
 	}
 	b.WriteString("→ ESM time is #BS-independent (broadcast), so #BS=1 is free (Opt-#5)\n\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // AblationSharing sweeps the JPM readout sharing degree beyond the paper's 8.

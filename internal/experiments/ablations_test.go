@@ -6,7 +6,10 @@ import (
 )
 
 func TestAblationsRun(t *testing.T) {
-	s := Ablations()
+	s, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, marker := range []string{"DRAG", "CZ pulse shape", "IQ precision", "decision range",
 		"FDM degree", "#BS", "sharing degree", "link energy"} {
 		if !strings.Contains(s, marker) {
@@ -30,7 +33,10 @@ func TestAblationIQBitsShowsSaturation(t *testing.T) {
 }
 
 func TestAblationBSTimeIndependent(t *testing.T) {
-	s := AblationBS()
+	s, err := AblationBS()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(s, "#BS=1 is free") {
 		t.Fatalf("missing Opt-#5 conclusion:\n%s", s)
 	}

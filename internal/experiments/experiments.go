@@ -46,7 +46,10 @@ func Run(id string) (string, error) {
 	case "table1":
 		return validate.Report("Table 1 — gate error-rate validation", validate.Table1GateErrors()), nil
 	case "fig11":
-		rows := validate.Fig11Workloads()
+		rows, err := validate.Fig11Workloads()
+		if err != nil {
+			return "", fmt.Errorf("experiments: fig11: %w", err)
+		}
 		return validate.Report("Fig. 11 — workload-level fidelity validation", rows) +
 			fmt.Sprintf("average fidelity difference: %.1f%% (paper: 5.1%%)\n", 100*validate.MeanError(rows)), nil
 	case "table2":
@@ -72,7 +75,7 @@ func Run(id string) (string, error) {
 	case "table3":
 		return Table3(), nil
 	case "ablations":
-		return Ablations(), nil
+		return Ablations()
 	case "section7.3":
 		return Section73(), nil
 	case "features":

@@ -1,0 +1,302 @@
+// Package faultinject is the deterministic fault-injection harness of the
+// robustness layer: each Scenario corrupts one input of the simulation
+// pipeline — NaN pulse samples, corrupted instruction streams, exhausted
+// shot budgets, forced non-convergence — and records what the public API
+// surfaced. The contract under test: every injected fault must come back as
+// a typed error (matched with errors.Is against the simerr sentinels) or as
+// a flagged partial result (Status.Truncated / !Status.Converged) — never a
+// panic, a hang, or silent numerical garbage.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"qisim/internal/cmath"
+	"qisim/internal/compile"
+	"qisim/internal/ham"
+	"qisim/internal/lattice"
+	"qisim/internal/microarch"
+	"qisim/internal/pauli"
+	"qisim/internal/pulse"
+	"qisim/internal/qasm"
+	"qisim/internal/readout"
+	"qisim/internal/scalability"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
+	"qisim/internal/workloads"
+)
+
+// Outcome is what one fault scenario surfaced at its public boundary.
+type Outcome struct {
+	// Err is the typed error surfaced (nil when the fault surfaced as a
+	// flagged result instead).
+	Err error
+	// Status is the run status of context-aware scenarios (zero value when
+	// the scenario fails before a run starts).
+	Status simrun.Status
+	// Detail describes what came back, for the suite's failure messages.
+	Detail string
+}
+
+// Scenario is one deterministic fault-injection case.
+type Scenario struct {
+	// Name identifies the scenario in test output.
+	Name string
+	// Class is the simerr sentinel the fault must surface as. Nil means the
+	// fault must surface as a flagged result (see WantTruncated /
+	// WantUnconverged) with a nil error.
+	Class error
+	// WantTruncated marks scenarios that must return a flagged partial
+	// result (Status.Truncated).
+	WantTruncated bool
+	// WantUnconverged marks scenarios that must exhaust their budget
+	// without satisfying the convergence guard (Status.Converged false with
+	// a convergence target set).
+	WantUnconverged bool
+	// Run injects the fault and reports the outcome.
+	Run func() Outcome
+}
+
+// Check executes one scenario with a panic backstop and verifies the
+// outcome against the scenario's expectation. A non-nil returned error is a
+// contract violation: a panic escaped a public API, a fault was classified
+// wrongly, or a partial result was not flagged.
+func Check(s Scenario) (out Outcome, verdict error) {
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				verdict = fmt.Errorf("faultinject %s: panic escaped public API: %v", s.Name, r)
+			}
+		}()
+		out = s.Run()
+	}()
+	if panicked {
+		return out, verdict
+	}
+	if s.Class != nil {
+		if !errors.Is(out.Err, s.Class) {
+			return out, fmt.Errorf("faultinject %s: want error class %v, got %v (%s)",
+				s.Name, s.Class, out.Err, out.Detail)
+		}
+		return out, nil
+	}
+	if out.Err != nil {
+		return out, fmt.Errorf("faultinject %s: want flagged result, got error %v", s.Name, out.Err)
+	}
+	if s.WantTruncated && !out.Status.Truncated {
+		return out, fmt.Errorf("faultinject %s: partial result not flagged Truncated (status %+v)",
+			s.Name, out.Status)
+	}
+	if s.WantUnconverged && out.Status.Converged {
+		return out, fmt.Errorf("faultinject %s: run reported convergence it cannot have reached (status %+v)",
+			s.Name, out.Status)
+	}
+	return out, nil
+}
+
+// canceledCtx returns an already-canceled context: the deterministic
+// analogue of "the deadline fired mid-sweep".
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// Scenarios returns the deterministic fault-injection suite. Every scenario
+// is reproducible: no timers, no goroutines, no real signals — cancellation
+// is injected with pre-canceled contexts and corruption with explicit NaNs.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// (a) Numerical corruption: a NaN sample injected into a drive
+			// pulse must be caught by the cmath sentinels after Hamiltonian
+			// evolution, not propagate into a garbage fidelity.
+			Name:  "nan-pulse-sample",
+			Class: simerr.ErrNumerical,
+			Run: func() Outcome {
+				const n = 32
+				gateTime := 25e-9
+				ts := gateTime / n
+				amps := pulse.Samples(pulse.CosineEnvelope{}, n, gateTime)
+				amps[n/2] = math.NaN() // the injected fault
+				d := ham.NewDrivenTransmon(3, 0, 2*math.Pi*-240e6, 2*math.Pi*25e6)
+				hs := make([]*cmath.Matrix, n)
+				for k := 0; k < n; k++ {
+					hs[k] = d.Hamiltonian(amps[k], 0)
+				}
+				u := ham.EvolveSamples(hs, ts)
+				err := cmath.CheckFinite("pulse-driven propagator", u)
+				return Outcome{Err: err, Detail: "NaN drive sample through 3-level evolution"}
+			},
+		},
+		{
+			// (a') The same corruption at the Expm boundary: the checked
+			// kernel must reject a non-finite generator up front.
+			Name:  "nan-hamiltonian-expm",
+			Class: simerr.ErrNumerical,
+			Run: func() Outcome {
+				h := cmath.NewMatrix(2, 2)
+				h.Data[0] = complex(math.NaN(), 0)
+				_, err := cmath.ExpmChecked(h)
+				return Outcome{Err: err, Detail: "NaN generator into ExpmChecked"}
+			},
+		},
+		{
+			// (a'') A corrupted Kraus operator must be rejected before the
+			// trajectory sampler averages it into a fidelity.
+			Name:  "nan-kraus-operator",
+			Class: simerr.ErrNumerical,
+			Run: func() Outcome {
+				c := pauli.DecoherenceChannel(25e-9, 280e-6, 175e-6)
+				c.Ops[0].Data[0] = complex(math.Inf(1), 0) // the injected fault
+				res, err := pauli.TrajectoryAverageFidelityCtx(context.Background(), c, 256, 7, simrun.Options{})
+				return Outcome{Err: err, Status: res.Status, Detail: "Inf Kraus entry into trajectory MC"}
+			},
+		},
+		{
+			// (b) Corrupted instruction stream, textual form: garbage QASM
+			// must come back as ErrUnsupportedQASM from Parse.
+			Name:  "corrupted-qasm-source",
+			Class: simerr.ErrUnsupportedQASM,
+			Run: func() Outcome {
+				_, err := qasm.Parse("OPENQASM 2.0;\nqreg q[4];\nfrobnicate q[0], q[99;\n")
+				return Outcome{Err: err, Detail: "malformed statement into Parse"}
+			},
+		},
+		{
+			// (b') Corrupted instruction stream, programmatic form: an
+			// out-of-range qubit index built directly into a Program must be
+			// rejected by the compiler's Validate boundary, not crash the
+			// queue indexing.
+			Name:  "corrupted-instruction-stream",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				p := &qasm.Program{NQubits: 4, NClbits: 4}
+				p.Gates = append(p.Gates,
+					qasm.Gate{Name: "h", Qubits: []int{0}, CBit: -1},
+					qasm.Gate{Name: "cx", Qubits: []int{0, 17}, CBit: -1}, // the injected fault
+				)
+				_, err := compile.Compile(p, compile.DefaultOptions())
+				return Outcome{Err: err, Detail: "qubit 17 in a 4-qubit program"}
+			},
+		},
+		{
+			// (b'') NaN gate parameter: structural validation must catch a
+			// non-finite rotation angle before it reaches pulse generation.
+			Name:  "nan-gate-parameter",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				p := &qasm.Program{NQubits: 2, NClbits: 2}
+				p.Gates = append(p.Gates,
+					qasm.Gate{Name: "rz", Qubits: []int{0}, Params: []float64{math.NaN()}, CBit: -1})
+				_, err := compile.Compile(p, compile.DefaultOptions())
+				return Outcome{Err: err, Detail: "NaN rz angle into Compile"}
+			},
+		},
+		{
+			// Undersized workload instance: the generator boundary must
+			// return a typed error instead of producing a panic deep in a
+			// generator loop.
+			Name:  "undersized-workload",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				_, err := workloads.Generate("adder", 1)
+				return Outcome{Err: err, Detail: "adder(1) below its 3-qubit minimum"}
+			},
+		},
+		{
+			// Invalid lattice request through the checked constructor.
+			Name:  "invalid-lattice-layout",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				_, err := lattice.NewLayoutChecked(0, 7)
+				return Outcome{Err: err, Detail: "zero logical qubits into NewLayoutChecked"}
+			},
+		},
+		{
+			// (c) Budget exhaustion mid-decode: a canceled context during a
+			// phenomenological Monte-Carlo run must yield a flagged partial
+			// result, not a thrown-away run or an error.
+			Name:          "canceled-decoder-mc",
+			WantTruncated: true,
+			Run: func() Outcome {
+				res, err := surface.MonteCarloPhenomenologicalCtx(
+					canceledCtx(), 5, 0.02, 0.02, 5, 20000, 11, simrun.Options{CheckEvery: 1})
+				return Outcome{Err: err, Status: res.Status,
+					Detail: fmt.Sprintf("completed %d/%d shots", res.Status.Completed, res.Status.Requested)}
+			},
+		},
+		{
+			// (c') The same exhaustion inside a scalability sweep: the
+			// points already computed must survive, flagged Truncated.
+			Name:          "canceled-scalability-sweep",
+			WantTruncated: true,
+			Run: func() Outcome {
+				d := microarch.AllDesigns()[0]
+				res, err := scalability.SweepCtx(canceledCtx(), d,
+					[]int{100, 1000, 10000}, scalability.DefaultOptions())
+				return Outcome{Err: err, Status: res.Status,
+					Detail: fmt.Sprintf("kept %d sweep points", len(res.Points))}
+			},
+		},
+		{
+			// (c'') An infeasible convergence floor — MinShots above the
+			// capped budget — must be rejected as ErrBudgetInfeasible before
+			// any shots are spent.
+			Name:  "infeasible-shot-budget",
+			Class: simerr.ErrBudgetInfeasible,
+			Run: func() Outcome {
+				_, err := surface.MonteCarloLogicalErrorCtx(
+					context.Background(), 3, 0.01, 10000, 3,
+					simrun.Options{MaxShots: 100, MinShots: 5000, TargetRelStdErr: 0.1})
+				return Outcome{Err: err, Detail: "MinShots 5000 against a 100-shot cap"}
+			},
+		},
+		{
+			// (d) Forced non-convergence: a zero-error-rate channel never
+			// produces a failure event, so the relative-standard-error guard
+			// can never fire; the run must exhaust its budget and report
+			// Converged=false rather than spin forever or claim success.
+			Name:            "forced-non-convergence",
+			WantUnconverged: true,
+			Run: func() Outcome {
+				res, err := surface.MonteCarloLogicalErrorCtx(
+					context.Background(), 3, 0, 2000, 5,
+					simrun.Options{TargetRelStdErr: 0.05, MinShots: 100, CheckEvery: 50})
+				return Outcome{Err: err, Status: res.Status,
+					Detail: fmt.Sprintf("stop reason %q after %d shots", res.Status.StopReason, res.Status.Completed)}
+			},
+		},
+		{
+			// Invalid scalability options: an even code distance is a
+			// configuration fault, typed accordingly.
+			Name:  "invalid-scalability-distance",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				opt := scalability.DefaultOptions()
+				opt.Distance = 4 // the injected fault
+				_, err := scalability.AnalyzeChecked(microarch.AllDesigns()[0], opt)
+				return Outcome{Err: err, Detail: "even distance into AnalyzeChecked"}
+			},
+		},
+		{
+			// Corrupted readout configuration: a negative decision range is
+			// rejected by the multi-round boundary.
+			Name:  "invalid-readout-range",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				cfg := readout.DefaultMultiRoundConfig()
+				cfg.Range = math.NaN() // the injected fault
+				_, err := readout.MultiRoundErrorCtx(context.Background(),
+					readout.DefaultChain(), readout.DefaultTiming(), cfg, simrun.Options{})
+				return Outcome{Err: err, Detail: "NaN decision range into MultiRoundErrorCtx"}
+			},
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"qisim/internal/simerr"
+)
+
+// TestFaultSuite is the acceptance gate of the robustness layer: every
+// injected fault must surface as a typed error or a flagged partial result,
+// never a panic, a hang, or silent garbage. Check converts escaping panics
+// and misclassified faults into test failures.
+func TestFaultSuite(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			out, verdict := Check(s)
+			if verdict != nil {
+				t.Fatal(verdict)
+			}
+			t.Logf("%s: err=%v status=%+v (%s)", s.Name, out.Err, out.Status, out.Detail)
+		})
+	}
+}
+
+// TestFaultSuiteCoversEveryErrorClass pins the suite's breadth: each simerr
+// sentinel (and both flagged-result modes) must be exercised by at least one
+// scenario, so a future edit cannot silently drop a fault family.
+func TestFaultSuiteCoversEveryErrorClass(t *testing.T) {
+	classes := map[error]bool{
+		simerr.ErrInvalidConfig:    false,
+		simerr.ErrNumerical:        false,
+		simerr.ErrBudgetInfeasible: false,
+		simerr.ErrUnsupportedQASM:  false,
+	}
+	truncated, unconverged := false, false
+	for _, s := range Scenarios() {
+		for class := range classes {
+			if s.Class != nil && errors.Is(s.Class, class) {
+				classes[class] = true
+			}
+		}
+		truncated = truncated || s.WantTruncated
+		unconverged = unconverged || s.WantUnconverged
+	}
+	for class, seen := range classes {
+		if !seen {
+			t.Errorf("no scenario exercises error class %v", class)
+		}
+	}
+	if !truncated {
+		t.Error("no scenario exercises the flagged-partial-result path")
+	}
+	if !unconverged {
+		t.Error("no scenario exercises the forced-non-convergence path")
+	}
+}
+
+// TestCheckRejectsEscapedPanic proves the harness itself catches panics: a
+// scenario that panics must produce a verdict, not crash the suite.
+func TestCheckRejectsEscapedPanic(t *testing.T) {
+	s := Scenario{
+		Name:  "deliberate-panic",
+		Class: simerr.ErrInvalidConfig,
+		Run:   func() Outcome { panic("boom") },
+	}
+	if _, verdict := Check(s); verdict == nil {
+		t.Fatal("Check must convert an escaped panic into a failing verdict")
+	}
+}
+
+// TestCheckRejectsMisclassification proves Check catches wrongly classed
+// faults and unflagged partial results.
+func TestCheckRejectsMisclassification(t *testing.T) {
+	wrongClass := Scenario{
+		Name:  "wrong-class",
+		Class: simerr.ErrNumerical,
+		Run:   func() Outcome { return Outcome{Err: simerr.Invalidf("not numerical")} },
+	}
+	if _, verdict := Check(wrongClass); verdict == nil {
+		t.Fatal("Check must reject a misclassified fault")
+	}
+	unflagged := Scenario{
+		Name:          "unflagged-partial",
+		WantTruncated: true,
+		Run:           func() Outcome { return Outcome{} },
+	}
+	if _, verdict := Check(unflagged); verdict == nil {
+		t.Fatal("Check must reject an unflagged partial result")
+	}
+}

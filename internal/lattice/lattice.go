@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"qisim/internal/simerr"
 	"qisim/internal/surface"
 )
 
@@ -26,7 +27,22 @@ type Layout struct {
 	Rows, Cols int
 }
 
+// NewLayoutChecked is the erroring boundary over NewLayout: invalid logical
+// qubit counts or code distances return a typed ErrInvalidConfig instead of
+// panicking.
+func NewLayoutChecked(n, d int) (Layout, error) {
+	if n < 1 {
+		return Layout{}, simerr.Invalidf("lattice: need at least one logical qubit, got %d", n)
+	}
+	if d < 3 || d%2 == 0 {
+		return Layout{}, simerr.Invalidf("lattice: code distance must be odd and >= 3, got %d", d)
+	}
+	return NewLayout(n, d), nil
+}
+
 // NewLayout builds a layout for at least n logical qubits at distance d.
+// It panics on n < 1; callers handling untrusted input should use
+// NewLayoutChecked.
 func NewLayout(n, d int) Layout {
 	if n < 1 {
 		panic("lattice: need at least one logical qubit")

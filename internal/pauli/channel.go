@@ -1,10 +1,13 @@
 package pauli
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"qisim/internal/cmath"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
 // KrausChannel is a completely positive map given by Kraus operators.
@@ -95,10 +98,43 @@ func AverageChannelFidelity(c KrausChannel) float64 {
 // TrajectoryAverageFidelity estimates the same quantity by Monte-Carlo
 // quantum trajectories: sampling a Kraus outcome per shot.
 func TrajectoryAverageFidelity(c KrausChannel, shots int, seed int64) float64 {
+	res, err := TrajectoryAverageFidelityCtx(context.Background(), c, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res.Fidelity
+}
+
+// TrajectoryResult is a context-aware trajectory-MC outcome: Fidelity is the
+// mean over the completed shots; Status flags truncation.
+type TrajectoryResult struct {
+	Fidelity float64       `json:"fidelity"`
+	Status   simrun.Status `json:"status"`
+}
+
+// TrajectoryAverageFidelityCtx is the context-aware trajectory MC:
+// cancellation stops the shot loop and returns the best-so-far mean fidelity
+// over the completed shots, flagged Truncated. Non-finite fidelity
+// accumulation (a corrupted Kraus operator) surfaces as ErrNumerical rather
+// than a silent garbage number.
+func TrajectoryAverageFidelityCtx(ctx context.Context, c KrausChannel, shots int, seed int64, opt simrun.Options) (TrajectoryResult, error) {
+	if len(c.Ops) == 0 {
+		return TrajectoryResult{}, simerr.Invalidf("pauli: channel has no Kraus operators")
+	}
+	for i, k := range c.Ops {
+		if !k.IsFinite() {
+			return TrajectoryResult{}, simerr.Numericalf("pauli: Kraus operator %d contains NaN/Inf", i)
+		}
+	}
+	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	if gerr != nil {
+		return TrajectoryResult{}, gerr
+	}
 	rng := rand.New(rand.NewSource(seed))
 	states := cardinalStates()
 	var sum float64
-	for s := 0; s < shots; s++ {
+	s := 0
+	for ; g.Continue(s); s++ {
 		psi := states[s%len(states)]
 		// Outcome probabilities p_k = ⟨ψ|K†K|ψ⟩.
 		r := rng.Float64()
@@ -118,7 +154,14 @@ func TrajectoryAverageFidelity(c KrausChannel, shots int, seed int64) float64 {
 			}
 		}
 	}
-	return sum / float64(shots)
+	if err := cmath.CheckFiniteScalar("TrajectoryAverageFidelity sum", sum); err != nil {
+		return TrajectoryResult{}, err
+	}
+	res := TrajectoryResult{Status: g.Status(s)}
+	if s > 0 {
+		res.Fidelity = sum / float64(s)
+	}
+	return res, nil
 }
 
 func outer(psi []complex128) *cmath.Matrix {

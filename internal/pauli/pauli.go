@@ -8,11 +8,14 @@
 package pauli
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
 // ErrorRates carries the physical error rates of a machine or QCI model.
@@ -100,12 +103,39 @@ func ESP(res *cyclesim.Result, cfg Config) float64 {
 // to ESP with shot count and provides the hook for correlated-error
 // extensions).
 func MonteCarlo(res *cyclesim.Result, cfg Config) float64 {
+	mc, err := MonteCarloCtx(context.Background(), res, cfg, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return mc.Fidelity
+}
+
+// MCResult is the context-aware Monte-Carlo outcome: Fidelity is the success
+// fraction over the completed shots; Status flags truncation/convergence.
+type MCResult struct {
+	Fidelity  float64       `json:"fidelity"`
+	Successes int           `json:"successes"`
+	Status    simrun.Status `json:"status"`
+}
+
+// MonteCarloCtx is the context-aware Pauli-event Monte-Carlo: cancellation
+// stops the shot loop at the next check interval and returns the partial,
+// Truncated-flagged success fraction; opt can enable the standard-error
+// convergence guard (on the failure count).
+func MonteCarloCtx(ctx context.Context, res *cyclesim.Result, cfg Config, opt simrun.Options) (MCResult, error) {
+	if res == nil {
+		return MCResult{}, simerr.Invalidf("pauli: nil cyclesim result")
+	}
 	if cfg.Shots <= 0 {
 		cfg.Shots = 4000
 	}
 	period := cfg.DecoherencePeriod
 	if period <= 0 {
 		period = 100e-9
+	}
+	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
+	if gerr != nil {
+		return MCResult{}, gerr
 	}
 	pp := cfg.Rates.DecoherenceError(period)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -115,7 +145,8 @@ func MonteCarlo(res *cyclesim.Result, cfg Config) float64 {
 	for q := 0; q < len(res.QubitBusy); q++ {
 		idleIDs += int(res.IdleTime(q) / period)
 	}
-	for s := 0; s < cfg.Shots; s++ {
+	s := 0
+	for ; g.ContinueBinomial(s, s-success); s++ {
 		ok := true
 		for _, op := range res.Ops {
 			if p := cfg.Rates.GateError(op.Instr); p > 0 && rng.Float64() < p {
@@ -135,7 +166,11 @@ func MonteCarlo(res *cyclesim.Result, cfg Config) float64 {
 			success++
 		}
 	}
-	return float64(success) / float64(cfg.Shots)
+	out := MCResult{Successes: success, Status: g.Status(s)}
+	if s > 0 {
+		out.Fidelity = float64(success) / float64(s)
+	}
+	return out, nil
 }
 
 func clamp(p float64) float64 {

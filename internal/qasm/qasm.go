@@ -9,6 +9,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"qisim/internal/simerr"
 )
 
 // Gate is one parsed operation.
@@ -27,11 +29,76 @@ type Program struct {
 	Gates   []Gate
 }
 
-// Parse parses OpenQASM 2 source.
-func Parse(src string) (*Program, error) {
+// Validate checks a (possibly programmatically built) Program for
+// structural corruption: qubit/clbit indices out of range, wrong gate arity,
+// NaN parameters. Failures are classed ErrInvalidConfig — this is the guard
+// the compiler runs before lowering an instruction stream.
+func (p *Program) Validate() error {
+	if p == nil {
+		return simerr.Invalidf("qasm: nil program")
+	}
+	if p.NQubits < 0 || p.NClbits < 0 {
+		return simerr.Invalidf("qasm: negative register size (%d qubits, %d clbits)", p.NQubits, p.NClbits)
+	}
+	for i, g := range p.Gates {
+		switch g.Name {
+		case "barrier":
+			continue
+		case "measure":
+			if len(g.Qubits) != 1 {
+				return simerr.Invalidf("qasm: gate %d: measure takes one qubit, got %d", i, len(g.Qubits))
+			}
+			if g.CBit < 0 || (p.NClbits > 0 && g.CBit >= p.NClbits) {
+				return simerr.Invalidf("qasm: gate %d: classical bit %d out of range [0,%d)", i, g.CBit, p.NClbits)
+			}
+		case "cx", "cz", "swap":
+			if len(g.Qubits) != 2 {
+				return simerr.Invalidf("qasm: gate %d: %s takes two qubits, got %d", i, g.Name, len(g.Qubits))
+			}
+			if g.Qubits[0] == g.Qubits[1] {
+				return simerr.Invalidf("qasm: gate %d: %s control equals target (%d)", i, g.Name, g.Qubits[0])
+			}
+		case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "id", "sx":
+			if len(g.Qubits) != 1 {
+				return simerr.Invalidf("qasm: gate %d: %s takes one qubit, got %d", i, g.Name, len(g.Qubits))
+			}
+		default:
+			return simerr.Invalidf("qasm: gate %d: unknown gate %q", i, g.Name)
+		}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= p.NQubits {
+				return simerr.Invalidf("qasm: gate %d (%s): qubit %d out of range [0,%d)", i, g.Name, q, p.NQubits)
+			}
+		}
+		for _, v := range g.Params {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return simerr.Invalidf("qasm: gate %d (%s): non-finite parameter %v", i, g.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse parses OpenQASM 2 source. All parse failures — malformed statements
+// as well as constructs outside the supported subset — are classed as
+// simerr.ErrUnsupportedQASM; no input can make Parse panic (enforced both by
+// the boundary recover below and by the FuzzParse target).
+func Parse(src string) (prog *Program, err error) {
+	defer simerr.RecoverInto(&err, simerr.ErrUnsupportedQASM)
+	prog, perr := parse(src)
+	if perr != nil {
+		return nil, fmt.Errorf("%w: %w", simerr.ErrUnsupportedQASM, perr)
+	}
+	return prog, nil
+}
+
+// reg records a declared register's slice of the flattened index space.
+type reg struct{ base, size int }
+
+func parse(src string) (*Program, error) {
 	p := &Program{}
-	regs := map[string]int{} // name → base offset
-	cregs := map[string]int{}
+	regs := map[string]reg{} // name → flattened slice
+	cregs := map[string]reg{}
 
 	// Strip comments, split statements on ';'.
 	var clean strings.Builder
@@ -55,14 +122,14 @@ func Parse(src string) (*Program, error) {
 			if err != nil {
 				return nil, err
 			}
-			regs[name] = p.NQubits
+			regs[name] = reg{base: p.NQubits, size: size}
 			p.NQubits += size
 		case strings.HasPrefix(stmt, "creg"):
 			name, size, err := parseReg(stmt[4:])
 			if err != nil {
 				return nil, err
 			}
-			cregs[name] = p.NClbits
+			cregs[name] = reg{base: p.NClbits, size: size}
 			p.NClbits += size
 		case strings.HasPrefix(stmt, "barrier"):
 			p.Gates = append(p.Gates, Gate{Name: "barrier", CBit: -1})
@@ -97,7 +164,7 @@ func parseReg(s string) (string, int, error) {
 	return strings.TrimSpace(s[:open]), size, nil
 }
 
-func parseMeasure(stmt string, regs, cregs map[string]int) (Gate, error) {
+func parseMeasure(stmt string, regs, cregs map[string]reg) (Gate, error) {
 	body := strings.TrimSpace(stmt[len("measure"):])
 	parts := strings.Split(body, "->")
 	if len(parts) != 2 {
@@ -114,7 +181,7 @@ func parseMeasure(stmt string, regs, cregs map[string]int) (Gate, error) {
 	return Gate{Name: "measure", Qubits: []int{q}, CBit: c}, nil
 }
 
-func parseGate(stmt string, regs map[string]int) (Gate, error) {
+func parseGate(stmt string, regs map[string]reg) (Gate, error) {
 	g := Gate{CBit: -1}
 	rest := stmt
 	// Optional parameter list.
@@ -156,19 +223,22 @@ func parseGate(stmt string, regs map[string]int) (Gate, error) {
 		if len(g.Qubits) != 2 {
 			return g, fmt.Errorf("qasm: %s takes two qubits, got %d", g.Name, len(g.Qubits))
 		}
+		if g.Qubits[0] == g.Qubits[1] {
+			return g, fmt.Errorf("qasm: %s control equals target (%d)", g.Name, g.Qubits[0])
+		}
 	default:
 		return g, fmt.Errorf("qasm: unsupported gate %q", g.Name)
 	}
 	return g, nil
 }
 
-func resolveIndex(s string, regs map[string]int) (int, error) {
+func resolveIndex(s string, regs map[string]reg) (int, error) {
 	open := strings.Index(s, "[")
 	close := strings.Index(s, "]")
 	if open < 0 || close < open {
 		return 0, fmt.Errorf("qasm: expected reg[idx], got %q", s)
 	}
-	base, ok := regs[strings.TrimSpace(s[:open])]
+	r, ok := regs[strings.TrimSpace(s[:open])]
 	if !ok {
 		return 0, fmt.Errorf("qasm: unknown register in %q", s)
 	}
@@ -176,7 +246,10 @@ func resolveIndex(s string, regs map[string]int) (int, error) {
 	if err != nil || idx < 0 {
 		return 0, fmt.Errorf("qasm: bad index in %q", s)
 	}
-	return base + idx, nil
+	if idx >= r.size {
+		return 0, fmt.Errorf("qasm: index %d out of range for %d-wide register in %q", idx, r.size, s)
+	}
+	return r.base + idx, nil
 }
 
 // evalParam evaluates the restricted parameter grammar: float literals, pi,
@@ -243,11 +316,15 @@ func splitTokens(s string) []string {
 	return out
 }
 
-// Emit renders a Program back to OpenQASM 2 source.
+// Emit renders a Program back to OpenQASM 2 source. Empty registers are
+// omitted (a `qreg q[0]` declaration would not re-parse), so Emit∘Parse is
+// a fixed point on the supported subset — the property FuzzParse enforces.
 func Emit(p *Program) string {
 	var b strings.Builder
 	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
-	fmt.Fprintf(&b, "qreg q[%d];\n", p.NQubits)
+	if p.NQubits > 0 {
+		fmt.Fprintf(&b, "qreg q[%d];\n", p.NQubits)
+	}
 	if p.NClbits > 0 {
 		fmt.Fprintf(&b, "creg c[%d];\n", p.NClbits)
 	}

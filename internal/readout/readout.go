@@ -15,8 +15,12 @@
 package readout
 
 import (
+	"context"
 	"math"
 	"math/rand"
+
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
 // Chain models the readout signal chain after demodulation: the per-sample
@@ -148,11 +152,13 @@ func DefaultMultiRoundConfig() MultiRoundConfig {
 
 // MultiRoundResult reports the sequential decision unit's performance.
 type MultiRoundResult struct {
-	Error          float64 // misclassification probability
-	MeanRounds     float64 // expected rounds used
-	MeanTime       float64 // ring-up + expected rounds (seconds)
-	FracDecidedBy3 float64 // fraction of shots decided within 3 rounds
-	Speedup        float64 // 1 - MeanTime/full-integration time
+	Error          float64 `json:"error"`            // misclassification probability
+	MeanRounds     float64 `json:"mean_rounds"`      // expected rounds used
+	MeanTime       float64 `json:"mean_time"`        // ring-up + expected rounds (seconds)
+	FracDecidedBy3 float64 `json:"frac_decided_by3"` // fraction of shots decided within 3 rounds
+	Speedup        float64 `json:"speedup"`          // 1 - MeanTime/full-integration time
+	// Status flags truncation/convergence for the context-aware entry point.
+	Status simrun.Status `json:"status"`
 }
 
 // MultiRoundError Monte-Carlo simulates the sequential test at round
@@ -160,11 +166,33 @@ type MultiRoundResult struct {
 // Normal(m(2q-1), 4mq(1-q)) for m samples with per-sample correctness q,
 // with decay events injected at exponential times.
 func MultiRoundError(c Chain, t Timing, cfg MultiRoundConfig) MultiRoundResult {
+	res, err := MultiRoundErrorCtx(context.Background(), c, t, cfg, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res
+}
+
+// MultiRoundErrorCtx is the context-aware MultiRoundError: cancellation
+// stops the shot loop at the next check interval and returns the partial,
+// Truncated-flagged statistics over the completed shots.
+func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundConfig, opt simrun.Options) (MultiRoundResult, error) {
 	if cfg.Shots <= 0 {
 		cfg.Shots = 400000
 	}
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = t.MaxRounds
+	}
+	if cfg.MaxRounds <= 0 || t.RoundSamples <= 0 {
+		return MultiRoundResult{}, simerr.Invalidf("readout: timing needs positive MaxRounds and RoundSamples (got %d, %d)",
+			cfg.MaxRounds, t.RoundSamples)
+	}
+	if math.IsNaN(cfg.Range) || cfg.Range < 0 {
+		return MultiRoundResult{}, simerr.Invalidf("readout: decision range %v must be >= 0", cfg.Range)
+	}
+	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
+	if gerr != nil {
+		return MultiRoundResult{}, gerr
 	}
 	q := c.perSampleCorrectProb()
 	m := float64(t.RoundSamples)
@@ -173,7 +201,8 @@ func MultiRoundError(c Chain, t Timing, cfg MultiRoundConfig) MultiRoundResult {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	errs, totalRounds, decidedBy3 := 0, 0, 0
-	for s := 0; s < cfg.Shots; s++ {
+	s := 0
+	for ; g.ContinueBinomial(s, errs); s++ {
 		// Decay time in units of rounds (only matters for prepared |1>, half
 		// of shots; we model the symmetric average by applying to all shots
 		// with half weight via alternating preparation).
@@ -215,16 +244,19 @@ func MultiRoundError(c Chain, t Timing, cfg MultiRoundConfig) MultiRoundResult {
 			decidedBy3++
 		}
 	}
-	mr := float64(totalRounds) / float64(cfg.Shots)
-	res := MultiRoundResult{
-		Error:          float64(errs) / float64(cfg.Shots),
-		MeanRounds:     mr,
-		MeanTime:       t.TotalTime(mr),
-		FracDecidedBy3: float64(decidedBy3) / float64(cfg.Shots),
+	res := MultiRoundResult{Status: g.Status(s)}
+	if s > 0 {
+		mr := float64(totalRounds) / float64(s)
+		res.Error = float64(errs) / float64(s)
+		res.MeanRounds = mr
+		res.MeanTime = t.TotalTime(mr)
+		res.FracDecidedBy3 = float64(decidedBy3) / float64(s)
+		full := t.TotalTime(float64(t.MaxRounds))
+		if full > 0 {
+			res.Speedup = 1 - res.MeanTime/full
+		}
 	}
-	full := t.TotalTime(float64(t.MaxRounds))
-	res.Speedup = 1 - res.MeanTime/full
-	return res
+	return res, nil
 }
 
 // phi is the standard normal CDF.

@@ -1,12 +1,16 @@
 package readout
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
 
+	"qisim/internal/cmath"
 	"qisim/internal/ham"
 	"qisim/internal/phys"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
 // TrajectoryConfig drives the slow, physics-level readout Monte-Carlo: full
@@ -40,9 +44,11 @@ func DefaultTrajectoryConfig() TrajectoryConfig {
 // TrajectoryResult reports the physics-level MC outcome for one decision
 // method.
 type TrajectoryResult struct {
-	BinError    float64
-	SingleError float64
-	Separation  float64 // steady-state pointer separation |α1-α0|
+	BinError    float64 `json:"bin_error"`
+	SingleError float64 `json:"single_error"`
+	Separation  float64 `json:"separation"` // steady-state pointer separation |α1-α0|
+	// Status flags truncation for the context-aware entry point.
+	Status simrun.Status `json:"status"`
 }
 
 // TrajectoryMC draws full readout records and replays the bin-counting and
@@ -50,6 +56,24 @@ type TrajectoryResult struct {
 // analytic tier: with the noise scaled to the same per-sample SNR the error
 // rates must agree to MC precision.
 func TrajectoryMC(cfg TrajectoryConfig, chain Chain) TrajectoryResult {
+	res, err := TrajectoryMCCtx(context.Background(), cfg, chain, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res
+}
+
+// TrajectoryMCCtx is the context-aware TrajectoryMC: cancellation stops the
+// shot loop and returns the partial, Truncated-flagged error rates over the
+// completed shots. A non-finite trajectory (corrupted resonator parameters)
+// surfaces as ErrNumerical before any shot runs.
+func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt simrun.Options) (TrajectoryResult, error) {
+	if cfg.SampleRateHz <= 0 || math.IsNaN(cfg.SampleRateHz) {
+		return TrajectoryResult{}, simerr.Invalidf("readout: sample rate %v must be positive", cfg.SampleRateHz)
+	}
+	if cfg.Timing.MaxRounds <= 0 || cfg.Timing.RoundSamples <= 0 {
+		return TrajectoryResult{}, simerr.Invalidf("readout: timing needs positive MaxRounds and RoundSamples")
+	}
 	r := ham.DispersiveResonator{
 		DetuningRad: 0,
 		ChiRad:      cfg.Resonator.Chi(),
@@ -67,6 +91,12 @@ func TrajectoryMC(cfg TrajectoryConfig, chain Chain) TrajectoryResult {
 	s0 := r.SteadyState(-1, cfg.DriveEps)
 	s1 := r.SteadyState(+1, cfg.DriveEps)
 	sep := cmplx.Abs(s1 - s0)
+	if err := cmath.CheckFiniteVec("TrajectoryMC pointer states", []complex128{s0, s1}); err != nil {
+		return TrajectoryResult{}, err
+	}
+	if sep == 0 {
+		return TrajectoryResult{}, simerr.Numericalf("readout: degenerate pointer states (zero separation)")
+	}
 
 	// Discriminating axis: unit vector from α0 to α1; line through midpoint.
 	axis := (s1 - s0) / complex(sep, 0)
@@ -81,9 +111,14 @@ func TrajectoryMC(cfg TrajectoryConfig, chain Chain) TrajectoryResult {
 		sigma = sep / chain.SNRPerSample
 	}
 
+	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
+	if gerr != nil {
+		return TrajectoryResult{}, gerr
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	binErrs, singleErrs := 0, 0
-	for shot := 0; shot < cfg.Shots; shot++ {
+	shot := 0
+	for ; g.ContinueBinomial(shot, binErrs); shot++ {
 		prepared1 := shot%2 == 1
 		traj := traj0
 		if prepared1 {
@@ -125,9 +160,10 @@ func TrajectoryMC(cfg TrajectoryConfig, chain Chain) TrajectoryResult {
 			singleErrs++
 		}
 	}
-	return TrajectoryResult{
-		BinError:    float64(binErrs) / float64(cfg.Shots),
-		SingleError: float64(singleErrs) / float64(cfg.Shots),
-		Separation:  sep,
+	res := TrajectoryResult{Separation: sep, Status: g.Status(shot)}
+	if shot > 0 {
+		res.BinError = float64(binErrs) / float64(shot)
+		res.SingleError = float64(singleErrs) / float64(shot)
 	}
+	return res, nil
 }

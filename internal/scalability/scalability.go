@@ -6,6 +6,7 @@
 package scalability
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,8 @@ import (
 
 	"qisim/internal/cryo"
 	"qisim/internal/microarch"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 	"qisim/internal/surface"
 	"qisim/internal/wiring"
 )
@@ -116,6 +119,36 @@ func Analyze(d microarch.Design, opt Options) Analysis {
 	return a
 }
 
+// AnalyzeChecked is the erroring boundary for Analyze: it validates the
+// options and verifies the analysis is numerically sound (no NaN leaking out
+// of the power or error models) before returning it.
+func AnalyzeChecked(d microarch.Design, opt Options) (Analysis, error) {
+	if err := checkOptions(opt); err != nil {
+		return Analysis{}, err
+	}
+	a := Analyze(d, opt)
+	if math.IsNaN(a.LogicalError) || math.IsNaN(a.MaxQubits) {
+		return Analysis{}, simerr.Numericalf("scalability: NaN in analysis of %q (p_L %v, max qubits %v)",
+			d.Name, a.LogicalError, a.MaxQubits)
+	}
+	return a, nil
+}
+
+func checkOptions(opt Options) error {
+	if opt.Distance < 3 || opt.Distance%2 == 0 {
+		return simerr.Invalidf("scalability: distance must be odd and >= 3, got %d", opt.Distance)
+	}
+	if len(opt.Budgets) == 0 {
+		return simerr.Invalidf("scalability: no refrigerator budgets configured")
+	}
+	for st, w := range opt.Budgets {
+		if w <= 0 || math.IsNaN(w) {
+			return simerr.Invalidf("scalability: budget for stage %s must be positive, got %v", st, w)
+		}
+	}
+	return nil
+}
+
 // AnalyzeAll evaluates every named design point.
 func AnalyzeAll(opt Options) []Analysis {
 	ds := microarch.AllDesigns()
@@ -126,26 +159,88 @@ func AnalyzeAll(opt Options) []Analysis {
 	return out
 }
 
+// AnalyzeAllCtx evaluates every named design point under a context: on
+// cancellation it returns the analyses completed so far with Truncated set.
+func AnalyzeAllCtx(ctx context.Context, opt Options) ([]Analysis, simrun.Status, error) {
+	if err := checkOptions(opt); err != nil {
+		return nil, simrun.Status{}, err
+	}
+	ds := microarch.AllDesigns()
+	g, err := simrun.NewGuard(ctx, len(ds), simrun.Options{CheckEvery: 1})
+	if err != nil {
+		return nil, simrun.Status{}, err
+	}
+	var out []Analysis
+	i := 0
+	for ; g.Continue(i); i++ {
+		out = append(out, Analyze(ds[i], opt))
+	}
+	return out, g.Status(i), nil
+}
+
 // CurvePoint is one sample of a Fig. 12/13/17-style sweep.
 type CurvePoint struct {
-	Qubits int
+	Qubits int `json:"qubits"`
 	// Utilization is power/budget per stage at this scale.
-	Utilization map[wiring.Stage]float64
+	Utilization map[wiring.Stage]float64 `json:"utilization"`
 	// LogicalError and Target at this scale (target falls as the algorithm
 	// grows with the machine).
-	LogicalError float64
-	Target       float64
-	Feasible     bool
+	LogicalError float64 `json:"logical_error"`
+	Target       float64 `json:"target"`
+	Feasible     bool    `json:"feasible"`
 }
 
 // Sweep samples a design across qubit counts, producing the data behind the
 // scalability figures.
 func Sweep(d microarch.Design, qubitCounts []int, opt Options) []CurvePoint {
+	res, err := SweepCtx(context.Background(), d, qubitCounts, opt)
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's contract
+	}
+	return res.Points
+}
+
+// SweepResult is the context-aware sweep outcome: Points holds the curve
+// samples completed before cancellation (all of them when Status.Truncated
+// is false).
+type SweepResult struct {
+	Design string        `json:"design"`
+	Points []CurvePoint  `json:"points"`
+	Status simrun.Status `json:"status"`
+}
+
+// SweepCtx is the context-aware qubit-count sweep: on cancellation it
+// returns the points computed so far, flagged Truncated, so an interrupted
+// design-space exploration keeps the samples it already paid for.
+func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Options) (SweepResult, error) {
+	if err := checkOptions(opt); err != nil {
+		return SweepResult{}, err
+	}
+	if len(qubitCounts) == 0 {
+		return SweepResult{}, simerr.Invalidf("scalability: sweep needs at least one qubit count")
+	}
+	for _, n := range qubitCounts {
+		if n <= 0 {
+			return SweepResult{}, simerr.Invalidf("scalability: qubit count must be positive, got %d", n)
+		}
+	}
+	g, gerr := simrun.NewGuard(ctx, len(qubitCounts), simrun.Options{CheckEvery: 1})
+	if gerr != nil {
+		return SweepResult{}, gerr
+	}
+	res := SweepResult{Design: d.Name}
+	res.Points = sweepPoints(d, qubitCounts, opt, g)
+	res.Status = g.Status(len(res.Points))
+	return res, nil
+}
+
+func sweepPoints(d microarch.Design, qubitCounts []int, opt Options, g *simrun.Guard) []CurvePoint {
 	pb := d.PerQubitPower()
 	pl := d.LogicalError(0)
 	perPatch := float64(surface.PhysicalQubitsPerPatch(opt.Distance))
 	out := make([]CurvePoint, 0, len(qubitCounts))
-	for _, n := range qubitCounts {
+	for i := 0; g.Continue(i); i++ {
+		n := qubitCounts[i]
 		cp := CurvePoint{Qubits: n, Utilization: map[wiring.Stage]float64{}, LogicalError: pl}
 		cp.Feasible = true
 		for st, budget := range opt.Budgets {

@@ -1,0 +1,213 @@
+// Package simrun is the robustness layer every long-running QIsim entry
+// point flows through. It provides context-aware run options (deadline,
+// shot budget, convergence targets, check interval) and a shot-loop Guard
+// that turns cancellation into *partial, flagged* results instead of thrown
+// away work: a truncated Monte-Carlo run reports the shots it completed,
+// the best-so-far estimate, and Truncated=true, never a panic or a hang.
+//
+// The Guard also implements the MC convergence guard: an early exit when the
+// binomial standard error of the estimate falls below a relative target,
+// gated by a minimum-shot floor so a lucky early streak cannot terminate a
+// sweep prematurely.
+//
+// Determinism contract: the Guard never consumes random numbers, so two runs
+// with the same seed and options produce bit-identical results (possibly
+// differing only in how many shots they complete when wall-clock deadlines
+// fire — deadline truncation is the one intentionally non-deterministic
+// stop).
+package simrun
+
+import (
+	"context"
+	"math"
+
+	"qisim/internal/simerr"
+)
+
+// Stop reasons recorded in Status.StopReason.
+const (
+	StopCompleted = "completed"
+	StopCanceled  = "canceled"
+	StopDeadline  = "deadline"
+	StopConverged = "converged"
+)
+
+// Options configure a context-aware simulation run.
+type Options struct {
+	// MaxShots caps the shot budget below the caller's request (0 = no cap).
+	MaxShots int
+	// MinShots is the convergence floor: the guard never stops on
+	// convergence before this many shots (default 1000 when a convergence
+	// target is set).
+	MinShots int
+	// TargetRelStdErr enables the convergence guard: stop once the relative
+	// standard error of the binomial estimate drops below this (0 =
+	// disabled, run the full budget).
+	TargetRelStdErr float64
+	// CheckEvery is the cancellation/convergence polling interval in shots
+	// (default 256). Smaller = more responsive, larger = cheaper.
+	CheckEvery int
+}
+
+// Validate checks the options for internal consistency against a requested
+// shot budget.
+func (o Options) Validate(requested int) error {
+	if requested <= 0 {
+		return simerr.Invalidf("simrun: requested shots must be positive, got %d", requested)
+	}
+	if o.MaxShots < 0 || o.MinShots < 0 || o.CheckEvery < 0 {
+		return simerr.Invalidf("simrun: negative option (MaxShots %d, MinShots %d, CheckEvery %d)",
+			o.MaxShots, o.MinShots, o.CheckEvery)
+	}
+	if o.TargetRelStdErr < 0 || math.IsNaN(o.TargetRelStdErr) {
+		return simerr.Invalidf("simrun: TargetRelStdErr must be >= 0, got %v", o.TargetRelStdErr)
+	}
+	budget := requested
+	if o.MaxShots > 0 && o.MaxShots < budget {
+		budget = o.MaxShots
+	}
+	if o.MinShots > budget {
+		return simerr.Budgetf("simrun: convergence floor MinShots=%d exceeds shot budget %d",
+			o.MinShots, budget)
+	}
+	return nil
+}
+
+// Status is the flagged outcome of a guarded run, embedded in every
+// context-aware result type.
+type Status struct {
+	// Requested is the shot budget asked for (after MaxShots capping).
+	Requested int `json:"requested"`
+	// Completed is the number of shots actually finished.
+	Completed int `json:"completed"`
+	// Truncated is true when the run stopped early on cancellation or
+	// deadline: the result is a best-so-far partial estimate.
+	Truncated bool `json:"truncated"`
+	// Converged is true when the run stopped early because the convergence
+	// guard was satisfied (the result is statistically complete).
+	Converged bool `json:"converged"`
+	// StopReason is one of the Stop* constants.
+	StopReason string `json:"stop_reason"`
+}
+
+// Err converts a truncated status into a typed ErrInterrupted (nil
+// otherwise) — for callers that prefer error control flow over flags.
+func (s Status) Err() error {
+	if !s.Truncated {
+		return nil
+	}
+	return simerr.Interruptedf("simrun: run truncated after %d/%d shots (%s)",
+		s.Completed, s.Requested, s.StopReason)
+}
+
+// Guard gates a shot loop on budget, cancellation and convergence. Use:
+//
+//	g, err := simrun.NewGuard(ctx, shots, opt)
+//	if err != nil { return ..., err }
+//	for s := 0; g.ContinueBinomial(s, failures); s++ { ... }
+//	res.Status = g.Status(...)
+type Guard struct {
+	ctx        context.Context
+	opt        Options
+	requested  int
+	stopReason string
+	completed  int
+}
+
+// NewGuard validates the options and builds a guard over ctx. A nil ctx is
+// treated as context.Background() (pure budget/convergence gating).
+func NewGuard(ctx context.Context, requested int, opt Options) (*Guard, error) {
+	if err := opt.Validate(requested); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.CheckEvery == 0 {
+		opt.CheckEvery = 256
+	}
+	if opt.TargetRelStdErr > 0 && opt.MinShots == 0 {
+		opt.MinShots = 1000
+	}
+	if opt.MaxShots > 0 && opt.MaxShots < requested {
+		requested = opt.MaxShots
+	}
+	return &Guard{ctx: ctx, opt: opt, requested: requested}, nil
+}
+
+// Budget returns the effective shot budget after MaxShots capping.
+func (g *Guard) Budget() int { return g.requested }
+
+// Continue reports whether the shot loop should run shot number `done`
+// (0-based): it returns false once the budget is exhausted or — polled every
+// CheckEvery shots — the context is done.
+func (g *Guard) Continue(done int) bool {
+	return g.ContinueBinomial(done, -1)
+}
+
+// ContinueBinomial is Continue plus the convergence guard for binomial
+// estimators: events is the running success/failure count whose rate
+// events/done is being estimated (pass a negative value to disable the
+// convergence check for this call).
+func (g *Guard) ContinueBinomial(done, events int) bool {
+	g.completed = done
+	if g.stopReason != "" {
+		return false
+	}
+	if done >= g.requested {
+		g.stopReason = StopCompleted
+		return false
+	}
+	if done == 0 || done%g.opt.CheckEvery != 0 {
+		return true
+	}
+	if err := g.ctx.Err(); err != nil {
+		if err == context.DeadlineExceeded {
+			g.stopReason = StopDeadline
+		} else {
+			g.stopReason = StopCanceled
+		}
+		return false
+	}
+	if events >= 0 && g.opt.TargetRelStdErr > 0 && done >= g.opt.MinShots &&
+		binomialConverged(events, done, g.opt.TargetRelStdErr) {
+		g.stopReason = StopConverged
+		return false
+	}
+	return true
+}
+
+// binomialConverged reports whether the relative standard error of the rate
+// events/done is below target. A zero-event run never converges (its
+// relative error is undefined and the true rate may simply be below the
+// resolution of the budget so far).
+func binomialConverged(events, done int, target float64) bool {
+	if events <= 0 || events >= done {
+		return false
+	}
+	p := float64(events) / float64(done)
+	se := math.Sqrt(p * (1 - p) / float64(done))
+	return se/p <= target
+}
+
+// Status finalises the guard after the loop exits, recording how many shots
+// completed. Call exactly once, with the loop counter's final value.
+func (g *Guard) Status(completed int) Status {
+	reason := g.stopReason
+	if reason == "" {
+		// Loop exited on its own (e.g. caller break) — treat as completed
+		// if the budget was met, canceled otherwise.
+		if completed >= g.requested {
+			reason = StopCompleted
+		} else {
+			reason = StopCanceled
+		}
+	}
+	return Status{
+		Requested:  g.requested,
+		Completed:  completed,
+		Truncated:  reason == StopCanceled || reason == StopDeadline,
+		Converged:  reason == StopConverged,
+		StopReason: reason,
+	}
+}

@@ -6,7 +6,11 @@
 // rates into maximum supportable qubit counts.
 package surface
 
-import "fmt"
+import (
+	"fmt"
+
+	"qisim/internal/simerr"
+)
 
 // AncillaType distinguishes the two stabilizer families.
 type AncillaType int
@@ -42,9 +46,21 @@ type Patch struct {
 	Ancillas []Ancilla
 }
 
+// NewPatchChecked is the erroring boundary for NewPatch: an invalid
+// distance returns a typed ErrInvalidConfig instead of panicking. Use it
+// wherever the distance derives from user input.
+func NewPatchChecked(d int) (*Patch, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, simerr.Invalidf("surface: distance must be odd and >= 3, got %d", d)
+	}
+	return NewPatch(d), nil
+}
+
 // NewPatch builds the distance-d rotated patch. Z-type boundary ancillas sit
 // on the left/right edges, X-type on top/bottom (so X-error chains terminate
-// top/bottom and the Z-logical runs along row 0).
+// top/bottom and the Z-logical runs along row 0). It panics on an invalid
+// distance (programmer error); see NewPatchChecked for the erroring
+// boundary.
 func NewPatch(d int) *Patch {
 	if d < 3 || d%2 == 0 {
 		panic(fmt.Sprintf("surface: distance must be odd and >= 3, got %d", d))

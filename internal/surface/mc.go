@@ -1,14 +1,23 @@
 package surface
 
 import (
+	"context"
 	"math"
 	"math/rand"
+
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
-// DecoderResult summarises a Monte-Carlo logical-error estimate.
+// DecoderResult summarises a Monte-Carlo logical-error estimate. Shots is
+// the number actually completed: when Status.Truncated is set the result is
+// a best-so-far partial estimate over those shots, not garbage.
 type DecoderResult struct {
-	Shots    int
-	Failures int
+	Shots    int `json:"shots"`
+	Failures int `json:"failures"`
+	// Status flags truncation/convergence for the context-aware entry
+	// points; zero-valued for the legacy fixed-budget ones.
+	Status simrun.Status `json:"status"`
 }
 
 // Rate returns the logical error estimate.
@@ -311,13 +320,46 @@ func (m *matcher) logicalFlip(err []bool) bool {
 // greedy matching decoder. It validates the Projection's (p/p_th)^((d+1)/2)
 // scaling; the paper's timing-dependent effects enter through ErrorParams.
 func MonteCarloLogicalError(d int, p float64, shots int, seed int64) DecoderResult {
+	res, err := MonteCarloLogicalErrorCtx(context.Background(), d, p, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res
+}
+
+// checkMCParams validates the shared MC arguments.
+func checkMCParams(d int, probs ...float64) error {
+	if d < 3 || d%2 == 0 {
+		return simerr.Invalidf("surface: distance must be odd and >= 3, got %d", d)
+	}
+	for _, p := range probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return simerr.Invalidf("surface: error probability %v outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// MonteCarloLogicalErrorCtx is the context-aware MonteCarloLogicalError:
+// cancellation or deadline expiry stops the shot loop at the next check
+// interval and returns the partial, Truncated-flagged estimate; opt can also
+// enable the standard-error convergence guard.
+func MonteCarloLogicalErrorCtx(ctx context.Context, d int, p float64, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
+	if err := checkMCParams(d, p); err != nil {
+		return DecoderResult{}, err
+	}
+	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	if gerr != nil {
+		return DecoderResult{}, gerr
+	}
 	patch := NewPatch(d)
 	m := newMatcher(patch)
 	rng := rand.New(rand.NewSource(seed))
-	res := DecoderResult{Shots: shots}
+	var res DecoderResult
 	nd := patch.DataQubits()
 	err := make([]bool, nd)
-	for s := 0; s < shots; s++ {
+	s := 0
+	for ; g.ContinueBinomial(s, res.Failures); s++ {
 		anyErr := false
 		for q := 0; q < nd; q++ {
 			err[q] = rng.Float64() < p
@@ -334,22 +376,64 @@ func MonteCarloLogicalError(d int, p float64, shots int, seed int64) DecoderResu
 			res.Failures++
 		}
 	}
-	return res
+	res.Shots = s
+	res.Status = g.Status(s)
+	return res, nil
+}
+
+// ThresholdResult is the outcome of a threshold bisection: when Truncated is
+// set, Estimate is the best-so-far bracket midpoint after Iterations
+// completed bisection steps.
+type ThresholdResult struct {
+	Estimate   float64       `json:"estimate"`
+	Iterations int           `json:"iterations"`
+	Status     simrun.Status `json:"status"`
 }
 
 // ThresholdEstimate locates the crossing point of the d and d+2 logical
 // error curves by bisection over p — a coarse decoder-threshold probe.
 func ThresholdEstimate(d int, shots int, seed int64) float64 {
+	res, err := ThresholdEstimateCtx(context.Background(), d, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Estimate
+}
+
+// ThresholdEstimateCtx is the context-aware ThresholdEstimate. Each
+// bisection step runs two guarded MC estimates; on cancellation the current
+// bracket midpoint is returned as a Truncated best-so-far estimate.
+func ThresholdEstimateCtx(ctx context.Context, d int, shots int, seed int64, opt simrun.Options) (ThresholdResult, error) {
+	if err := checkMCParams(d); err != nil {
+		return ThresholdResult{}, err
+	}
 	lo, hi := 0.005, 0.2
-	for i := 0; i < 12; i++ {
+	const iters = 12
+	for i := 0; i < iters; i++ {
 		mid := math.Sqrt(lo * hi)
-		pSmall := MonteCarloLogicalError(d, mid, shots, seed).Rate()
-		pLarge := MonteCarloLogicalError(d+2, mid, shots, seed+1).Rate()
-		if pLarge < pSmall {
+		small, err := MonteCarloLogicalErrorCtx(ctx, d, mid, shots, seed, opt)
+		if err != nil {
+			return ThresholdResult{}, err
+		}
+		if small.Status.Truncated {
+			return ThresholdResult{Estimate: math.Sqrt(lo * hi), Iterations: i, Status: small.Status}, nil
+		}
+		large, err := MonteCarloLogicalErrorCtx(ctx, d+2, mid, shots, seed+1, opt)
+		if err != nil {
+			return ThresholdResult{}, err
+		}
+		if large.Status.Truncated {
+			return ThresholdResult{Estimate: math.Sqrt(lo * hi), Iterations: i, Status: large.Status}, nil
+		}
+		if large.Rate() < small.Rate() {
 			lo = mid // below threshold: bigger code wins
 		} else {
 			hi = mid
 		}
 	}
-	return math.Sqrt(lo * hi)
+	return ThresholdResult{
+		Estimate:   math.Sqrt(lo * hi),
+		Iterations: iters,
+		Status:     simrun.Status{Requested: iters, Completed: iters, StopReason: simrun.StopCompleted},
+	}, nil
 }

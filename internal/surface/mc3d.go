@@ -1,8 +1,12 @@
 package surface
 
 import (
+	"context"
 	"math"
 	"math/rand"
+
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 )
 
 // spacetimeNode is one detection event in the 3D (space × time) syndrome
@@ -20,10 +24,32 @@ type spacetimeNode struct {
 // consecutive rounds) in space-time: spatial path segments flip data,
 // time-like segments flip nothing (they explain measurement errors).
 func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int64) DecoderResult {
+	res, err := MonteCarloPhenomenologicalCtx(context.Background(), d, p, q, rounds, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res
+}
+
+// MonteCarloPhenomenologicalCtx is the context-aware phenomenological MC:
+// cancellation or deadline expiry stops the shot loop at the next check
+// interval and returns the partial, Truncated-flagged estimate over the
+// completed shots; opt can enable the standard-error convergence guard.
+func MonteCarloPhenomenologicalCtx(ctx context.Context, d int, p, q float64, rounds, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
+	if err := checkMCParams(d, p, q); err != nil {
+		return DecoderResult{}, err
+	}
+	if rounds < 1 {
+		return DecoderResult{}, simerr.Invalidf("surface: rounds must be >= 1, got %d", rounds)
+	}
+	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	if gerr != nil {
+		return DecoderResult{}, gerr
+	}
 	patch := NewPatch(d)
 	m := newMatcher(patch)
 	rng := rand.New(rand.NewSource(seed))
-	res := DecoderResult{Shots: shots}
+	var res DecoderResult
 	nd := patch.DataQubits()
 	nz := len(m.zAncillas)
 
@@ -31,7 +57,8 @@ func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int
 	prevMeas := make([]bool, nz)
 	curTrue := make([]bool, nz)
 
-	for s := 0; s < shots; s++ {
+	s := 0
+	for ; g.ContinueBinomial(s, res.Failures); s++ {
 		for i := range err {
 			err[i] = false
 		}
@@ -73,7 +100,9 @@ func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int
 			res.Failures++
 		}
 	}
-	return res
+	res.Shots = s
+	res.Status = g.Status(s)
+	return res, nil
 }
 
 // stDist is the space-time decoding metric: spatial Chebyshev distance plus
@@ -187,16 +216,47 @@ func (m *matcher) stGreedy(err []bool, ev []spacetimeNode) {
 // d+2 curves — the phenomenological threshold (literature: ~2.9–3.3% for
 // matching decoders).
 func PhenomenologicalThreshold(d, rounds, shots int, seed int64) float64 {
+	res, err := PhenomenologicalThresholdCtx(context.Background(), d, rounds, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Estimate
+}
+
+// PhenomenologicalThresholdCtx is the context-aware threshold bisection: on
+// cancellation it returns the current bracket midpoint as a Truncated
+// best-so-far estimate with the number of completed bisection steps.
+func PhenomenologicalThresholdCtx(ctx context.Context, d, rounds, shots int, seed int64, opt simrun.Options) (ThresholdResult, error) {
+	if err := checkMCParams(d); err != nil {
+		return ThresholdResult{}, err
+	}
 	lo, hi := 0.002, 0.1
-	for i := 0; i < 10; i++ {
+	const iters = 10
+	for i := 0; i < iters; i++ {
 		mid := math.Sqrt(lo * hi)
-		pS := MonteCarloPhenomenological(d, mid, mid, rounds, shots, seed).Rate()
-		pL := MonteCarloPhenomenological(d+2, mid, mid, rounds, shots, seed+1).Rate()
-		if pL < pS {
+		small, err := MonteCarloPhenomenologicalCtx(ctx, d, mid, mid, rounds, shots, seed, opt)
+		if err != nil {
+			return ThresholdResult{}, err
+		}
+		if small.Status.Truncated {
+			return ThresholdResult{Estimate: math.Sqrt(lo * hi), Iterations: i, Status: small.Status}, nil
+		}
+		large, err := MonteCarloPhenomenologicalCtx(ctx, d+2, mid, mid, rounds, shots, seed+1, opt)
+		if err != nil {
+			return ThresholdResult{}, err
+		}
+		if large.Status.Truncated {
+			return ThresholdResult{Estimate: math.Sqrt(lo * hi), Iterations: i, Status: large.Status}, nil
+		}
+		if large.Rate() < small.Rate() {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return math.Sqrt(lo * hi)
+	return ThresholdResult{
+		Estimate:   math.Sqrt(lo * hi),
+		Iterations: iters,
+		Status:     simrun.Status{Requested: iters, Completed: iters, StopReason: simrun.StopCompleted},
+	}, nil
 }

@@ -1,6 +1,11 @@
 package surface
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+
+	"qisim/internal/simrun"
+)
 
 // unionFind is a plain disjoint-set forest.
 type unionFind struct {
@@ -117,13 +122,31 @@ func (m *matcher) decodeUnionFind(err []bool, syndrome []bool) {
 // the union-find decoder, for comparison with the matching decoder (UF is
 // near-linear-time; matching is more accurate).
 func MonteCarloUnionFind(d int, p float64, shots int, seed int64) DecoderResult {
+	res, err := MonteCarloUnionFindCtx(context.Background(), d, p, shots, seed, simrun.Options{})
+	if err != nil {
+		panic(err) // legacy boundary: preserves the seed API's panic contract
+	}
+	return res
+}
+
+// MonteCarloUnionFindCtx is the context-aware MonteCarloUnionFind:
+// cancellation yields a partial, Truncated-flagged estimate.
+func MonteCarloUnionFindCtx(ctx context.Context, d int, p float64, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
+	if err := checkMCParams(d, p); err != nil {
+		return DecoderResult{}, err
+	}
+	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	if gerr != nil {
+		return DecoderResult{}, gerr
+	}
 	patch := NewPatch(d)
 	m := newMatcher(patch)
 	rng := rand.New(rand.NewSource(seed))
-	res := DecoderResult{Shots: shots}
+	var res DecoderResult
 	nd := patch.DataQubits()
 	err := make([]bool, nd)
-	for s := 0; s < shots; s++ {
+	s := 0
+	for ; g.ContinueBinomial(s, res.Failures); s++ {
 		anyErr := false
 		for q := 0; q < nd; q++ {
 			err[q] = rng.Float64() < p
@@ -137,5 +160,7 @@ func MonteCarloUnionFind(d int, p float64, shots int, seed int64) DecoderResult 
 			res.Failures++
 		}
 	}
-	return res
+	res.Shots = s
+	res.Status = g.Status(s)
+	return res, nil
 }

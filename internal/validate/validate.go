@@ -178,29 +178,38 @@ var fig11Perturbations = []float64{
 	-0.043, +0.057, -0.061, +0.036, -0.052, +0.068, -0.047, +0.059, -0.041,
 }
 
-// ModelFidelity predicts one benchmark's fidelity on one machine.
-func ModelFidelity(m Machine, bench string, n int) float64 {
-	prog := workloads.Catalog()[bench](n)
+// ModelFidelity predicts one benchmark's fidelity on one machine. Unknown
+// benchmarks, undersized instances and pipeline failures come back as
+// wrapped errors (ErrInvalidConfig and friends) instead of panics.
+func ModelFidelity(m Machine, bench string, n int) (float64, error) {
+	prog, err := workloads.Generate(bench, n)
+	if err != nil {
+		return 0, fmt.Errorf("validate: generate %s(%d): %w", bench, n, err)
+	}
 	ex, err := compile.Compile(prog, compile.DefaultOptions())
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("validate: compile %s(%d): %w", bench, n, err)
 	}
 	res, err := cyclesim.Run(ex, cyclesim.CMOSConfig())
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("validate: simulate %s(%d): %w", bench, n, err)
 	}
-	return pauli.ESP(res, pauli.DefaultConfig(m.Rates))
+	return pauli.ESP(res, pauli.DefaultConfig(m.Rates)), nil
 }
 
 // Fig11Workloads validates workload-level fidelity across machines and
-// benchmarks; rows are "machine/benchmark".
-func Fig11Workloads() []Row {
+// benchmarks; rows are "machine/benchmark". Any pipeline failure aborts the
+// campaign with a wrapped error naming the failing machine/benchmark pair.
+func Fig11Workloads() ([]Row, error) {
 	sizes := BenchmarkSizes()
 	var rows []Row
 	i := 0
 	for _, m := range Machines() {
 		for _, b := range workloads.Names() {
-			model := ModelFidelity(m, b, sizes[b])
+			model, err := ModelFidelity(m, b, sizes[b])
+			if err != nil {
+				return nil, fmt.Errorf("validate: fig11 %s/%s: %w", m.Name, b, err)
+			}
 			pert := fig11Perturbations[i%len(fig11Perturbations)]
 			i++
 			ref := model * (1 + pert)
@@ -210,7 +219,7 @@ func Fig11Workloads() []Row {
 			rows = append(rows, Row{Name: m.Name + "/" + b, Reference: ref, Model: model})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func defaultWashingtonChain() washingtonChain {

@@ -83,7 +83,10 @@ func TestTable1OrderOfMagnitude(t *testing.T) {
 }
 
 func TestFig11AverageDifference(t *testing.T) {
-	rows := Fig11Workloads()
+	rows, err := Fig11Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 45 {
 		t.Fatalf("Fig. 11 should compare 9 benchmarks x 5 machines, got %d", len(rows))
 	}
@@ -105,8 +108,16 @@ func TestFig11MachineOrdering(t *testing.T) {
 	sizes := BenchmarkSizes()
 	var wash, peek float64
 	for b, n := range sizes {
-		wash += ModelFidelity(Machines()[0], b, n)
-		peek += ModelFidelity(Machines()[4], b, n)
+		w, err := ModelFidelity(Machines()[0], b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ModelFidelity(Machines()[4], b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wash += w
+		peek += p
 	}
 	if peek <= wash {
 		t.Fatalf("peekskill (%f) should outperform washington (%f)", peek, wash)

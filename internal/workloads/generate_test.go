@@ -1,0 +1,41 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"qisim/internal/simerr"
+)
+
+func TestGenerateAllBenchmarksValid(t *testing.T) {
+	for _, name := range Names() {
+		for n := minQubits[name]; n <= 16; n++ {
+			p, err := Generate(name, n)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", name, n, err)
+			}
+			if p.NQubits != n {
+				t.Fatalf("%s(%d): NQubits %d", name, n, p.NQubits)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s(%d): generated invalid program: %v", name, n, err)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := Generate("no-such-bench", 8); !errors.Is(err, simerr.ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig, got %v", err)
+	}
+}
+
+func TestGenerateRejectsUndersizedInstanceWithoutPanic(t *testing.T) {
+	for _, name := range Names() {
+		for n := -1; n < minQubits[name]; n++ {
+			if _, err := Generate(name, n); !errors.Is(err, simerr.ErrInvalidConfig) {
+				t.Fatalf("%s(%d): want ErrInvalidConfig, got %v", name, n, err)
+			}
+		}
+	}
+}

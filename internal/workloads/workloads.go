@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"qisim/internal/qasm"
+	"qisim/internal/simerr"
 )
 
 // Generator builds a benchmark program over n qubits.
@@ -33,6 +34,32 @@ func Catalog() map[string]Generator {
 // Names returns the catalog keys in a fixed presentation order.
 func Names() []string {
 	return []string{"ghz", "mermin-bell", "qaoa", "vqe", "hamiltonian", "bit-code", "phase-code", "bv", "adder"}
+}
+
+// minQubits is the smallest instance each generator supports.
+var minQubits = map[string]int{
+	"ghz": 2, "mermin-bell": 3, "qaoa": 2, "vqe": 2, "hamiltonian": 2,
+	"bit-code": 3, "phase-code": 3, "bv": 2, "adder": 3,
+}
+
+// Generate is the erroring public boundary over the generator catalog: an
+// unknown benchmark name or an instance size below the generator's minimum
+// returns a typed ErrInvalidConfig instead of panicking, and the produced
+// program is structurally validated before it is handed to the compiler.
+func Generate(name string, n int) (p *qasm.Program, err error) {
+	defer simerr.RecoverInto(&err, simerr.ErrInvalidConfig)
+	gen, ok := Catalog()[name]
+	if !ok {
+		return nil, simerr.Invalidf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	if mn := minQubits[name]; n < mn {
+		return nil, simerr.Invalidf("workloads: %s needs >= %d qubits, got %d", name, mn, n)
+	}
+	p = gen(n)
+	if verr := p.Validate(); verr != nil {
+		return nil, fmt.Errorf("workloads: %s(%d) generated an invalid program: %w", name, n, verr)
+	}
+	return p, nil
 }
 
 func newProg(n int) *qasm.Program {
