@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz verify clean
+.PHONY: all build test vet race race-parallel fuzz verify clean
 
 all: build
 
@@ -15,6 +15,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the parallel Monte-Carlo engine: sharded-engine
+# properties, the serial-vs-parallel equivalence suite, and the cancellation
+# fault-injection scenarios, run twice so goroutine scheduling varies.
+race-parallel:
+	$(GO) test -race -count=2 ./internal/simrun ./internal/faultinject
+	$(GO) test -race -count=2 -run 'Equivalence|DeterministicParallel' .
 
 # Short fuzz smoke of the QASM parser boundary (the long runs happen in CI
 # and on demand: `go test ./internal/qasm -fuzz FuzzParse -fuzztime 5m`).

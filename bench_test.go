@@ -4,6 +4,8 @@
 package qisim_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"qisim/internal/compile"
@@ -19,6 +21,7 @@ import (
 	"qisim/internal/qcp"
 	"qisim/internal/readout"
 	"qisim/internal/scalability"
+	"qisim/internal/simrun"
 	"qisim/internal/surface"
 	"qisim/internal/validate"
 	"qisim/internal/verilog"
@@ -198,18 +201,44 @@ func BenchmarkCycleSimESMd9(b *testing.B) {
 	}
 }
 
+// BenchmarkSurfaceCodeDecoder measures the sharded Monte-Carlo engine's
+// scaling across worker counts: every sub-benchmark runs the identical
+// 8,000-shot d=5 MWPM workload (bit-identical result by construction) and
+// reports throughput as shots/sec. ShardSize 256 gives ~31 shards so the
+// fan-out has real work to distribute.
 func BenchmarkSurfaceCodeDecoder(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		surface.MonteCarloLogicalError(5, 0.01, 200, int64(i))
+	const shots = 8000
+	ctx := context.Background()
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := simrun.Options{Workers: w, ShardSize: 256}
+			for i := 0; i < b.N; i++ {
+				if _, err := surface.MonteCarloLogicalErrorCtx(ctx, 5, 0.01, shots, int64(i), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/sec")
+		})
 	}
 }
 
+// BenchmarkReadoutMultiRoundMC scales the multi-round readout sampler the
+// same way: same tally for every worker count, throughput in shots/sec.
 func BenchmarkReadoutMultiRoundMC(b *testing.B) {
+	ctx := context.Background()
 	c, tm := readout.DefaultChain(), readout.DefaultTiming()
 	cfg := readout.DefaultMultiRoundConfig()
 	cfg.Shots = 20000
-	for i := 0; i < b.N; i++ {
-		readout.MultiRoundError(c, tm, cfg)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := simrun.Options{Workers: w, ShardSize: 512}
+			for i := 0; i < b.N; i++ {
+				if _, err := readout.MultiRoundErrorCtx(ctx, c, tm, cfg, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.Shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/sec")
+		})
 	}
 }
 

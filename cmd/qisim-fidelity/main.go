@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	qisim-fidelity [-machine ibm_mumbai] [-arch cmos|sfq] [-mc] file.qasm
+//	qisim-fidelity [-machine ibm_mumbai] [-arch cmos|sfq] [-mc] [-workers n] file.qasm
 //	cat circuit.qasm | qisim-fidelity -
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"qisim/internal/pauli"
 	"qisim/internal/qasm"
 	"qisim/internal/simerr"
+	"qisim/internal/simrun"
 	"qisim/internal/validate"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	machine := flag.String("machine", "ibm_mumbai", "reference machine (see qisim-fidelity -list)")
 	arch := flag.String("arch", "cmos", "QCI architecture: cmos or sfq")
 	mc := flag.Bool("mc", false, "also run the Monte-Carlo estimator")
+	workers := flag.Int("workers", 0, "parallel worker goroutines for -mc (0 = all cores, 1 = serial; the estimate is identical for every value)")
 	list := flag.Bool("list", false, "list reference machines")
 	flag.Parse()
 
@@ -88,7 +91,12 @@ func main() {
 	fmt.Printf("fidelity:      %.4f  (%s, ESP)\n", pauli.ESP(res, pcfg), *machine)
 	if *mc {
 		pcfg.Shots = 50000
-		fmt.Printf("fidelity (MC): %.4f  (50k shots)\n", pauli.MonteCarlo(res, pcfg))
+		mcRes, err := pauli.MonteCarloCtx(context.Background(), res, pcfg,
+			simrun.Options{Workers: *workers})
+		if err != nil {
+			fatalErr(err)
+		}
+		fmt.Printf("fidelity (MC): %.4f  (50k shots)\n", mcRes.Fidelity)
 	}
 }
 

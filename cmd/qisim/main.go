@@ -42,11 +42,16 @@ import (
 func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (analyze, sweep, mc)")
+	workers := flag.Int("workers", 0, "parallel worker goroutines for MC/sweep runs (0 = all cores, 1 = serial; results are identical for every value)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+		os.Exit(simerr.ExitUsage)
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "qisim: -workers must be >= 0")
 		os.Exit(simerr.ExitUsage)
 	}
 
@@ -58,13 +63,13 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, args, *jsonOut); err != nil {
+	if err := run(ctx, args, *jsonOut, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qisim:", err)
 		os.Exit(simerr.ExitCode(err))
 	}
 }
 
-func run(ctx context.Context, args []string, jsonOut bool) error {
+func run(ctx context.Context, args []string, jsonOut bool, workers int) error {
 	switch args[0] {
 	case "designs":
 		for _, d := range microarch.AllDesigns() {
@@ -72,14 +77,14 @@ func run(ctx context.Context, args []string, jsonOut bool) error {
 		}
 		return nil
 	case "analyze":
-		return analyze(ctx, args[1:], jsonOut)
+		return analyze(ctx, args[1:], jsonOut, workers)
 	case "sweep":
 		if len(args) < 3 {
 			return simerr.Invalidf("sweep requires a design name and at least one qubit count")
 		}
-		return sweep(ctx, args[1], args[2:], jsonOut)
+		return sweep(ctx, args[1], args[2:], jsonOut, workers)
 	case "mc":
-		return mc(ctx, args[1:], jsonOut)
+		return mc(ctx, args[1:], jsonOut, workers)
 	case "scorecard":
 		fmt.Print(experiments.HeadlineTable())
 		return nil
@@ -123,8 +128,9 @@ func latticeCmd(name, distStr string) error {
 	return nil
 }
 
-func analyze(ctx context.Context, names []string, jsonOut bool) error {
+func analyze(ctx context.Context, names []string, jsonOut bool, workers int) error {
 	opt := scalability.DefaultOptions()
+	opt.Workers = workers
 	var as []scalability.Analysis
 	var status simrun.Status
 	if len(names) == 0 {
@@ -156,7 +162,7 @@ func analyze(ctx context.Context, names []string, jsonOut bool) error {
 	return status.Err() // exit 3 with the partial table already printed
 }
 
-func sweep(ctx context.Context, name string, counts []string, jsonOut bool) error {
+func sweep(ctx context.Context, name string, counts []string, jsonOut bool, workers int) error {
 	d, ok := findDesign(name)
 	if !ok {
 		return simerr.Invalidf("unknown design %q", name)
@@ -169,7 +175,9 @@ func sweep(ctx context.Context, name string, counts []string, jsonOut bool) erro
 		}
 		ns = append(ns, n)
 	}
-	res, err := scalability.SweepCtx(ctx, d, ns, scalability.DefaultOptions())
+	opt := scalability.DefaultOptions()
+	opt.Workers = workers
+	res, err := scalability.SweepCtx(ctx, d, ns, opt)
 	if err != nil {
 		return err
 	}
@@ -198,7 +206,7 @@ func sweep(ctx context.Context, name string, counts []string, jsonOut bool) erro
 // cancellation support — the CLI face of the context-aware simulation layer.
 // On SIGINT or timeout it emits the partial estimate (valid JSON with
 // status.truncated=true under -json) and exits with code 3.
-func mc(ctx context.Context, args []string, jsonOut bool) error {
+func mc(ctx context.Context, args []string, jsonOut bool, workers int) error {
 	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
 	d := fs.Int("d", 11, "code distance (odd, >= 3)")
 	p := fs.Float64("p", 0.005, "data error probability per round")
@@ -207,6 +215,7 @@ func mc(ctx context.Context, args []string, jsonOut bool) error {
 	shots := fs.Int("shots", 200000, "shot budget")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	relSE := fs.Float64("rel-se", 0, "convergence target: stop once the relative std-err drops below this (0 = run full budget)")
+	mcWorkers := fs.Int("workers", workers, "parallel worker goroutines (0 = all cores, 1 = serial; the estimate is identical for every value)")
 	if err := fs.Parse(args); err != nil {
 		return simerr.Invalidf("mc: %v", err)
 	}
@@ -215,7 +224,7 @@ func mc(ctx context.Context, args []string, jsonOut bool) error {
 		r = *d
 	}
 	res, err := surface.MonteCarloPhenomenologicalCtx(ctx, *d, *p, *q, r, *shots, *seed,
-		simrun.Options{TargetRelStdErr: *relSE})
+		simrun.Options{TargetRelStdErr: *relSE, Workers: *mcWorkers})
 	if err != nil {
 		return err
 	}
@@ -262,14 +271,17 @@ func findDesign(name string) (microarch.Design, bool) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `qisim — QCI scalability analysis (QIsim reproduction)
 
-  qisim [-timeout d] [-json] designs             list the named design points
-  qisim [-timeout d] [-json] analyze [name ...]  analyze designs (default: all)
-  qisim [-timeout d] [-json] sweep <name> <N ...> per-stage utilisation at qubit counts
-  qisim [-timeout d] [-json] mc [flags]          phenomenological MC decoder run
+  qisim [-timeout d] [-json] [-workers n] designs             list the named design points
+  qisim [-timeout d] [-json] [-workers n] analyze [name ...]  analyze designs (default: all)
+  qisim [-timeout d] [-json] [-workers n] sweep <name> <N ...> per-stage utilisation at qubit counts
+  qisim [-timeout d] [-json] [-workers n] mc [flags]          phenomenological MC decoder run
   qisim scorecard                                reproduction headlines vs the paper
   qisim lattice <design> <d>                     logical CNOT/memory estimate on a design
 
-SIGINT or -timeout cancels cooperatively: partial results are printed
-(flagged truncated in -json) and the exit code is 3. Error-class exit codes:
-4 invalid config, 5 numerical, 6 budget infeasible, 7 unsupported QASM.`)
+-workers fans Monte-Carlo and sweep work out across n goroutines (0 = all
+cores, 1 = serial); deterministic sharded RNG makes the result bit-identical
+for every worker count. SIGINT or -timeout cancels cooperatively: partial
+results are printed (flagged truncated in -json) and the exit code is 3.
+Error-class exit codes: 4 invalid config, 5 numerical, 6 budget infeasible,
+7 unsupported QASM.`)
 }

@@ -59,6 +59,29 @@ func TestSurfaceMCDeterministicUnderConvergenceGuard(t *testing.T) {
 	}
 }
 
+func TestSurfaceMCDeterministicParallel(t *testing.T) {
+	// The parallel engine must be as repeatable as the serial one: two
+	// multi-worker runs with the same seed agree bit-exactly, including under
+	// the convergence guard (the stop point is decided at shard boundaries
+	// over the in-order prefix, so it cannot depend on scheduling).
+	ctx := context.Background()
+	for _, opt := range []simrun.Options{
+		{Workers: 4, ShardSize: 128},
+		{Workers: 7, ShardSize: 100, TargetRelStdErr: 0.05, MinShots: 500, CheckEvery: 50},
+	} {
+		run := func() surface.DecoderResult {
+			r, err := surface.MonteCarloLogicalErrorCtx(ctx, 3, 0.08, 30000, 23, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		if r1, r2 := run(), run(); r1 != r2 {
+			t.Fatalf("parallel surface MC not deterministic (%+v):\n%+v\n%+v", opt, r1, r2)
+		}
+	}
+}
+
 func TestPauliMCDeterministic(t *testing.T) {
 	prog, err := workloads.Generate("ghz", 6)
 	if err != nil {

@@ -246,6 +246,64 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// (c-par) The same budget exhaustion with a parallel fan-out: a
+			// canceled context with Workers=4 must drain the worker pool
+			// cleanly and surface the same flagged-partial contract as the
+			// serial path — the partial is the contiguous prefix of completed
+			// shards, never a torn shard.
+			Name:          "canceled-parallel-decoder-mc",
+			WantTruncated: true,
+			Run: func() Outcome {
+				res, err := surface.MonteCarloPhenomenologicalCtx(
+					canceledCtx(), 5, 0.02, 0.02, 5, 20000, 11,
+					simrun.Options{CheckEvery: 1, Workers: 4, ShardSize: 100})
+				if err == nil && res.Status.Completed%100 != 0 {
+					err = fmt.Errorf("parallel partial kept a torn shard: %d shots", res.Status.Completed)
+				}
+				return Outcome{Err: err, Status: res.Status,
+					Detail: fmt.Sprintf("completed %d/%d shots across 4 workers", res.Status.Completed, res.Status.Requested)}
+			},
+		},
+		{
+			// (c-par') Interrupted parallel runs must surface the typed
+			// Interrupted sentinel through Status.Err, so exit-code mapping
+			// (code 3) works identically for every worker count.
+			Name:  "interrupted-parallel-status-err",
+			Class: simerr.ErrInterrupted,
+			Run: func() Outcome {
+				res, err := surface.MonteCarloLogicalErrorCtx(
+					canceledCtx(), 3, 0.01, 5000, 7,
+					simrun.Options{CheckEvery: 1, Workers: 4, ShardSize: 64})
+				if err != nil {
+					return Outcome{Err: err, Detail: "unexpected hard error from canceled parallel run"}
+				}
+				return Outcome{Err: res.Status.Err(), Status: res.Status,
+					Detail: fmt.Sprintf("stop reason %q", res.Status.StopReason)}
+			},
+		},
+		{
+			// A negative worker count is a configuration fault, rejected at
+			// the Options boundary before any goroutine is spawned.
+			Name:  "invalid-worker-count",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				_, err := surface.MonteCarloLogicalErrorCtx(
+					context.Background(), 3, 0.01, 1000, 3, simrun.Options{Workers: -2})
+				return Outcome{Err: err, Detail: "Workers=-2 into the sharded engine"}
+			},
+		},
+		{
+			// A negative shard size likewise: shard planning must not be
+			// reachable with a nonsense layout.
+			Name:  "invalid-shard-size",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				_, err := surface.MonteCarloUnionFindCtx(
+					context.Background(), 3, 0.01, 1000, 3, simrun.Options{ShardSize: -5})
+				return Outcome{Err: err, Detail: "ShardSize=-5 into the sharded engine"}
+			},
+		},
+		{
 			// (c'') An infeasible convergence floor — MinShots above the
 			// capped budget — must be rejected as ErrBudgetInfeasible before
 			// any shots are spent.

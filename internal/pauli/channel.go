@@ -3,7 +3,6 @@ package pauli
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"qisim/internal/cmath"
 	"qisim/internal/simerr"
@@ -126,40 +125,48 @@ func TrajectoryAverageFidelityCtx(ctx context.Context, c KrausChannel, shots int
 			return TrajectoryResult{}, simerr.Numericalf("pauli: Kraus operator %d contains NaN/Inf", i)
 		}
 	}
-	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	states := cardinalStates()
+	// Shard bodies: each shard accumulates its own partial fidelity sum on
+	// its private RNG stream; the in-shard-order merge keeps the floating
+	// point accumulation deterministic for every worker count. The cardinal
+	// state cycles over the GLOBAL shot index so the state sequence is
+	// independent of the shard layout's execution order.
+	sum, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
+		func(t *simrun.ShardTask) (float64, int, error) {
+			var partial float64
+			for s := 0; t.Continue(s); s++ {
+				psi := states[t.GlobalShot(s)%len(states)]
+				// Outcome probabilities p_k = ⟨ψ|K†K|ψ⟩.
+				r := t.RNG.Float64()
+				var acc float64
+				for _, k := range c.Ops {
+					kpsi := k.ApplyTo(psi)
+					p := 0.0
+					for _, a := range kpsi {
+						p += real(a)*real(a) + imag(a)*imag(a)
+					}
+					acc += p
+					if r < acc || acc >= 1-1e-12 {
+						cmath.NormalizeVec(kpsi)
+						ov := cmath.Overlap(psi, kpsi)
+						partial += real(ov)*real(ov) + imag(ov)*imag(ov)
+						break
+					}
+				}
+			}
+			// No binomial statistic: the estimator is a mean, not a rate.
+			return partial, -1, nil
+		},
+		func(dst *float64, src float64) { *dst += src })
 	if gerr != nil {
 		return TrajectoryResult{}, gerr
-	}
-	rng := rand.New(rand.NewSource(seed))
-	states := cardinalStates()
-	var sum float64
-	s := 0
-	for ; g.Continue(s); s++ {
-		psi := states[s%len(states)]
-		// Outcome probabilities p_k = ⟨ψ|K†K|ψ⟩.
-		r := rng.Float64()
-		var acc float64
-		for _, k := range c.Ops {
-			kpsi := k.ApplyTo(psi)
-			p := 0.0
-			for _, a := range kpsi {
-				p += real(a)*real(a) + imag(a)*imag(a)
-			}
-			acc += p
-			if r < acc || acc >= 1-1e-12 {
-				cmath.NormalizeVec(kpsi)
-				ov := cmath.Overlap(psi, kpsi)
-				sum += real(ov)*real(ov) + imag(ov)*imag(ov)
-				break
-			}
-		}
 	}
 	if err := cmath.CheckFiniteScalar("TrajectoryAverageFidelity sum", sum); err != nil {
 		return TrajectoryResult{}, err
 	}
-	res := TrajectoryResult{Status: g.Status(s)}
-	if s > 0 {
-		res.Fidelity = sum / float64(s)
+	res := TrajectoryResult{Status: status}
+	if status.Completed > 0 {
+		res.Fidelity = sum / float64(status.Completed)
 	}
 	return res, nil
 }

@@ -10,7 +10,6 @@ package pauli
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
@@ -118,10 +117,13 @@ type MCResult struct {
 	Status    simrun.Status `json:"status"`
 }
 
-// MonteCarloCtx is the context-aware Pauli-event Monte-Carlo: cancellation
-// stops the shot loop at the next check interval and returns the partial,
-// Truncated-flagged success fraction; opt can enable the standard-error
-// convergence guard (on the failure count).
+// MonteCarloCtx is the context-aware Pauli-event Monte-Carlo, executed on
+// the sharded parallel engine: shard RNG streams derive deterministically
+// from cfg.Seed, shard results merge in shard order, and the success
+// fraction is bit-identical for every opt.Workers count. Cancellation keeps
+// the completed shard prefix as a partial, Truncated-flagged estimate; opt
+// can enable the cross-shard standard-error convergence guard (on the
+// failure count).
 func MonteCarloCtx(ctx context.Context, res *cyclesim.Result, cfg Config, opt simrun.Options) (MCResult, error) {
 	if res == nil {
 		return MCResult{}, simerr.Invalidf("pauli: nil cyclesim result")
@@ -133,42 +135,46 @@ func MonteCarloCtx(ctx context.Context, res *cyclesim.Result, cfg Config, opt si
 	if period <= 0 {
 		period = 100e-9
 	}
-	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
-	if gerr != nil {
-		return MCResult{}, gerr
-	}
 	pp := cfg.Rates.DecoherenceError(period)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	success := 0
-	// Pre-collect idle identity counts.
+	// Pre-collect idle identity counts (read-only across shards).
 	var idleIDs int
 	for q := 0; q < len(res.QubitBusy); q++ {
 		idleIDs += int(res.IdleTime(q) / period)
 	}
-	s := 0
-	for ; g.ContinueBinomial(s, s-success); s++ {
-		ok := true
-		for _, op := range res.Ops {
-			if p := cfg.Rates.GateError(op.Instr); p > 0 && rng.Float64() < p {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			for i := 0; i < idleIDs; i++ {
-				if rng.Float64() < pp {
-					ok = false
-					break
+	success, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
+		func(t *simrun.ShardTask) (int, int, error) {
+			succ := 0
+			done := 0
+			for s := 0; t.Continue(s); s++ {
+				done++
+				ok := true
+				for _, op := range res.Ops {
+					if p := cfg.Rates.GateError(op.Instr); p > 0 && t.RNG.Float64() < p {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for i := 0; i < idleIDs; i++ {
+						if t.RNG.Float64() < pp {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					succ++
 				}
 			}
-		}
-		if ok {
-			success++
-		}
+			return succ, done - succ, nil
+		},
+		func(dst *int, src int) { *dst += src })
+	if gerr != nil {
+		return MCResult{}, gerr
 	}
-	out := MCResult{Successes: success, Status: g.Status(s)}
-	if s > 0 {
-		out.Fidelity = float64(success) / float64(s)
+	out := MCResult{Successes: success, Status: status}
+	if status.Completed > 0 {
+		out.Fidelity = float64(success) / float64(status.Completed)
 	}
 	return out, nil
 }

@@ -17,7 +17,6 @@ package readout
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -190,67 +189,77 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 	if math.IsNaN(cfg.Range) || cfg.Range < 0 {
 		return MultiRoundResult{}, simerr.Invalidf("readout: decision range %v must be >= 0", cfg.Range)
 	}
-	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
-	if gerr != nil {
-		return MultiRoundResult{}, gerr
-	}
 	q := c.perSampleCorrectProb()
 	m := float64(t.RoundSamples)
 	mu := m * (2*q - 1)
 	sigma := 2 * math.Sqrt(m*q*(1-q))
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	errs, totalRounds, decidedBy3 := 0, 0, 0
-	s := 0
-	for ; g.ContinueBinomial(s, errs); s++ {
-		// Decay time in units of rounds (only matters for prepared |1>, half
-		// of shots; we model the symmetric average by applying to all shots
-		// with half weight via alternating preparation).
-		prepared1 := s%2 == 1
-		decayRound := math.Inf(1)
-		if prepared1 && rng.Float64() < c.DecayProb {
-			decayRound = rng.Float64() * float64(t.MaxRounds)
-		}
-		var diff float64
-		rounds := 0
-		decided := false
-		var wrong bool
-		for r := 0; r < cfg.MaxRounds; r++ {
-			rmu := mu
-			// After decay the signal flips sign for a prepared |1>.
-			if float64(r) >= decayRound {
-				rmu = -mu
-			} else if float64(r+1) > decayRound && float64(r) < decayRound {
-				f := decayRound - float64(r)
-				rmu = mu * (2*f - 1)
+	type tallies struct{ errs, totalRounds, decidedBy3 int }
+	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
+		func(task *simrun.ShardTask) (tallies, int, error) {
+			var tl tallies
+			for s := 0; task.Continue(s); s++ {
+				// Decay time in units of rounds (only matters for prepared
+				// |1>, half of shots; we model the symmetric average by
+				// applying to all shots with half weight via alternating
+				// preparation — keyed to the GLOBAL shot index so the
+				// preparation sequence is shard-layout invariant).
+				prepared1 := task.GlobalShot(s)%2 == 1
+				decayRound := math.Inf(1)
+				if prepared1 && task.RNG.Float64() < c.DecayProb {
+					decayRound = task.RNG.Float64() * float64(t.MaxRounds)
+				}
+				var diff float64
+				rounds := 0
+				decided := false
+				var wrong bool
+				for r := 0; r < cfg.MaxRounds; r++ {
+					rmu := mu
+					// After decay the signal flips sign for a prepared |1>.
+					if float64(r) >= decayRound {
+						rmu = -mu
+					} else if float64(r+1) > decayRound && float64(r) < decayRound {
+						f := decayRound - float64(r)
+						rmu = mu * (2*f - 1)
+					}
+					diff += rmu + sigma*task.RNG.NormFloat64()
+					rounds = r + 1
+					if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
+						wrong = diff < 0
+						decided = true
+						break
+					}
+				}
+				if !decided {
+					wrong = diff < 0
+					rounds = cfg.MaxRounds
+				}
+				if wrong {
+					tl.errs++
+				}
+				tl.totalRounds += rounds
+				if rounds <= 3 {
+					tl.decidedBy3++
+				}
 			}
-			diff += rmu + sigma*rng.NormFloat64()
-			rounds = r + 1
-			if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
-				wrong = diff < 0
-				decided = true
-				break
-			}
-		}
-		if !decided {
-			wrong = diff < 0
-			rounds = cfg.MaxRounds
-		}
-		if wrong {
-			errs++
-		}
-		totalRounds += rounds
-		if rounds <= 3 {
-			decidedBy3++
-		}
+			return tl, tl.errs, nil
+		},
+		func(dst *tallies, src tallies) {
+			dst.errs += src.errs
+			dst.totalRounds += src.totalRounds
+			dst.decidedBy3 += src.decidedBy3
+		})
+	if gerr != nil {
+		return MultiRoundResult{}, gerr
 	}
-	res := MultiRoundResult{Status: g.Status(s)}
-	if s > 0 {
-		mr := float64(totalRounds) / float64(s)
-		res.Error = float64(errs) / float64(s)
+	res := MultiRoundResult{Status: status}
+	if status.Completed > 0 {
+		n := float64(status.Completed)
+		mr := float64(sum.totalRounds) / n
+		res.Error = float64(sum.errs) / n
 		res.MeanRounds = mr
 		res.MeanTime = t.TotalTime(mr)
-		res.FracDecidedBy3 = float64(decidedBy3) / float64(s)
+		res.FracDecidedBy3 = float64(sum.decidedBy3) / n
 		full := t.TotalTime(float64(t.MaxRounds))
 		if full > 0 {
 			res.Speedup = 1 - res.MeanTime/full

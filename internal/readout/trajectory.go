@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"math/cmplx"
-	"math/rand"
 
 	"qisim/internal/cmath"
 	"qisim/internal/ham"
@@ -111,59 +110,70 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 		sigma = sep / chain.SNRPerSample
 	}
 
-	g, gerr := simrun.NewGuard(ctx, cfg.Shots, opt)
+	// The precomputed trajectories and the projection closure are read-only
+	// across shards; each shard draws noise from its private RNG stream and
+	// alternates preparation on the GLOBAL shot index, so the merged error
+	// counts are bit-identical for every worker count.
+	type tallies struct{ bin, single int }
+	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
+		func(task *simrun.ShardTask) (tallies, int, error) {
+			var tl tallies
+			for s := 0; task.Continue(s); s++ {
+				prepared1 := task.GlobalShot(s)%2 == 1
+				traj := traj0
+				if prepared1 {
+					traj = traj1
+				}
+				// Decay: prepared |1> relaxes at an exponential time;
+				// afterwards the cavity relaxes toward the |0> pointer with
+				// rate κ/2.
+				decayAt := math.Inf(1)
+				if prepared1 && task.RNG.Float64() < chain.DecayProb*float64(total)/float64(nSamp) {
+					decayAt = float64(nRing) + task.RNG.Float64()*float64(nSamp)
+				}
+				var count, sumProj float64
+				used := 0
+				for k := nRing; k < total; k++ {
+					mean := traj[k]
+					if fk := float64(k); fk > decayAt {
+						// exponential pull toward the |0> trajectory
+						lam := math.Exp(-r.KappaRad / 2 * (fk - decayAt) * dt)
+						mean = traj1[k]*complex(lam, 0) + traj0[k]*complex(1-lam, 0)
+					}
+					ns := sigma
+					if task.RNG.Float64() < chain.OutlierProb {
+						ns *= chain.OutlierFactor
+					}
+					sample := mean + complex(ns*task.RNG.NormFloat64(), ns*task.RNG.NormFloat64())
+					p := project(sample)
+					if p > 0 {
+						count++
+					}
+					sumProj += p
+					used++
+				}
+				majority1 := count > float64(used)/2
+				mean1 := sumProj > 0
+				if majority1 != prepared1 {
+					tl.bin++
+				}
+				if mean1 != prepared1 {
+					tl.single++
+				}
+			}
+			return tl, tl.bin, nil
+		},
+		func(dst *tallies, src tallies) {
+			dst.bin += src.bin
+			dst.single += src.single
+		})
 	if gerr != nil {
 		return TrajectoryResult{}, gerr
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	binErrs, singleErrs := 0, 0
-	shot := 0
-	for ; g.ContinueBinomial(shot, binErrs); shot++ {
-		prepared1 := shot%2 == 1
-		traj := traj0
-		if prepared1 {
-			traj = traj1
-		}
-		// Decay: prepared |1> relaxes at an exponential time; afterwards the
-		// cavity relaxes toward the |0> pointer with rate κ/2.
-		decayAt := math.Inf(1)
-		if prepared1 && rng.Float64() < chain.DecayProb*float64(total)/float64(nSamp) {
-			decayAt = float64(nRing) + rng.Float64()*float64(nSamp)
-		}
-		var count, sumProj float64
-		used := 0
-		for k := nRing; k < total; k++ {
-			mean := traj[k]
-			if fk := float64(k); fk > decayAt {
-				// exponential pull toward the |0> trajectory
-				lam := math.Exp(-r.KappaRad / 2 * (fk - decayAt) * dt)
-				mean = traj1[k]*complex(lam, 0) + traj0[k]*complex(1-lam, 0)
-			}
-			ns := sigma
-			if rng.Float64() < chain.OutlierProb {
-				ns *= chain.OutlierFactor
-			}
-			sample := mean + complex(ns*rng.NormFloat64(), ns*rng.NormFloat64())
-			p := project(sample)
-			if p > 0 {
-				count++
-			}
-			sumProj += p
-			used++
-		}
-		majority1 := count > float64(used)/2
-		mean1 := sumProj > 0
-		if majority1 != prepared1 {
-			binErrs++
-		}
-		if mean1 != prepared1 {
-			singleErrs++
-		}
-	}
-	res := TrajectoryResult{Separation: sep, Status: g.Status(shot)}
-	if shot > 0 {
-		res.BinError = float64(binErrs) / float64(shot)
-		res.SingleError = float64(singleErrs) / float64(shot)
+	res := TrajectoryResult{Separation: sep, Status: status}
+	if status.Completed > 0 {
+		res.BinError = float64(sum.bin) / float64(status.Completed)
+		res.SingleError = float64(sum.single) / float64(status.Completed)
 	}
 	return res, nil
 }

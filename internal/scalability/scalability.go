@@ -69,6 +69,10 @@ type Options struct {
 	Budgets  cryo.Budgets
 	Targets  surface.TargetModel
 	Distance int
+	// Workers parallelises AnalyzeAllCtx and SweepCtx across design points /
+	// sweep samples (0 = GOMAXPROCS, 1 = serial). Results are bit-identical
+	// for every worker count: points merge in index order.
+	Workers int
 }
 
 // DefaultOptions returns the Table 2 budgets, Jellium targets and d = 23.
@@ -159,23 +163,30 @@ func AnalyzeAll(opt Options) []Analysis {
 	return out
 }
 
-// AnalyzeAllCtx evaluates every named design point under a context: on
-// cancellation it returns the analyses completed so far with Truncated set.
+// AnalyzeAllCtx evaluates every named design point under a context, fanning
+// the designs out across opt.Workers goroutines (index-order merge keeps the
+// output order and content identical for every worker count): on
+// cancellation it returns the contiguous prefix of analyses completed so
+// far with Truncated set.
 func AnalyzeAllCtx(ctx context.Context, opt Options) ([]Analysis, simrun.Status, error) {
 	if err := checkOptions(opt); err != nil {
 		return nil, simrun.Status{}, err
 	}
 	ds := microarch.AllDesigns()
-	g, err := simrun.NewGuard(ctx, len(ds), simrun.Options{CheckEvery: 1})
+	out, status, err := simrun.RunSharded(ctx, len(ds), 0,
+		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers},
+		func(t *simrun.ShardTask) ([]Analysis, int, error) {
+			part := make([]Analysis, 0, t.N)
+			for i := 0; t.Continue(i); i++ {
+				part = append(part, Analyze(ds[t.GlobalShot(i)], opt))
+			}
+			return part, -1, nil
+		},
+		func(dst *[]Analysis, src []Analysis) { *dst = append(*dst, src...) })
 	if err != nil {
 		return nil, simrun.Status{}, err
 	}
-	var out []Analysis
-	i := 0
-	for ; g.Continue(i); i++ {
-		out = append(out, Analyze(ds[i], opt))
-	}
-	return out, g.Status(i), nil
+	return out, status, nil
 }
 
 // CurvePoint is one sample of a Fig. 12/13/17-style sweep.
@@ -209,9 +220,12 @@ type SweepResult struct {
 	Status simrun.Status `json:"status"`
 }
 
-// SweepCtx is the context-aware qubit-count sweep: on cancellation it
-// returns the points computed so far, flagged Truncated, so an interrupted
-// design-space exploration keeps the samples it already paid for.
+// SweepCtx is the context-aware qubit-count sweep, fanned out across
+// opt.Workers goroutines on the sharded engine (one point per shard,
+// index-order merge — output identical for every worker count): on
+// cancellation it returns the contiguous prefix of points computed so far,
+// flagged Truncated, so an interrupted design-space exploration keeps the
+// samples it already paid for.
 func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Options) (SweepResult, error) {
 	if err := checkOptions(opt); err != nil {
 		return SweepResult{}, err
@@ -224,40 +238,38 @@ func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Op
 			return SweepResult{}, simerr.Invalidf("scalability: qubit count must be positive, got %d", n)
 		}
 	}
-	g, gerr := simrun.NewGuard(ctx, len(qubitCounts), simrun.Options{CheckEvery: 1})
-	if gerr != nil {
-		return SweepResult{}, gerr
-	}
-	res := SweepResult{Design: d.Name}
-	res.Points = sweepPoints(d, qubitCounts, opt, g)
-	res.Status = g.Status(len(res.Points))
-	return res, nil
-}
-
-func sweepPoints(d microarch.Design, qubitCounts []int, opt Options, g *simrun.Guard) []CurvePoint {
 	pb := d.PerQubitPower()
 	pl := d.LogicalError(0)
 	perPatch := float64(surface.PhysicalQubitsPerPatch(opt.Distance))
-	out := make([]CurvePoint, 0, len(qubitCounts))
-	for i := 0; g.Continue(i); i++ {
-		n := qubitCounts[i]
-		cp := CurvePoint{Qubits: n, Utilization: map[wiring.Stage]float64{}, LogicalError: pl}
-		cp.Feasible = true
-		for st, budget := range opt.Budgets {
-			u := pb.StageW[st] * float64(n) / budget
-			cp.Utilization[st] = u
-			if u > 1 {
-				cp.Feasible = false
+	points, status, gerr := simrun.RunSharded(ctx, len(qubitCounts), 0,
+		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers},
+		func(t *simrun.ShardTask) ([]CurvePoint, int, error) {
+			part := make([]CurvePoint, 0, t.N)
+			for i := 0; t.Continue(i); i++ {
+				n := qubitCounts[t.GlobalShot(i)]
+				cp := CurvePoint{Qubits: n, Utilization: map[wiring.Stage]float64{}, LogicalError: pl}
+				cp.Feasible = true
+				for st, budget := range opt.Budgets {
+					u := pb.StageW[st] * float64(n) / budget
+					cp.Utilization[st] = u
+					if u > 1 {
+						cp.Feasible = false
+					}
+				}
+				nLogical := float64(n) / perPatch
+				cp.Target = opt.Targets.Target(nLogical)
+				if pl > cp.Target {
+					cp.Feasible = false
+				}
+				part = append(part, cp)
 			}
-		}
-		nLogical := float64(n) / perPatch
-		cp.Target = opt.Targets.Target(nLogical)
-		if pl > cp.Target {
-			cp.Feasible = false
-		}
-		out = append(out, cp)
+			return part, -1, nil
+		},
+		func(dst *[]CurvePoint, src []CurvePoint) { *dst = append(*dst, src...) })
+	if gerr != nil {
+		return SweepResult{}, gerr
 	}
-	return out
+	return SweepResult{Design: d.Name, Points: points, Status: status}, nil
 }
 
 // Table renders a set of analyses as an aligned text table.

@@ -1,0 +1,284 @@
+package simrun
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Tally is the locked cross-shard event counter of the parallel engine.
+//
+// The Guard is single-goroutine by contract (see its doc comment): its
+// ContinueBinomial check mutates unguarded fields, so it must never be
+// shared across workers. The pool instead aggregates per-shard (shots,
+// events) pairs into a Tally, whose methods are safe for concurrent use,
+// and the engine runs the convergence test over the tally's committed
+// totals at shard boundaries.
+type Tally struct {
+	mu     sync.Mutex
+	shots  int
+	events int
+	// noConverge latches when a consumer reports a negative event count,
+	// meaning "this estimator has no binomial convergence statistic".
+	noConverge bool
+}
+
+// Add accumulates one shard's completed shots and observed events. A
+// negative event count disables convergence for the whole run (the
+// estimator exposes no binomial statistic).
+func (t *Tally) Add(shots, events int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shots += shots
+	if events < 0 {
+		t.noConverge = true
+		return
+	}
+	t.events += events
+}
+
+// Snapshot returns the committed totals so far.
+func (t *Tally) Snapshot() (shots, events int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shots, t.events
+}
+
+// Converged reports whether the committed totals satisfy the binomial
+// convergence guard: at least minShots shots and a relative standard error
+// of the event rate at or below target. Always false when target <= 0 or
+// when any consumer disabled convergence with a negative event count.
+func (t *Tally) Converged(target float64, minShots int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if target <= 0 || t.noConverge || t.shots < minShots {
+		return false
+	}
+	return binomialConverged(t.events, t.shots, target)
+}
+
+// ShardTask is the per-shard execution context handed to a ShardFunc. It
+// bundles the shard geometry, the shard's private deterministic RNG stream,
+// and the cancellation poll. A ShardTask is owned by exactly one worker
+// goroutine and must not escape the ShardFunc invocation.
+type ShardTask struct {
+	Shard
+	// RNG is the shard's private stream, seeded with Shard.Seed. Every
+	// random draw of the shard MUST come from this stream (and only this
+	// stream) or cross-worker determinism is lost.
+	RNG *rand.Rand
+
+	ctx         context.Context
+	every       int
+	interrupted bool
+}
+
+// Continue reports whether local shot i (0-based) should run: false once the
+// shard's N shots are done or — polled every CheckEvery shots — the context
+// is cancelled. An interrupted shard is discarded wholesale by the engine
+// (the merged result only ever contains complete shards), so consumers do
+// not need to flag partial shard state themselves.
+func (t *ShardTask) Continue(i int) bool {
+	if t.interrupted || i >= t.N {
+		return false
+	}
+	if i > 0 && i%t.every == 0 && t.ctx.Err() != nil {
+		t.interrupted = true
+		return false
+	}
+	return true
+}
+
+// Interrupted reports whether the shard loop was cut short by cancellation.
+func (t *ShardTask) Interrupted() bool { return t.interrupted }
+
+// GlobalShot maps a local loop index to the run-global shot index.
+func (t *ShardTask) GlobalShot(i int) int { return t.Start + i }
+
+// ShardFunc runs one shard to completion and returns the shard's partial
+// result plus its event count for the convergence guard (negative = this
+// estimator has no binomial statistic). The function must be pure given
+// (Shard, RNG): no shared mutable state, no RNG draws outside t.RNG.
+type ShardFunc[R any] func(t *ShardTask) (R, int, error)
+
+// MergeFunc folds one shard's partial result into the accumulator. The
+// engine calls it in strictly ascending shard order, so non-commutative
+// accumulation (floating-point sums, appends) is still deterministic.
+type MergeFunc[R any] func(dst *R, src R)
+
+// shardRecord holds one shard's outcome until the deterministic in-order
+// merge.
+type shardRecord[R any] struct {
+	res    R
+	events int
+	done   bool
+	err    error
+}
+
+// RunSharded is the parallel Monte-Carlo shot engine. It partitions the
+// requested budget into fixed-size shards (Options.ShardSize, default 512
+// shots), derives an independent deterministic RNG stream per shard from the
+// top-level seed (ShardSeed), executes the shards on Options.Workers worker
+// goroutines (default GOMAXPROCS; 1 = serial reference, no goroutines), and
+// merges shard results in shard order.
+//
+// Determinism contract: the merged result is always the in-order fold of a
+// PREFIX of the shard sequence, and each shard's contribution depends only
+// on (seed, shard index). Consequences:
+//
+//   - The full-budget result is bit-identical for every worker count.
+//   - Convergence early-stop is decided from the cross-shard Tally over the
+//     committed contiguous prefix, at shard boundaries only — so the
+//     converged prefix length, and therefore the converged result, is also
+//     bit-identical for every worker count. Shards that finish beyond the
+//     converged prefix are discarded, never merged.
+//   - Cancellation (the one intentionally non-deterministic stop, as with
+//     wall-clock deadlines before this engine) keeps the longest contiguous
+//     prefix of completed shards: the partial result is flagged Truncated
+//     and is itself reproducible — rerunning the same prefix of shards
+//     regenerates it bit-exactly.
+//
+// The returned Status counts shots over the merged prefix (Completed is
+// always a whole number of shards).
+func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
+	run ShardFunc[R], merge MergeFunc[R]) (R, Status, error) {
+
+	var zero R
+	if err := opt.Validate(shots); err != nil {
+		return zero, Status{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.CheckEvery == 0 {
+		opt.CheckEvery = 256
+	}
+	if opt.ShardSize == 0 {
+		opt.ShardSize = DefaultShardSize
+	}
+	if opt.TargetRelStdErr > 0 && opt.MinShots == 0 {
+		opt.MinShots = 1000
+	}
+	budget := shots
+	if opt.MaxShots > 0 && opt.MaxShots < budget {
+		budget = opt.MaxShots
+	}
+	shards := shardPlan(budget, opt.ShardSize, seed)
+	nShards := len(shards)
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+
+	recs := make([]shardRecord[R], nShards)
+	var (
+		mu       sync.Mutex
+		tally    Tally
+		frontier int     // next shard index awaiting commit
+		stopAt   = nShards // shards >= stopAt are never merged
+		reason   string
+	)
+	var next int64 // atomic shard issuance counter
+
+	// commit advances the contiguous committed prefix over freshly completed
+	// shards, feeding the cross-shard tally and running the convergence test
+	// at each shard boundary. Called with mu held.
+	commit := func() {
+		for frontier < stopAt && recs[frontier].done {
+			tally.Add(shards[frontier].N, recs[frontier].events)
+			frontier++
+			if tally.Converged(opt.TargetRelStdErr, opt.MinShots) {
+				stopAt = frontier
+				reason = StopConverged
+				return
+			}
+		}
+	}
+
+	worker := func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= nShards {
+				return
+			}
+			mu.Lock()
+			sa := stopAt
+			mu.Unlock()
+			if i >= sa {
+				return
+			}
+			t := &ShardTask{
+				Shard: shards[i],
+				RNG:   rand.New(rand.NewSource(shards[i].Seed)),
+				ctx:   ctx,
+				every: opt.CheckEvery,
+			}
+			res, events, err := run(t)
+			mu.Lock()
+			if err != nil {
+				recs[i].err = err
+			} else if !t.interrupted {
+				recs[i] = shardRecord[R]{res: res, events: events, done: true}
+				commit()
+			}
+			mu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		// Serial reference: same issuance, commit and merge logic, executed
+		// inline — Workers=1 is the semantics the pool must reproduce.
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Surface the first shard error in shard order (deterministic pick).
+	for i := range recs {
+		if recs[i].err != nil {
+			return zero, Status{}, recs[i].err
+		}
+	}
+
+	// Decide the merged prefix and stop reason.
+	end := frontier
+	switch {
+	case reason == StopConverged:
+		end = stopAt
+	case end >= nShards:
+		reason = StopCompleted
+	case ctx.Err() == context.DeadlineExceeded:
+		reason = StopDeadline
+	default:
+		reason = StopCanceled
+	}
+
+	var out R
+	for i := 0; i < end; i++ {
+		merge(&out, recs[i].res)
+	}
+	completed := shardShots(budget, opt.ShardSize, end)
+	return out, Status{
+		Requested:  budget,
+		Completed:  completed,
+		Truncated:  reason == StopCanceled || reason == StopDeadline,
+		Converged:  reason == StopConverged,
+		StopReason: reason,
+	}, nil
+}

@@ -32,6 +32,12 @@ const (
 	StopConverged = "converged"
 )
 
+// DefaultShardSize is the parallel engine's default shots-per-shard. It is
+// the granularity of both parallelism and the cross-shard convergence check:
+// small enough that short runs still fan out, large enough that per-shard
+// setup (RNG construction, scratch buffers) amortises.
+const DefaultShardSize = 512
+
 // Options configure a context-aware simulation run.
 type Options struct {
 	// MaxShots caps the shot budget below the caller's request (0 = no cap).
@@ -47,6 +53,15 @@ type Options struct {
 	// CheckEvery is the cancellation/convergence polling interval in shots
 	// (default 256). Smaller = more responsive, larger = cheaper.
 	CheckEvery int
+	// Workers is the parallel engine's worker-goroutine count: 0 = one per
+	// GOMAXPROCS, 1 = serial reference execution (no goroutines spawned).
+	// The merged result is bit-identical for every worker count (see
+	// RunSharded's determinism contract).
+	Workers int
+	// ShardSize is the shots-per-shard partition of the parallel engine
+	// (default DefaultShardSize). It fixes the RNG stream layout: two runs
+	// agree bit-exactly only when seed AND ShardSize agree.
+	ShardSize int
 }
 
 // Validate checks the options for internal consistency against a requested
@@ -58,6 +73,10 @@ func (o Options) Validate(requested int) error {
 	if o.MaxShots < 0 || o.MinShots < 0 || o.CheckEvery < 0 {
 		return simerr.Invalidf("simrun: negative option (MaxShots %d, MinShots %d, CheckEvery %d)",
 			o.MaxShots, o.MinShots, o.CheckEvery)
+	}
+	if o.Workers < 0 || o.ShardSize < 0 {
+		return simerr.Invalidf("simrun: negative option (Workers %d, ShardSize %d)",
+			o.Workers, o.ShardSize)
 	}
 	if o.TargetRelStdErr < 0 || math.IsNaN(o.TargetRelStdErr) {
 		return simerr.Invalidf("simrun: TargetRelStdErr must be >= 0, got %v", o.TargetRelStdErr)
@@ -106,6 +125,16 @@ func (s Status) Err() error {
 //	if err != nil { return ..., err }
 //	for s := 0; g.ContinueBinomial(s, failures); s++ { ... }
 //	res.Status = g.Status(...)
+//
+// Concurrency contract: a Guard serves exactly ONE shot loop on ONE
+// goroutine. Continue/ContinueBinomial/Status mutate unguarded fields, so a
+// Guard must never be shared across workers — under `go test -race` a shared
+// Guard is a reported data race, and a racy events tally would make the
+// convergence check depend on worker scheduling, breaking the determinism
+// contract. The parallel engine (RunSharded) therefore never hands a Guard
+// to its workers: each shard loop polls its own ShardTask and the pool
+// aggregates per-shard event counts through the locked Tally API, running
+// the convergence test only over the committed in-order shard prefix.
 type Guard struct {
 	ctx        context.Context
 	opt        Options

@@ -3,7 +3,6 @@ package surface
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -340,45 +339,49 @@ func checkMCParams(d int, probs ...float64) error {
 	return nil
 }
 
-// MonteCarloLogicalErrorCtx is the context-aware MonteCarloLogicalError:
-// cancellation or deadline expiry stops the shot loop at the next check
-// interval and returns the partial, Truncated-flagged estimate; opt can also
-// enable the standard-error convergence guard.
+// MonteCarloLogicalErrorCtx is the context-aware MonteCarloLogicalError,
+// executed on the sharded parallel engine: the shot budget is partitioned
+// into fixed-size shards with independent deterministic RNG streams
+// (simrun.ShardSeed), run on opt.Workers goroutines (default GOMAXPROCS),
+// and merged in shard order — the estimate is bit-identical for every
+// worker count. Cancellation or deadline expiry keeps the completed shard
+// prefix as a partial, Truncated-flagged estimate; opt can also enable the
+// cross-shard standard-error convergence guard.
 func MonteCarloLogicalErrorCtx(ctx context.Context, d int, p float64, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
 	if err := checkMCParams(d, p); err != nil {
 		return DecoderResult{}, err
 	}
-	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	patch := NewPatch(d)
+	m := newMatcher(patch) // read-only after construction: shared across shards
+	nd := patch.DataQubits()
+	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
+		func(t *simrun.ShardTask) (int, int, error) {
+			errBuf := make([]bool, nd)
+			f := 0
+			for i := 0; t.Continue(i); i++ {
+				anyErr := false
+				for q := 0; q < nd; q++ {
+					errBuf[q] = t.RNG.Float64() < p
+					anyErr = anyErr || errBuf[q]
+				}
+				if !anyErr {
+					continue
+				}
+				syn := m.syndrome(errBuf)
+				m.decode(errBuf, syn)
+				// After correction the syndrome must be clear; any remaining
+				// flip is logical.
+				if m.logicalFlip(errBuf) {
+					f++
+				}
+			}
+			return f, f, nil
+		},
+		func(dst *int, src int) { *dst += src })
 	if gerr != nil {
 		return DecoderResult{}, gerr
 	}
-	patch := NewPatch(d)
-	m := newMatcher(patch)
-	rng := rand.New(rand.NewSource(seed))
-	var res DecoderResult
-	nd := patch.DataQubits()
-	err := make([]bool, nd)
-	s := 0
-	for ; g.ContinueBinomial(s, res.Failures); s++ {
-		anyErr := false
-		for q := 0; q < nd; q++ {
-			err[q] = rng.Float64() < p
-			anyErr = anyErr || err[q]
-		}
-		if !anyErr {
-			continue
-		}
-		syn := m.syndrome(err)
-		m.decode(err, syn)
-		// After correction the syndrome must be clear; any remaining flip is
-		// logical.
-		if m.logicalFlip(err) {
-			res.Failures++
-		}
-	}
-	res.Shots = s
-	res.Status = g.Status(s)
-	return res, nil
+	return DecoderResult{Shots: status.Completed, Failures: failures, Status: status}, nil
 }
 
 // ThresholdResult is the outcome of a threshold bisection: when Truncated is

@@ -3,7 +3,6 @@ package surface
 import (
 	"context"
 	"math"
-	"math/rand"
 
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -31,10 +30,13 @@ func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int
 	return res
 }
 
-// MonteCarloPhenomenologicalCtx is the context-aware phenomenological MC:
-// cancellation or deadline expiry stops the shot loop at the next check
-// interval and returns the partial, Truncated-flagged estimate over the
-// completed shots; opt can enable the standard-error convergence guard.
+// MonteCarloPhenomenologicalCtx is the context-aware phenomenological MC,
+// executed on the sharded parallel engine: each shard of shots runs on its
+// own deterministic RNG stream and the shard results merge in shard order,
+// so the estimate is bit-identical for every opt.Workers count.
+// Cancellation or deadline expiry keeps the completed shard prefix as a
+// partial, Truncated-flagged estimate; opt can enable the cross-shard
+// standard-error convergence guard.
 func MonteCarloPhenomenologicalCtx(ctx context.Context, d int, p, q float64, rounds, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
 	if err := checkMCParams(d, p, q); err != nil {
 		return DecoderResult{}, err
@@ -42,67 +44,66 @@ func MonteCarloPhenomenologicalCtx(ctx context.Context, d int, p, q float64, rou
 	if rounds < 1 {
 		return DecoderResult{}, simerr.Invalidf("surface: rounds must be >= 1, got %d", rounds)
 	}
-	g, gerr := simrun.NewGuard(ctx, shots, opt)
-	if gerr != nil {
-		return DecoderResult{}, gerr
-	}
 	patch := NewPatch(d)
-	m := newMatcher(patch)
-	rng := rand.New(rand.NewSource(seed))
-	var res DecoderResult
+	m := newMatcher(patch) // read-only after construction: shared across shards
 	nd := patch.DataQubits()
 	nz := len(m.zAncillas)
 
-	err := make([]bool, nd)
-	prevMeas := make([]bool, nz)
-	curTrue := make([]bool, nz)
+	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
+		func(t *simrun.ShardTask) (int, int, error) {
+			errBuf := make([]bool, nd)
+			prevMeas := make([]bool, nz)
+			curTrue := make([]bool, nz)
+			f := 0
+			for s := 0; t.Continue(s); s++ {
+				for i := range errBuf {
+					errBuf[i] = false
+				}
+				for i := range prevMeas {
+					prevMeas[i] = false
+				}
+				var events []spacetimeNode
 
-	s := 0
-	for ; g.ContinueBinomial(s, res.Failures); s++ {
-		for i := range err {
-			err[i] = false
-		}
-		for i := range prevMeas {
-			prevMeas[i] = false
-		}
-		var events []spacetimeNode
+				for r := 0; r < rounds; r++ {
+					// New data errors this round.
+					for qb := 0; qb < nd; qb++ {
+						if t.RNG.Float64() < p {
+							errBuf[qb] = !errBuf[qb]
+						}
+					}
+					truth := m.syndrome(errBuf)
+					copy(curTrue, truth)
+					for z := 0; z < nz; z++ {
+						meas := curTrue[z]
+						if t.RNG.Float64() < q {
+							meas = !meas
+						}
+						if meas != prevMeas[z] {
+							events = append(events, spacetimeNode{z: z, t: r})
+						}
+						prevMeas[z] = meas
+					}
+				}
+				// Final perfect round.
+				truth := m.syndrome(errBuf)
+				for z := 0; z < nz; z++ {
+					if truth[z] != prevMeas[z] {
+						events = append(events, spacetimeNode{z: z, t: rounds})
+					}
+				}
 
-		for r := 0; r < rounds; r++ {
-			// New data errors this round.
-			for qb := 0; qb < nd; qb++ {
-				if rng.Float64() < p {
-					err[qb] = !err[qb]
+				m.decodeSpacetime(errBuf, events)
+				if m.logicalFlip(errBuf) {
+					f++
 				}
 			}
-			truth := m.syndrome(err)
-			copy(curTrue, truth)
-			for z := 0; z < nz; z++ {
-				meas := curTrue[z]
-				if rng.Float64() < q {
-					meas = !meas
-				}
-				if meas != prevMeas[z] {
-					events = append(events, spacetimeNode{z: z, t: r})
-				}
-				prevMeas[z] = meas
-			}
-		}
-		// Final perfect round.
-		truth := m.syndrome(err)
-		for z := 0; z < nz; z++ {
-			if truth[z] != prevMeas[z] {
-				events = append(events, spacetimeNode{z: z, t: rounds})
-			}
-		}
-
-		m.decodeSpacetime(err, events)
-		if m.logicalFlip(err) {
-			res.Failures++
-		}
+			return f, f, nil
+		},
+		func(dst *int, src int) { *dst += src })
+	if gerr != nil {
+		return DecoderResult{}, gerr
 	}
-	res.Shots = s
-	res.Status = g.Status(s)
-	return res, nil
+	return DecoderResult{Shots: status.Completed, Failures: failures, Status: status}, nil
 }
 
 // stDist is the space-time decoding metric: spatial Chebyshev distance plus

@@ -2,7 +2,6 @@ package surface
 
 import (
 	"context"
-	"math/rand"
 
 	"qisim/internal/simrun"
 )
@@ -129,38 +128,40 @@ func MonteCarloUnionFind(d int, p float64, shots int, seed int64) DecoderResult 
 	return res
 }
 
-// MonteCarloUnionFindCtx is the context-aware MonteCarloUnionFind:
-// cancellation yields a partial, Truncated-flagged estimate.
+// MonteCarloUnionFindCtx is the context-aware MonteCarloUnionFind, executed
+// on the sharded parallel engine (see MonteCarloLogicalErrorCtx): results
+// are bit-identical for every opt.Workers count; cancellation yields a
+// partial, Truncated-flagged estimate over the completed shard prefix.
 func MonteCarloUnionFindCtx(ctx context.Context, d int, p float64, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
 	if err := checkMCParams(d, p); err != nil {
 		return DecoderResult{}, err
 	}
-	g, gerr := simrun.NewGuard(ctx, shots, opt)
+	patch := NewPatch(d)
+	m := newMatcher(patch) // read-only after construction: shared across shards
+	nd := patch.DataQubits()
+	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
+		func(t *simrun.ShardTask) (int, int, error) {
+			errBuf := make([]bool, nd)
+			f := 0
+			for i := 0; t.Continue(i); i++ {
+				anyErr := false
+				for q := 0; q < nd; q++ {
+					errBuf[q] = t.RNG.Float64() < p
+					anyErr = anyErr || errBuf[q]
+				}
+				if !anyErr {
+					continue
+				}
+				m.decodeUnionFind(errBuf, m.syndrome(errBuf))
+				if m.logicalFlip(errBuf) {
+					f++
+				}
+			}
+			return f, f, nil
+		},
+		func(dst *int, src int) { *dst += src })
 	if gerr != nil {
 		return DecoderResult{}, gerr
 	}
-	patch := NewPatch(d)
-	m := newMatcher(patch)
-	rng := rand.New(rand.NewSource(seed))
-	var res DecoderResult
-	nd := patch.DataQubits()
-	err := make([]bool, nd)
-	s := 0
-	for ; g.ContinueBinomial(s, res.Failures); s++ {
-		anyErr := false
-		for q := 0; q < nd; q++ {
-			err[q] = rng.Float64() < p
-			anyErr = anyErr || err[q]
-		}
-		if !anyErr {
-			continue
-		}
-		m.decodeUnionFind(err, m.syndrome(err))
-		if m.logicalFlip(err) {
-			res.Failures++
-		}
-	}
-	res.Shots = s
-	res.Status = g.Status(s)
-	return res, nil
+	return DecoderResult{Shots: status.Completed, Failures: failures, Status: status}, nil
 }

@@ -1,0 +1,235 @@
+// Serial-vs-parallel equivalence regression: every Monte-Carlo entry point
+// must produce bit-identical results for every worker count. The sharded
+// engine guarantees this by deriving each shard's RNG stream from (seed,
+// shard index) alone and merging in shard order — so Workers=1 (the serial
+// reference) and any parallel fan-out walk exactly the same random numbers
+// per shot and fold them in the same order.
+//
+// These tests deliberately use a small shard size so runs span many shards;
+// a single-shard run would be trivially worker-invariant.
+package qisim_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/microarch"
+	"qisim/internal/pauli"
+	"qisim/internal/readout"
+	"qisim/internal/scalability"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
+	"qisim/internal/workloads"
+)
+
+// workerCounts are the fan-outs compared against the Workers=1 serial
+// reference: an even divisor of typical shard counts, a prime that isn't,
+// and 0 (= all cores) to cover whatever the CI machine has.
+var workerCounts = []int{4, 7, 0}
+
+// equivOpts returns Options with a small shard size so every run below
+// spans many shards, exercising the cross-shard merge path.
+func equivOpts(workers int) simrun.Options {
+	return simrun.Options{Workers: workers, ShardSize: 100}
+}
+
+func TestSurfaceDecoderEquivalence(t *testing.T) {
+	ctx := context.Background()
+	type variant struct {
+		name string
+		run  func(opt simrun.Options) (surface.DecoderResult, error)
+	}
+	variants := []variant{
+		{"mwpm", func(opt simrun.Options) (surface.DecoderResult, error) {
+			return surface.MonteCarloLogicalErrorCtx(ctx, 5, 0.01, 3000, 17, opt)
+		}},
+		{"unionfind", func(opt simrun.Options) (surface.DecoderResult, error) {
+			return surface.MonteCarloUnionFindCtx(ctx, 5, 0.01, 3000, 17, opt)
+		}},
+		{"phenomenological", func(opt simrun.Options) (surface.DecoderResult, error) {
+			return surface.MonteCarloPhenomenologicalCtx(ctx, 5, 0.01, 0.01, 5, 1500, 17, opt)
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			serial, err := v.run(equivOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Shots == 0 || serial.Failures == 0 {
+				t.Fatalf("degenerate serial reference: %+v", serial)
+			}
+			for _, w := range workerCounts {
+				par, err := v.run(equivOpts(w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if par != serial {
+					t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v", w, serial, par)
+				}
+			}
+		})
+	}
+}
+
+func TestPauliMCEquivalence(t *testing.T) {
+	prog, err := workloads.Generate("ghz", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cyclesim.Run(ex, cyclesim.CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := pauli.ErrorRates{OneQ: 2.5e-4, TwoQ: 1.2e-2, Readout: 2.0e-2, T1: 100e-6, T2: 95e-6}
+	cfg := pauli.DefaultConfig(rates)
+	cfg.Shots, cfg.Seed = 3000, 9
+
+	ctx := context.Background()
+	serial, err := pauli.MonteCarloCtx(ctx, res, cfg, equivOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		par, err := pauli.MonteCarloCtx(ctx, res, cfg, equivOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v", w, serial, par)
+		}
+	}
+}
+
+func TestPauliTrajectoryEquivalence(t *testing.T) {
+	ctx := context.Background()
+	ch := pauli.DecoherenceChannel(100e-9, 280e-6, 175e-6)
+	serial, err := pauli.TrajectoryAverageFidelityCtx(ctx, ch, 2000, 9, equivOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		par, err := pauli.TrajectoryAverageFidelityCtx(ctx, ch, 2000, 9, equivOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v", w, serial, par)
+		}
+	}
+}
+
+func TestReadoutEquivalence(t *testing.T) {
+	ctx := context.Background()
+
+	mrCfg := readout.DefaultMultiRoundConfig()
+	mrCfg.Shots = 10000
+	mrSerial, err := readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), mrCfg, equivOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		par, err := readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), mrCfg, equivOpts(w))
+		if err != nil {
+			t.Fatalf("multiround workers=%d: %v", w, err)
+		}
+		if par != mrSerial {
+			t.Errorf("multiround workers=%d diverges:\nserial:   %+v\nparallel: %+v", w, mrSerial, par)
+		}
+	}
+
+	tCfg := readout.DefaultTrajectoryConfig()
+	tCfg.Shots = 600
+	// Shard size 50 so even this small trajectory budget spans many shards.
+	opt := func(w int) simrun.Options { return simrun.Options{Workers: w, ShardSize: 50} }
+	tSerial, err := readout.TrajectoryMCCtx(ctx, tCfg, readout.DefaultChain(), opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		par, err := readout.TrajectoryMCCtx(ctx, tCfg, readout.DefaultChain(), opt(w))
+		if err != nil {
+			t.Fatalf("trajectory workers=%d: %v", w, err)
+		}
+		if par != tSerial {
+			t.Errorf("trajectory workers=%d diverges:\nserial:   %+v\nparallel: %+v", w, tSerial, par)
+		}
+	}
+}
+
+func TestScalabilitySweepEquivalence(t *testing.T) {
+	ctx := context.Background()
+	counts := []int{100, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000}
+	run := func(w int) scalability.SweepResult {
+		opt := scalability.DefaultOptions()
+		opt.Workers = w
+		res, err := scalability.SweepCtx(ctx, microarch.CMOS4KOpt12(), counts, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return res
+	}
+	serial := run(1)
+	if len(serial.Points) != len(counts) {
+		t.Fatalf("serial sweep returned %d points, want %d", len(serial.Points), len(counts))
+	}
+	for _, w := range workerCounts {
+		par := run(w)
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("workers=%d sweep diverges from serial:\nserial:   %+v\nparallel: %+v", w, serial, par)
+		}
+	}
+
+	serialAll, serialStatus, err := scalability.AnalyzeAllCtx(ctx, scalability.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialStatus.Truncated {
+		t.Fatal("uncancelled AnalyzeAllCtx reported truncation")
+	}
+	for _, w := range workerCounts {
+		opt := scalability.DefaultOptions()
+		opt.Workers = w
+		parAll, _, err := scalability.AnalyzeAllCtx(ctx, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(parAll, serialAll) {
+			t.Errorf("workers=%d analyze-all diverges from serial", w)
+		}
+	}
+}
+
+// TestConvergenceGuardEquivalence pins the harder property: even with the
+// convergence guard stopping the run early, the stop point and the estimate
+// are identical for every worker count, because convergence is evaluated at
+// shard boundaries over the committed in-order prefix.
+func TestConvergenceGuardEquivalence(t *testing.T) {
+	ctx := context.Background()
+	opt := func(w int) simrun.Options {
+		return simrun.Options{Workers: w, ShardSize: 100, TargetRelStdErr: 0.05, MinShots: 500, CheckEvery: 50}
+	}
+	serial, err := surface.MonteCarloLogicalErrorCtx(ctx, 3, 0.08, 50000, 23, opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Status.Converged {
+		t.Fatalf("expected the guarded serial run to converge, got %+v", serial.Status)
+	}
+	for _, w := range workerCounts {
+		par, err := surface.MonteCarloLogicalErrorCtx(ctx, 3, 0.08, 50000, 23, opt(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d guarded run diverges:\nserial:   %+v\nparallel: %+v", w, serial, par)
+		}
+	}
+}
