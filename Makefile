@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: all build test vet race race-parallel fuzz verify clean
+# Build identity injected into every binary (see internal/buildinfo).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo "")
+DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
+           -X qisim/internal/buildinfo.Commit=$(COMMIT) \
+           -X qisim/internal/buildinfo.Date=$(DATE)
+
+.PHONY: all build test vet race race-parallel race-service fuzz serve verify clean
 
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test ./...
@@ -23,10 +31,20 @@ race-parallel:
 	$(GO) test -race -count=2 ./internal/simrun ./internal/faultinject
 	$(GO) test -race -count=2 -run 'Equivalence|DeterministicParallel' .
 
+# Focused race pass over the qisimd service stack: job queue + singleflight,
+# the content-addressed cache, the metrics registry, and the HTTP E2E/drain
+# suites, run twice so goroutine scheduling varies.
+race-service:
+	$(GO) test -race -count=2 ./internal/service ./internal/jobs ./internal/rescache ./internal/metrics
+
 # Short fuzz smoke of the QASM parser boundary (the long runs happen in CI
 # and on demand: `go test ./internal/qasm -fuzz FuzzParse -fuzztime 5m`).
 fuzz:
 	$(GO) test ./internal/qasm -fuzz FuzzParse -fuzztime 15s
+
+# Build and run the qisimd analysis service on :8080 with version stamping.
+serve:
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/qisimd -addr :8080
 
 # The CI gate: everything that must be green before a change lands.
 verify: vet build race fuzz

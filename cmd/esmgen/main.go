@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/qasm"
 	"qisim/internal/surface"
 )
@@ -19,7 +20,12 @@ import (
 func main() {
 	d := flag.Int("d", 3, "surface-code distance (odd, >= 3)")
 	rounds := flag.Int("rounds", 1, "ESM rounds")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("esmgen"))
+		return
+	}
 	if *d < 3 || *d%2 == 0 || *rounds < 1 {
 		fmt.Fprintln(os.Stderr, "esmgen: distance must be odd >= 3 and rounds >= 1")
 		os.Exit(2)

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/experiments"
 	"qisim/internal/simerr"
 )
@@ -28,7 +29,12 @@ import (
 func main() {
 	csv := flag.Bool("csv", false, "emit sweep data as CSV (fig12/fig13/fig17 only)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim-experiments"))
+		return
+	}
 	args := flag.Args()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
 	"qisim/internal/pauli"
@@ -30,7 +31,12 @@ func main() {
 	mc := flag.Bool("mc", false, "also run the Monte-Carlo estimator")
 	workers := flag.Int("workers", 0, "parallel worker goroutines for -mc (0 = all cores, 1 = serial; the estimate is identical for every value)")
 	list := flag.Bool("list", false, "list reference machines")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim-fidelity"))
+		return
+	}
 
 	if *list {
 		for _, m := range validate.Machines() {

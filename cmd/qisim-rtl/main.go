@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/verilog"
 )
 
@@ -23,7 +24,12 @@ func main() {
 	iq := flag.Int("iq", 7, "RX IQ sample bits")
 	opt1 := flag.Bool("opt1", false, "use the Opt-#1 memory-less decision unit")
 	out := flag.String("o", "", "output directory (default: stdout)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim-rtl"))
+		return
+	}
 
 	mods := verilog.GenerateQCI(*fdm, *phase, *amp, *iq, !*opt1)
 	if err := verilog.CheckBundle(mods); err != nil {

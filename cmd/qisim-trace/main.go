@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
 	"qisim/internal/qasm"
@@ -22,7 +23,12 @@ import (
 func main() {
 	arch := flag.String("arch", "cmos", "QCI architecture: cmos or sfq")
 	fuse := flag.Bool("fuse", false, "apply the Opt-#6 H·Rz fusion pass")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim-trace"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fatal("expected exactly one QASM file (or - for stdin)")
 	}

@@ -21,13 +21,19 @@ import (
 	"os/signal"
 	"syscall"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/simerr"
 	"qisim/internal/validate"
 )
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the campaign after this duration (0 = none)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim-validate"))
+		return
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = []string{"fig8", "fig10", "table1", "fig11"}

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"syscall"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/experiments"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
@@ -43,8 +44,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (analyze, sweep, mc)")
 	workers := flag.Int("workers", 0, "parallel worker goroutines for MC/sweep runs (0 = all cores, 1 = serial; results are identical for every value)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisim"))
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -94,9 +100,11 @@ func run(ctx context.Context, args []string, jsonOut bool, workers int) error {
 		}
 		return latticeCmd(args[1], args[2])
 	default:
+		// An unrecognized subcommand is a configuration error (exit 4), not a
+		// "called with no arguments" usage error (exit 2): the caller asked
+		// for something specific and we could not honour it.
 		usage()
-		os.Exit(simerr.ExitUsage)
-		return nil
+		return simerr.Invalidf("unknown subcommand %q", args[0])
 	}
 }
 

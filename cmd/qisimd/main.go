@@ -1,0 +1,101 @@
+// Command qisimd serves QIsim's analyses over HTTP/JSON: a bounded job
+// queue feeding a worker pool that drives the deterministic simulation
+// entry points, a content-addressed result cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	qisimd [-addr :8080] [-workers n] [-queue 64] [-cache-entries 256]
+//	       [-job-timeout d] [-drain-timeout 30s]
+//
+// API:
+//
+//	POST /v1/jobs          {"kind": "surface.mc", "params": {...}}
+//	GET  /v1/jobs/{id}     job state, live progress, result or typed error
+//	GET  /v1/results/{key} cached result body (byte-exact replay)
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          200 serving / 503 draining
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// in-flight jobs are cancelled and finish through the partial-result path
+// (their snapshots flagged "truncated"), and the process exits 0 once the
+// pool has committed those partials (or -drain-timeout expires).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qisim/internal/buildinfo"
+	"qisim/internal/service"
+	"qisim/internal/simerr"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "job worker goroutines (0 = all cores)")
+	queue := flag.Int("queue", 64, "bounded job-queue depth")
+	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (entries)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	version := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("qisimd"))
+		return
+	}
+	if err := run(*addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "qisimd:", err)
+		os.Exit(simerr.ExitCode(err))
+	}
+}
+
+func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout time.Duration) error {
+	srv := service.New(service.Config{
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheEntries: cacheEntries,
+		JobTimeout:   jobTimeout,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "qisimd: %s listening on %s\n", buildinfo.String("qisimd"), addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener died before any signal: that's a hard failure.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	fmt.Fprintln(os.Stderr, "qisimd: draining (in-flight jobs finish as truncated partials)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the job pool first so /v1/jobs polls during shutdown still see
+	// the final (possibly truncated) snapshots, then close the listener.
+	if err := srv.Drain(drainCtx); err != nil {
+		httpSrv.Close()
+		return err
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return simerr.Interruptedf("qisimd: shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "qisimd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package buildinfo is the single source of build identity for every QIsim
+// binary. The Version/Commit/Date variables are injected at link time by the
+// Makefile:
+//
+//	go build -ldflags "-X qisim/internal/buildinfo.Version=v1.2.3 \
+//	                   -X qisim/internal/buildinfo.Commit=abc1234 \
+//	                   -X qisim/internal/buildinfo.Date=2026-08-06"
+//
+// When the ldflags are absent (a plain `go build`), the package falls back
+// to the VCS stamp Go embeds in the binary (runtime/debug.ReadBuildInfo), so
+// `-version` output is still meaningful for ad-hoc builds.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Link-time injected identity (see package comment). The zero values are the
+// ad-hoc-build defaults.
+var (
+	Version = "dev"
+	Commit  = ""
+	Date    = ""
+)
+
+// Info is the resolved build identity of the running binary.
+type Info struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit,omitempty"`
+	Date      string `json:"date,omitempty"`
+	GoVersion string `json:"go_version"`
+	Platform  string `json:"platform"`
+}
+
+// Resolve merges the ldflags-injected identity with the VCS stamp embedded
+// by the Go toolchain (used only for fields the ldflags left empty).
+func Resolve() Info {
+	info := Info{
+		Version:   Version,
+		Commit:    Commit,
+		Date:      Date,
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if info.Commit == "" {
+					info.Commit = s.Value
+				}
+			case "vcs.time":
+				if info.Date == "" {
+					info.Date = s.Value
+				}
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && info.Commit != "" {
+			info.Commit += "-dirty"
+		}
+	}
+	info.Commit = shorten(info.Commit)
+	return info
+}
+
+// shorten truncates a full revision hash to 12 characters, preserving a
+// "-dirty" suffix.
+func shorten(c string) string {
+	const suffix = "-dirty"
+	dirty := len(c) >= len(suffix) && c[len(c)-len(suffix):] == suffix
+	if dirty {
+		c = c[:len(c)-len(suffix)]
+	}
+	if len(c) > 12 {
+		c = c[:12]
+	}
+	if dirty {
+		c += suffix
+	}
+	return c
+}
+
+// String renders the one-line `-version` output for a named binary, e.g.
+//
+//	qisimd dev (commit 1a2b3c4d5e6f, go1.22.1 linux/amd64)
+func String(binary string) string {
+	info := Resolve()
+	meta := ""
+	if info.Commit != "" {
+		meta = "commit " + info.Commit + ", "
+	}
+	if info.Date != "" {
+		meta += "built " + info.Date + ", "
+	}
+	return fmt.Sprintf("%s %s (%s%s %s)", binary, info.Version, meta, info.GoVersion, info.Platform)
+}

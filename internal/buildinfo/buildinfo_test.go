@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStringContainsIdentity pins the `-version` line format every binary
+// shares: name, version, Go toolchain and platform must all appear.
+func TestStringContainsIdentity(t *testing.T) {
+	s := String("qisimd")
+	for _, want := range []string{"qisimd", Version, "go", "/"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("version string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestResolveLdflagsPrecedence verifies link-time injected values win over
+// the VCS stamp fallback.
+func TestResolveLdflagsPrecedence(t *testing.T) {
+	oldV, oldC, oldD := Version, Commit, Date
+	defer func() { Version, Commit, Date = oldV, oldC, oldD }()
+	Version, Commit, Date = "v9.9.9", "feedface0000", "2026-08-06"
+	info := Resolve()
+	if info.Version != "v9.9.9" || info.Commit != "feedface0000" || info.Date != "2026-08-06" {
+		t.Fatalf("ldflags identity not honoured: %+v", info)
+	}
+	if info.GoVersion == "" || info.Platform == "" {
+		t.Fatalf("runtime identity missing: %+v", info)
+	}
+}
+
+// TestResolveTruncatesLongCommit: a full 40-char SHA is shortened for the
+// one-line output, but a -dirty suffix is preserved untruncated.
+func TestResolveTruncatesLongCommit(t *testing.T) {
+	oldC := Commit
+	defer func() { Commit = oldC }()
+	Commit = "0123456789abcdef0123456789abcdef01234567"
+	if got := Resolve().Commit; got != "0123456789ab" {
+		t.Fatalf("long commit not truncated: %q", got)
+	}
+}

@@ -9,7 +9,9 @@
 package faultinject
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -17,12 +19,14 @@ import (
 	"qisim/internal/cmath"
 	"qisim/internal/compile"
 	"qisim/internal/ham"
+	"qisim/internal/jobs"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
 	"qisim/internal/pauli"
 	"qisim/internal/pulse"
 	"qisim/internal/qasm"
 	"qisim/internal/readout"
+	"qisim/internal/rescache"
 	"qisim/internal/scalability"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -354,6 +358,94 @@ func Scenarios() []Scenario {
 				_, err := readout.MultiRoundErrorCtx(context.Background(),
 					readout.DefaultChain(), readout.DefaultTiming(), cfg, simrun.Options{})
 				return Outcome{Err: err, Detail: "NaN decision range into MultiRoundErrorCtx"}
+			},
+		},
+		{
+			// (e) A service job canceled mid-flight (drain, deadline) must
+			// finish DONE with a Truncated partial body through the job
+			// manager — and that partial must NEVER enter the
+			// content-addressed cache, where it would be replayed as if
+			// complete to every future identical request.
+			Name:          "canceled-service-job-partial",
+			WantTruncated: true,
+			Run: func() Outcome {
+				cache := rescache.New(8)
+				m := jobs.NewManager(jobs.Config{
+					Workers: 1, Cache: cache, BaseContext: canceledCtx(),
+				})
+				m.Start()
+				key, err := rescache.KeyFor("surface.mc", map[string]any{"distance": 5}, 11, 100)
+				if err != nil {
+					return Outcome{Err: err, Detail: "keying failed"}
+				}
+				snap, _, err := m.Submit(jobs.KindSurfaceMC, key,
+					func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+						res, err := surface.MonteCarloPhenomenologicalCtx(ctx, 5, 0.02, 0.02, 5, 20000, 11,
+							simrun.Options{CheckEvery: 1, ShardSize: 100, Progress: progress})
+						if err != nil {
+							return nil, simrun.Status{}, err
+						}
+						body, merr := json.Marshal(res)
+						return body, res.Status, merr
+					})
+				if err != nil {
+					return Outcome{Err: err, Detail: "submit refused"}
+				}
+				final, err := m.Wait(context.Background(), snap.ID)
+				drainErr := m.Drain(context.Background())
+				if err != nil {
+					return Outcome{Err: err, Detail: "wait failed"}
+				}
+				if drainErr != nil {
+					return Outcome{Err: drainErr, Detail: "drain failed"}
+				}
+				var st simrun.Status
+				if final.Status != nil {
+					st = *final.Status
+				}
+				out := Outcome{Status: st,
+					Detail: fmt.Sprintf("job state %s after %d/%d shots", final.State, st.Completed, st.Requested)}
+				switch {
+				case final.State != jobs.StateDone:
+					out.Err = fmt.Errorf("canceled job finished %s (%s)", final.State, final.Error)
+				case len(final.Result) == 0:
+					out.Err = fmt.Errorf("canceled job lost its partial result body")
+				case cache.Contains(key):
+					out.Err = fmt.Errorf("truncated partial entered the result cache")
+				}
+				return out
+			},
+		},
+		{
+			// (e') A corrupted cache entry — bytes flipped underneath the
+			// index — must be detected by checksum verification on Get,
+			// counted, and dropped so the next submission recomputes; the
+			// corrupted bytes must never be served.
+			Name: "corrupted-cache-entry",
+			Run: func() Outcome {
+				c := rescache.New(4)
+				key, err := rescache.KeyFor("surface.mc", map[string]any{"distance": 5}, 1, 64)
+				if err != nil {
+					return Outcome{Err: err, Detail: "keying failed"}
+				}
+				body := []byte(`{"logical_error_rate":0.125}`)
+				c.Put(key, "surface.mc", body)
+				if !c.Tamper(key, func(b []byte) { b[0] ^= 0xff }) { // the injected fault
+					return Outcome{Err: fmt.Errorf("tamper hook found no entry")}
+				}
+				if served, ok := c.Get(key); ok {
+					return Outcome{Err: fmt.Errorf("corrupted entry was served: %q", served)}
+				}
+				if st := c.Stats(); st.Corruptions != 1 {
+					return Outcome{Err: fmt.Errorf("corruption count %d, want 1", st.Corruptions)}
+				}
+				// Recompute-and-refill: a fresh Put serves cleanly again.
+				c.Put(key, "surface.mc", body)
+				served, ok := c.Get(key)
+				if !ok || !bytes.Equal(served, body) {
+					return Outcome{Err: fmt.Errorf("recomputed entry not served (hit=%v)", ok)}
+				}
+				return Outcome{Detail: "corrupted entry detected, dropped and recomputed; never served"}
 			},
 		},
 	}

@@ -1,0 +1,506 @@
+// Package jobs is qisimd's asynchronous execution layer: a bounded
+// in-memory queue feeding a worker pool that drives the context-aware
+// simulation entry points (internal/simrun's ...Ctx variants) and lands
+// completed results in the content-addressed cache (internal/rescache).
+//
+// The flow mirrors the CLI contract one level up the stack:
+//
+//   - every job runs under a per-job context derived from the manager's
+//     base context (plus an optional per-job deadline);
+//   - cancellation — a drain, a deadline — surfaces through the existing
+//     partial-result path: the job finishes "done" with a Truncated-flagged
+//     status and a best-so-far body, never a hang or a lost run;
+//   - hard failures carry their simerr class, which the HTTP layer maps to
+//     status codes exactly as the CLIs map them to exit codes 3–7.
+//
+// Duplicate submissions coalesce (singleflight): while a job for key K is
+// queued or running, submitting K again returns the same job instead of a
+// second computation, and a completed K is served straight from the cache.
+// Deterministic sharding makes this sound — the cached bytes are bit-exactly
+// what a recomputation would produce. Truncated partials are deliberately
+// NEVER cached (they are the one non-deterministic outcome).
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qisim/internal/rescache"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+)
+
+// Kind names one of the service's job families.
+type Kind string
+
+// The five served analysis kinds.
+const (
+	KindScalabilityAnalyze Kind = "scalability.analyze"
+	KindScalabilitySweep   Kind = "scalability.sweep"
+	KindSurfaceMC          Kind = "surface.mc"
+	KindPauliMC            Kind = "pauli.mc"
+	KindReadoutMC          Kind = "readout.mc"
+)
+
+// Kinds lists every served kind (stable order, for docs and validation).
+func Kinds() []Kind {
+	return []Kind{KindScalabilityAnalyze, KindScalabilitySweep, KindSurfaceMC, KindPauliMC, KindReadoutMC}
+}
+
+// Valid reports whether k names a served kind.
+func (k Kind) Valid() bool {
+	for _, known := range Kinds() {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Lifecycle: queued → running → done | failed. Cached submissions are born
+// done.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Runner computes one job: it must honour ctx (the drain/deadline channel),
+// feed progress into the callback (wire it to simrun.Options.Progress), and
+// return the serialized result body plus the run's flagged status. A
+// cancelled run returns (partialBody, truncatedStatus, nil) — the partial-
+// result contract — while hard failures return a simerr-classed error.
+type Runner func(ctx context.Context, progress func(completed, requested int)) (body []byte, st simrun.Status, err error)
+
+// Progress is a job's live shot-level progress (zero until the engine
+// commits its first shard).
+type Progress struct {
+	Completed int `json:"completed"`
+	Requested int `json:"requested"`
+}
+
+// Snapshot is an immutable copy of a job's state, safe to serialize.
+type Snapshot struct {
+	ID         string          `json:"id"`
+	Kind       Kind            `json:"kind"`
+	Key        rescache.Key    `json:"key"`
+	State      State           `json:"state"`
+	Cached     bool            `json:"cached"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Progress   Progress        `json:"progress"`
+	Status     *simrun.Status  `json:"status,omitempty"`
+	ErrorClass string          `json:"error_class,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Hooks are the manager's observability callbacks (all optional). They fire
+// outside the manager lock.
+type Hooks struct {
+	// JobStarted fires when a worker picks the job up.
+	JobStarted func(kind Kind)
+	// JobFinished fires once per executed job with its terminal state,
+	// simerr class ("" unless failed), final status (nil when failed before
+	// a run produced one) and wall-clock duration. Cached submissions do
+	// not fire it (nothing executed).
+	JobFinished func(kind Kind, state State, errClass string, st *simrun.Status, dur time.Duration)
+}
+
+// Outcome classifies what Submit did.
+type Outcome int
+
+const (
+	// OutcomeQueued: a new computation was enqueued.
+	OutcomeQueued Outcome = iota
+	// OutcomeCoalesced: an identical job is already in flight; the caller
+	// was attached to it (singleflight).
+	OutcomeCoalesced
+	// OutcomeCached: the result was already in the cache; the returned job
+	// is born done with the cached bytes.
+	OutcomeCached
+)
+
+// String renders the outcome for logs and HTTP responses.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCoalesced:
+		return "coalesced"
+	case OutcomeCached:
+		return "cached"
+	default:
+		return "queued"
+	}
+}
+
+// Typed submission failures.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining: the manager stopped accepting work (classed Interrupted,
+	// HTTP 503).
+	ErrDraining = simerr.Interruptedf("job manager draining")
+)
+
+// Config parameterises a Manager.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the queued-but-not-running backlog (default 64).
+	QueueDepth int
+	// JobTimeout caps each job's wall clock (0 = none); expiry surfaces
+	// through the partial-result path like any deadline.
+	JobTimeout time.Duration
+	// MaxRecords bounds retained finished-job records (default 1024); the
+	// oldest finished records are evicted first. In-flight jobs are never
+	// evicted.
+	MaxRecords int
+	// Cache receives completed (non-truncated) results and serves repeat
+	// submissions. Optional: nil disables caching.
+	Cache *rescache.Cache
+	// BaseContext is the ancestor of every job context (default
+	// context.Background()). Tests and fault injection use it to inject
+	// deterministic cancellation.
+	BaseContext context.Context
+	// Hooks are the observability callbacks.
+	Hooks Hooks
+}
+
+// job is the manager-internal record. Mutable fields are guarded by the
+// manager mutex; the progress cells are atomics so the engine's Progress
+// hook never contends with HTTP polls.
+type job struct {
+	id      string
+	kind    Kind
+	key     rescache.Key
+	cached  bool
+	created time.Time
+
+	run  Runner
+	done chan struct{} // closed at finalization
+
+	state             State
+	started, finished time.Time
+	status            *simrun.Status
+	errClass, errMsg  string
+	result            []byte
+
+	progressDone, progressTotal atomic.Int64
+}
+
+// Manager owns the queue, the worker pool, the job records and the
+// singleflight index.
+type Manager struct {
+	cfg    Config
+	ctx    context.Context // ancestor of every job context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int64
+	byID     map[string]*job
+	order    []*job // creation order, for record eviction
+	inflight map[rescache.Key]*job
+	queue    chan *job
+	started  bool
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds a Manager; call Start before submitting.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = 1024
+	}
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	return &Manager{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		byID:     map[string]*job{},
+		inflight: map[rescache.Key]*job{},
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+}
+
+// Start launches the worker pool. Idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.wg.Add(m.cfg.Workers)
+	for i := 0; i < m.cfg.Workers; i++ {
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.execute(j)
+			}
+		}()
+	}
+}
+
+// Submit routes one request: cache hit → a job born done with the cached
+// bytes; key already in flight → the existing job (coalesced); otherwise a
+// new queued job. The cache probe and the singleflight insert happen under
+// one lock, so concurrent duplicates can never both enqueue.
+func (m *Manager) Submit(kind Kind, key rescache.Key, run Runner) (Snapshot, Outcome, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return Snapshot{}, OutcomeQueued, ErrDraining
+	}
+	if j, ok := m.inflight[key]; ok {
+		return m.snapshotLocked(j), OutcomeCoalesced, nil
+	}
+	if m.cfg.Cache != nil {
+		if body, ok := m.cfg.Cache.Get(key); ok {
+			j := m.newJobLocked(kind, key)
+			now := time.Now()
+			j.cached = true
+			j.state = StateDone
+			j.started, j.finished = now, now
+			j.result = body
+			close(j.done)
+			return m.snapshotLocked(j), OutcomeCached, nil
+		}
+	}
+	j := m.newJobLocked(kind, key)
+	j.run = run
+	j.state = StateQueued
+	select {
+	case m.queue <- j:
+	default:
+		// Queue full: roll the record back and refuse.
+		delete(m.byID, j.id)
+		m.order = m.order[:len(m.order)-1]
+		return Snapshot{}, OutcomeQueued, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.inflight[key] = j
+	return m.snapshotLocked(j), OutcomeQueued, nil
+}
+
+// newJobLocked allocates a record; callers hold m.mu.
+func (m *Manager) newJobLocked(kind Kind, key rescache.Key) *job {
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", m.seq),
+		kind:    kind,
+		key:     key,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	m.byID[j.id] = j
+	m.order = append(m.order, j)
+	m.evictRecordsLocked()
+	return j
+}
+
+// evictRecordsLocked drops the oldest finished records above MaxRecords.
+func (m *Manager) evictRecordsLocked() {
+	excess := len(m.byID) - m.cfg.MaxRecords
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if excess > 0 && (j.state == StateDone || j.state == StateFailed) {
+			delete(m.byID, j.id)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	m.order = kept
+}
+
+// execute runs one job on a worker goroutine.
+func (m *Manager) execute(j *job) {
+	m.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	run := j.run
+	m.mu.Unlock()
+	if m.cfg.Hooks.JobStarted != nil {
+		m.cfg.Hooks.JobStarted(j.kind)
+	}
+
+	ctx := m.ctx
+	cancel := context.CancelFunc(func() {})
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
+	}
+	progress := func(completed, requested int) {
+		j.progressDone.Store(int64(completed))
+		j.progressTotal.Store(int64(requested))
+	}
+	body, st, err := runSafely(run, ctx, progress)
+	cancel()
+
+	m.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errClass = simerr.Class(err)
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = body
+		stCopy := st
+		j.status = &stCopy
+		// Cache only complete (or converged) results: a Truncated partial
+		// is the one non-deterministic outcome and must never be replayed
+		// to a future identical request.
+		if m.cfg.Cache != nil && !st.Truncated {
+			m.cfg.Cache.Put(j.key, string(j.kind), body)
+		}
+	}
+	delete(m.inflight, j.key)
+	close(j.done)
+	snapState, errClass, status := j.state, j.errClass, j.status
+	dur := j.finished.Sub(j.started)
+	m.mu.Unlock()
+
+	if m.cfg.Hooks.JobFinished != nil {
+		m.cfg.Hooks.JobFinished(j.kind, snapState, errClass, status, dur)
+	}
+}
+
+// runSafely invokes the runner with a panic backstop: an escaped panic
+// becomes a typed failed job, never a dead worker.
+func runSafely(run Runner, ctx context.Context, progress func(int, int)) (body []byte, st simrun.Status, err error) {
+	defer simerr.RecoverInto(&err, simerr.ErrInvalidConfig)
+	return run(ctx, progress)
+}
+
+// Get returns a snapshot of the job by ID.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Wait blocks until the job finalizes (or ctx fires) and returns its final
+// snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.byID[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Snapshot{}, simerr.Interruptedf("jobs: wait for %s: %v", id, ctx.Err())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked(j), nil
+}
+
+func (m *Manager) snapshotLocked(j *job) Snapshot {
+	s := Snapshot{
+		ID:        j.id,
+		Kind:      j.kind,
+		Key:       j.key,
+		State:     j.state,
+		Cached:    j.cached,
+		CreatedAt: j.created,
+		Progress: Progress{
+			Completed: int(j.progressDone.Load()),
+			Requested: int(j.progressTotal.Load()),
+		},
+		ErrorClass: j.errClass,
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	if j.status != nil {
+		st := *j.status
+		s.Status = &st
+		// Final status supersedes the live progress cells.
+		s.Progress = Progress{Completed: st.Completed, Requested: st.Requested}
+	}
+	if j.state == StateDone {
+		s.Result = json.RawMessage(j.result)
+	}
+	return s
+}
+
+// QueueDepth returns the queued-but-not-running backlog.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// InFlight returns the number of queued-or-running jobs.
+func (m *Manager) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain stops the manager gracefully: new submissions are refused
+// (ErrDraining), every in-flight job context is cancelled — the running
+// simulations return through the existing partial-result path, flagged
+// Truncated — and the call blocks until the pool finishes committing those
+// partials (or ctx fires, returning ErrInterrupted). Idempotent.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if first {
+		m.cancel()     // in-flight jobs see cancellation → Truncated partials
+		close(m.queue) // workers exit after draining the (cancelled) backlog
+	}
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return simerr.Interruptedf("jobs: drain timed out: %v", ctx.Err())
+	}
+}

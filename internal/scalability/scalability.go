@@ -73,6 +73,10 @@ type Options struct {
 	// sweep samples (0 = GOMAXPROCS, 1 = serial). Results are bit-identical
 	// for every worker count: points merge in index order.
 	Workers int
+	// Progress mirrors simrun.Options.Progress for the design-point / sweep
+	// fan-out: called with (points committed, points requested) as the
+	// in-order merge frontier advances. Observational only.
+	Progress func(completed, requested int)
 }
 
 // DefaultOptions returns the Table 2 budgets, Jellium targets and d = 23.
@@ -174,7 +178,7 @@ func AnalyzeAllCtx(ctx context.Context, opt Options) ([]Analysis, simrun.Status,
 	}
 	ds := microarch.AllDesigns()
 	out, status, err := simrun.RunSharded(ctx, len(ds), 0,
-		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers},
+		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers, Progress: opt.Progress},
 		func(t *simrun.ShardTask) ([]Analysis, int, error) {
 			part := make([]Analysis, 0, t.N)
 			for i := 0; t.Continue(i); i++ {
@@ -242,7 +246,7 @@ func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Op
 	pl := d.LogicalError(0)
 	perPatch := float64(surface.PhysicalQubitsPerPatch(opt.Distance))
 	points, status, gerr := simrun.RunSharded(ctx, len(qubitCounts), 0,
-		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers},
+		simrun.Options{CheckEvery: 1, ShardSize: 1, Workers: opt.Workers, Progress: opt.Progress},
 		func(t *simrun.ShardTask) ([]CurvePoint, int, error) {
 			part := make([]CurvePoint, 0, t.N)
 			for i := 0; t.Continue(i); i++ {

@@ -1,0 +1,503 @@
+// Request parsing, normalization, cache keying and per-kind executors.
+//
+// The normalization contract behind the cache key (see DESIGN.md "Cache
+// keying"):
+//
+//  1. params JSON is decoded strictly (unknown fields rejected) into a typed
+//     struct — incoming field ORDER therefore cannot matter;
+//  2. defaults are applied BEFORE keying, so an omitted option and its
+//     explicit default value key identically;
+//  3. the worker count is stripped — the deterministic sharded engine makes
+//     the result bit-identical for every worker count, so it must not
+//     fragment the cache;
+//  4. seed and shard size ARE part of the key — they fix the RNG stream
+//     layout, so different values genuinely produce different bytes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/jobs"
+	"qisim/internal/microarch"
+	"qisim/internal/pauli"
+	"qisim/internal/qasm"
+	"qisim/internal/readout"
+	"qisim/internal/rescache"
+	"qisim/internal/scalability"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
+	"qisim/internal/validate"
+)
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params"`
+}
+
+// buildJob validates and normalizes one request, returning its kind, cache
+// key and executor. All *configuration* errors surface here (mapped to HTTP
+// status codes by the caller); *runtime* errors surface on the job record.
+func buildJob(req jobRequest) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	kind := jobs.Kind(req.Kind)
+	if !kind.Valid() {
+		return "", "", nil, simerr.Invalidf("service: unknown job kind %q (kinds: %v)", req.Kind, jobs.Kinds())
+	}
+	switch kind {
+	case jobs.KindSurfaceMC:
+		return buildSurfaceMC(req.Params)
+	case jobs.KindPauliMC:
+		return buildPauliMC(req.Params)
+	case jobs.KindReadoutMC:
+		return buildReadoutMC(req.Params)
+	case jobs.KindScalabilityAnalyze:
+		return buildScalabilityAnalyze(req.Params)
+	default:
+		return buildScalabilitySweep(req.Params)
+	}
+}
+
+// decodeParams strictly decodes raw params into dst (nil/empty raw = all
+// defaults). Unknown fields are configuration errors so a typo'd option can
+// never silently fall back to a default.
+func decodeParams(raw json.RawMessage, dst any) error {
+	if len(raw) == 0 {
+		raw = json.RawMessage("{}")
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return simerr.Invalidf("service: bad params: %v", err)
+	}
+	return nil
+}
+
+// keyedParams projects normalized params into the canonical key/body form:
+// the worker count is removed (execution hint — does not change the result
+// bytes), everything else is kept.
+func keyedParams(params any) (map[string]any, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, simerr.Invalidf("service: marshal params: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, simerr.Invalidf("service: reparse params: %v", err)
+	}
+	delete(m, "workers")
+	return m, nil
+}
+
+// requestKey derives the content address of a normalized request.
+func requestKey(kind jobs.Kind, params any, seed int64, shardSize int) (rescache.Key, map[string]any, error) {
+	m, err := keyedParams(params)
+	if err != nil {
+		return "", nil, err
+	}
+	// seed and shard_size live in the envelope, not the params object.
+	delete(m, "seed")
+	delete(m, "shard_size")
+	key, err := rescache.KeyFor(string(kind), m, seed, shardSize)
+	if err != nil {
+		return "", nil, simerr.Invalidf("service: key request: %v", err)
+	}
+	return key, m, nil
+}
+
+// resultEnvelope is the stored/streamed result body: self-describing
+// (kind + the exact normalized request that produced it) and byte-
+// deterministic — encoding/json sorts all map keys, and the embedded result
+// structs marshal deterministically.
+type resultEnvelope struct {
+	Kind      string         `json:"kind"`
+	Key       rescache.Key   `json:"key"`
+	Params    map[string]any `json:"params"`
+	Seed      int64          `json:"seed"`
+	ShardSize int            `json:"shard_size,omitempty"`
+	Result    any            `json:"result"`
+}
+
+func marshalEnvelope(kind jobs.Kind, key rescache.Key, params map[string]any, seed int64, shardSize int, result any) ([]byte, error) {
+	body, err := json.Marshal(resultEnvelope{
+		Kind: string(kind), Key: key, Params: params, Seed: seed, ShardSize: shardSize, Result: result,
+	})
+	if err != nil {
+		return nil, simerr.Numericalf("service: marshal result: %v", err)
+	}
+	return body, nil
+}
+
+// ---- surface.mc: phenomenological surface-code Monte-Carlo decoder ----
+
+type surfaceMCParams struct {
+	Distance  int      `json:"distance"`
+	P         *float64 `json:"p"`
+	Q         *float64 `json:"q"`
+	Rounds    int      `json:"rounds"`
+	Shots     int      `json:"shots"`
+	Seed      int64    `json:"seed"`
+	RelSE     float64  `json:"rel_se"`
+	ShardSize int      `json:"shard_size"`
+	Workers   int      `json:"workers,omitempty"`
+}
+
+func buildSurfaceMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	var p surfaceMCParams
+	if err := decodeParams(raw, &p); err != nil {
+		return "", "", nil, err
+	}
+	// Defaults mirror `qisim mc` (zero seed means "the default seed").
+	if p.Distance == 0 {
+		p.Distance = 11
+	}
+	if p.P == nil {
+		p.P = f64(0.005)
+	}
+	if p.Q == nil {
+		p.Q = f64(0.005)
+	}
+	if p.Rounds == 0 {
+		p.Rounds = p.Distance
+	}
+	if p.Shots == 0 {
+		p.Shots = 200000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ShardSize == 0 {
+		p.ShardSize = simrun.DefaultShardSize
+	}
+	key, keyed, err := requestKey(jobs.KindSurfaceMC, p, p.Seed, p.ShardSize)
+	if err != nil {
+		return "", "", nil, err
+	}
+	pp := p // captured normalized copy
+	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		res, err := surface.MonteCarloPhenomenologicalCtx(ctx, pp.Distance, *pp.P, *pp.Q,
+			pp.Rounds, pp.Shots, pp.Seed,
+			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+				TargetRelStdErr: pp.RelSE, Progress: progress})
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		out := struct {
+			surface.DecoderResult
+			Rate float64 `json:"logical_error_rate"`
+		}{res, res.Rate()}
+		body, err := marshalEnvelope(jobs.KindSurfaceMC, key, keyed, pp.Seed, pp.ShardSize, out)
+		return body, res.Status, err
+	}
+	return jobs.KindSurfaceMC, key, run, nil
+}
+
+// ---- pauli.mc: QASM → compile → cycle sim → Pauli-channel fidelity MC ----
+
+type pauliMCParams struct {
+	QASM      string  `json:"qasm"`
+	Machine   string  `json:"machine"`
+	Arch      string  `json:"arch"`
+	Shots     int     `json:"shots"`
+	Seed      int64   `json:"seed"`
+	PeriodNS  float64 `json:"period_ns"`
+	RelSE     float64 `json:"rel_se"`
+	ShardSize int     `json:"shard_size"`
+	Workers   int     `json:"workers,omitempty"`
+}
+
+func buildPauliMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	var p pauliMCParams
+	if err := decodeParams(raw, &p); err != nil {
+		return "", "", nil, err
+	}
+	if p.QASM == "" {
+		return "", "", nil, simerr.Invalidf("service: pauli.mc needs a qasm program")
+	}
+	if p.Machine == "" {
+		p.Machine = "ibm_mumbai"
+	}
+	if p.Arch == "" {
+		p.Arch = "cmos"
+	}
+	if p.Arch != "cmos" && p.Arch != "sfq" {
+		return "", "", nil, simerr.Invalidf("service: arch must be cmos or sfq, got %q", p.Arch)
+	}
+	if p.Shots == 0 {
+		p.Shots = 4000
+	}
+	if p.Seed == 0 {
+		p.Seed = 3
+	}
+	if p.PeriodNS == 0 {
+		p.PeriodNS = 100
+	}
+	if p.PeriodNS < 0 {
+		return "", "", nil, simerr.Invalidf("service: period_ns must be positive, got %v", p.PeriodNS)
+	}
+	if p.ShardSize == 0 {
+		p.ShardSize = simrun.DefaultShardSize
+	}
+	var rates pauli.ErrorRates
+	found := false
+	for _, m := range validate.Machines() {
+		if m.Name == p.Machine {
+			rates, found = m.Rates, true
+			break
+		}
+	}
+	if !found {
+		return "", "", nil, simerr.Invalidf("service: unknown machine %q", p.Machine)
+	}
+	// Parse and compile at submission time so malformed programs surface as
+	// typed HTTP errors (7 → 501) before a queue slot is spent.
+	prog, err := qasm.Parse(p.QASM)
+	if err != nil {
+		return "", "", nil, err
+	}
+	ex, err := compileProgram(prog)
+	if err != nil {
+		return "", "", nil, err
+	}
+	key, keyed, err := requestKey(jobs.KindPauliMC, p, p.Seed, p.ShardSize)
+	if err != nil {
+		return "", "", nil, err
+	}
+	pp := p
+	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		cfg := cyclesim.CMOSConfig()
+		if pp.Arch == "sfq" {
+			cfg = cyclesim.SFQConfig(1)
+		}
+		simRes, err := cyclesim.Run(ex, cfg)
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		pcfg := pauli.DefaultConfig(rates)
+		pcfg.Shots = pp.Shots
+		pcfg.Seed = pp.Seed
+		pcfg.DecoherencePeriod = pp.PeriodNS * 1e-9
+		mc, err := pauli.MonteCarloCtx(ctx, simRes, pcfg,
+			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+				TargetRelStdErr: pp.RelSE, Progress: progress})
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		out := struct {
+			pauli.MCResult
+			ESP        float64 `json:"esp"`
+			MakespanNS float64 `json:"makespan_ns"`
+		}{mc, pauli.ESP(simRes, pcfg), simRes.TotalTime * 1e9}
+		body, err := marshalEnvelope(jobs.KindPauliMC, key, keyed, pp.Seed, pp.ShardSize, out)
+		return body, mc.Status, err
+	}
+	return jobs.KindPauliMC, key, run, nil
+}
+
+// ---- readout.mc: multi-round early-decision readout Monte-Carlo ----
+
+type readoutMCParams struct {
+	Range     *float64 `json:"range"`
+	MaxRounds int      `json:"max_rounds"`
+	Shots     int      `json:"shots"`
+	Seed      int64    `json:"seed"`
+	RelSE     float64  `json:"rel_se"`
+	ShardSize int      `json:"shard_size"`
+	Workers   int      `json:"workers,omitempty"`
+}
+
+func buildReadoutMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	var p readoutMCParams
+	if err := decodeParams(raw, &p); err != nil {
+		return "", "", nil, err
+	}
+	def := readout.DefaultMultiRoundConfig()
+	if p.Range == nil {
+		p.Range = f64(def.Range) // explicit 0 is a meaningful (degenerate) range
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = def.MaxRounds
+	}
+	if p.Shots == 0 {
+		p.Shots = def.Shots
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	if p.ShardSize == 0 {
+		p.ShardSize = simrun.DefaultShardSize
+	}
+	key, keyed, err := requestKey(jobs.KindReadoutMC, p, p.Seed, p.ShardSize)
+	if err != nil {
+		return "", "", nil, err
+	}
+	pp := p
+	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		cfg := readout.MultiRoundConfig{
+			Range: *pp.Range, MaxRounds: pp.MaxRounds, Shots: pp.Shots, Seed: pp.Seed,
+		}
+		res, err := readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), cfg,
+			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+				TargetRelStdErr: pp.RelSE, Progress: progress})
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		body, err := marshalEnvelope(jobs.KindReadoutMC, key, keyed, pp.Seed, pp.ShardSize, res)
+		return body, res.Status, err
+	}
+	return jobs.KindReadoutMC, key, run, nil
+}
+
+// ---- scalability.analyze: design-point scalability verdicts ----
+
+type scalabilityAnalyzeParams struct {
+	Designs  []string `json:"designs"`
+	Distance int      `json:"distance"`
+	Extended bool     `json:"extended"`
+	Workers  int      `json:"workers,omitempty"`
+}
+
+func scalabilityOptions(distance int, extended bool) scalability.Options {
+	opt := scalability.DefaultOptions()
+	if extended {
+		opt = scalability.ExtendedOptions()
+	}
+	opt.Distance = distance
+	return opt
+}
+
+func buildScalabilityAnalyze(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	var p scalabilityAnalyzeParams
+	if err := decodeParams(raw, &p); err != nil {
+		return "", "", nil, err
+	}
+	if p.Distance == 0 {
+		p.Distance = 23
+	}
+	for _, name := range p.Designs {
+		if _, ok := findDesign(name); !ok {
+			return "", "", nil, simerr.Invalidf("service: unknown design %q", name)
+		}
+	}
+	// Analyses are deterministic and seedless: seed 0 / shard 0 in the key.
+	key, keyed, err := requestKey(jobs.KindScalabilityAnalyze, p, 0, 0)
+	if err != nil {
+		return "", "", nil, err
+	}
+	pp := p
+	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		opt := scalabilityOptions(pp.Distance, pp.Extended)
+		opt.Workers = pp.Workers
+		opt.Progress = progress
+		var as []scalability.Analysis
+		var status simrun.Status
+		if len(pp.Designs) == 0 {
+			var err error
+			as, status, err = scalability.AnalyzeAllCtx(ctx, opt)
+			if err != nil {
+				return nil, simrun.Status{}, err
+			}
+		} else {
+			status = simrun.Status{Requested: len(pp.Designs), StopReason: simrun.StopCompleted}
+			for i, name := range pp.Designs {
+				if cerr := ctx.Err(); cerr != nil {
+					status.Truncated = true
+					status.StopReason = simrun.StopCanceled
+					break
+				}
+				d, _ := findDesign(name)
+				a, err := scalability.AnalyzeChecked(d, opt)
+				if err != nil {
+					return nil, simrun.Status{}, err
+				}
+				as = append(as, a)
+				status.Completed = i + 1
+				progress(i+1, len(pp.Designs))
+			}
+		}
+		exported := make([]scalability.ExportedAnalysis, len(as))
+		for i, a := range as {
+			exported[i] = scalability.Export(a)
+		}
+		out := struct {
+			Analyses []scalability.ExportedAnalysis `json:"analyses"`
+			Status   simrun.Status                  `json:"status"`
+		}{exported, status}
+		body, err := marshalEnvelope(jobs.KindScalabilityAnalyze, key, keyed, 0, 0, out)
+		return body, status, err
+	}
+	return jobs.KindScalabilityAnalyze, key, run, nil
+}
+
+// ---- scalability.sweep: qubit-count sweep of one design ----
+
+type scalabilitySweepParams struct {
+	Design      string `json:"design"`
+	QubitCounts []int  `json:"qubit_counts"`
+	Distance    int    `json:"distance"`
+	Extended    bool   `json:"extended"`
+	Workers     int    `json:"workers,omitempty"`
+}
+
+func buildScalabilitySweep(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	var p scalabilitySweepParams
+	if err := decodeParams(raw, &p); err != nil {
+		return "", "", nil, err
+	}
+	if p.Distance == 0 {
+		p.Distance = 23
+	}
+	if p.Design == "" {
+		return "", "", nil, simerr.Invalidf("service: scalability.sweep needs a design name")
+	}
+	d, ok := findDesign(p.Design)
+	if !ok {
+		return "", "", nil, simerr.Invalidf("service: unknown design %q", p.Design)
+	}
+	if len(p.QubitCounts) == 0 {
+		return "", "", nil, simerr.Invalidf("service: scalability.sweep needs at least one qubit count")
+	}
+	for _, n := range p.QubitCounts {
+		if n <= 0 {
+			return "", "", nil, simerr.Invalidf("service: qubit count must be positive, got %d", n)
+		}
+	}
+	key, keyed, err := requestKey(jobs.KindScalabilitySweep, p, 0, 0)
+	if err != nil {
+		return "", "", nil, err
+	}
+	pp := p
+	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		opt := scalabilityOptions(pp.Distance, pp.Extended)
+		opt.Workers = pp.Workers
+		opt.Progress = progress
+		res, err := scalability.SweepCtx(ctx, d, pp.QubitCounts, opt)
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		body, err := marshalEnvelope(jobs.KindScalabilitySweep, key, keyed, 0, 0, res)
+		return body, res.Status, err
+	}
+	return jobs.KindScalabilitySweep, key, run, nil
+}
+
+func findDesign(name string) (microarch.Design, bool) {
+	for _, d := range microarch.AllDesigns() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return microarch.Design{}, false
+}
+
+func f64(v float64) *float64 { return &v }
+
+// compileProgram is the QASM→executable step (kept tiny so the pauli.mc
+// builder reads linearly).
+func compileProgram(prog *qasm.Program) (*compile.Executable, error) {
+	return compile.Compile(prog, compile.DefaultOptions())
+}

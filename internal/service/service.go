@@ -1,0 +1,291 @@
+// Package service is qisimd's HTTP/JSON layer: it parses and normalizes job
+// requests (params.go), routes them through the jobs.Manager (bounded queue,
+// worker pool, singleflight) and the rescache content-addressed result cache,
+// and exposes Prometheus-format observability.
+//
+// Routes (Go 1.22 method+wildcard mux):
+//
+//	POST /v1/jobs          submit a job   → 202 (queued/coalesced) or 200 (cached)
+//	GET  /v1/jobs/{id}     job snapshot   → state, live progress, result/error
+//	GET  /v1/results/{key} cached result  → the byte-exact stored body
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          200 serving / 503 draining
+//
+// Error mapping mirrors the CLI exit-code contract (simerr codes 3–7):
+//
+//	interrupted        → 503    invalid-config   → 400
+//	numerical          → 500    budget-infeasible → 422
+//	unsupported-qasm   → 501    queue full       → 429
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"qisim/internal/jobs"
+	"qisim/internal/metrics"
+	"qisim/internal/rescache"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the job worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job backlog (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (<= 0 uses the default of 256 —
+	// the cache is integral to the service contract, so it cannot be
+	// disabled from here).
+	CacheEntries int
+	// MaxRecords bounds retained finished-job records (default 1024).
+	MaxRecords int
+	// JobTimeout caps each job's wall clock (0 = none).
+	JobTimeout time.Duration
+	// BaseContext is the ancestor of every job context (tests / fault
+	// injection inject deterministic cancellation here).
+	BaseContext context.Context
+}
+
+// Server wires the request layer, the job manager, the cache and the metrics
+// registry together.
+type Server struct {
+	mgr   *jobs.Manager
+	cache *rescache.Cache
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	mSubmitted *metrics.CounterVec // kind
+	mFinished  *metrics.CounterVec // kind, state
+	mTruncated *metrics.CounterVec // kind
+	mErrors    *metrics.CounterVec // kind, class
+	mSeconds   *metrics.HistogramVec
+	mCacheHits *metrics.Counter
+	mCacheMiss *metrics.Counter
+	mCoalesced *metrics.Counter
+	mRejected  *metrics.CounterVec // reason
+	mShots     *metrics.Counter
+}
+
+// New builds a Server (workers not yet running — call Start).
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	s := &Server{
+		cache: rescache.New(cfg.CacheEntries),
+		reg:   metrics.New(),
+	}
+	s.mSubmitted = s.reg.CounterVec("qisimd_jobs_submitted_total",
+		"Job submissions accepted (queued, coalesced or served from cache).", "kind")
+	s.mFinished = s.reg.CounterVec("qisimd_jobs_finished_total",
+		"Executed jobs by terminal state.", "kind", "state")
+	s.mTruncated = s.reg.CounterVec("qisimd_jobs_truncated_total",
+		"Jobs that finished with a Truncated partial result (drain/deadline).", "kind")
+	s.mErrors = s.reg.CounterVec("qisimd_job_errors_total",
+		"Failed jobs by simerr class.", "kind", "class")
+	s.mSeconds = s.reg.HistogramVec("qisimd_job_seconds",
+		"Job execution wall clock.", metrics.DefaultLatencyBuckets(), "kind")
+	s.mCacheHits = s.reg.Counter("qisimd_cache_hits_total",
+		"Submissions served byte-exactly from the result cache.")
+	s.mCacheMiss = s.reg.Counter("qisimd_cache_misses_total",
+		"Submissions that required a computation (no cached result).")
+	s.mCoalesced = s.reg.Counter("qisimd_jobs_coalesced_total",
+		"Duplicate submissions attached to an already-in-flight job.")
+	s.mRejected = s.reg.CounterVec("qisimd_jobs_rejected_total",
+		"Refused submissions by reason (queue-full, draining, invalid, ...).", "reason")
+	s.mShots = s.reg.Counter("qisimd_shots_total",
+		"Monte-Carlo shots committed across all finished jobs.")
+
+	s.mgr = jobs.NewManager(jobs.Config{
+		Workers:     cfg.Workers,
+		QueueDepth:  cfg.QueueDepth,
+		JobTimeout:  cfg.JobTimeout,
+		MaxRecords:  cfg.MaxRecords,
+		Cache:       s.cache,
+		BaseContext: cfg.BaseContext,
+		Hooks: jobs.Hooks{
+			JobFinished: func(kind jobs.Kind, state jobs.State, errClass string, st *simrun.Status, dur time.Duration) {
+				s.mFinished.With(string(kind), string(state)).Inc()
+				s.mSeconds.With(string(kind)).Observe(dur.Seconds())
+				if errClass != "" {
+					s.mErrors.With(string(kind), errClass).Inc()
+				}
+				if st != nil {
+					s.mShots.Add(float64(st.Completed))
+					if st.Truncated {
+						s.mTruncated.With(string(kind)).Inc()
+					}
+				}
+			},
+		},
+	})
+
+	// Sampled-at-scrape-time views over the cache and the queue.
+	s.reg.CounterFunc("qisimd_cache_corruptions_total",
+		"Cache entries dropped by checksum verification (recomputed, never served).",
+		func() float64 { return float64(s.cache.Stats().Corruptions) })
+	s.reg.CounterFunc("qisimd_cache_evictions_total",
+		"Cache entries evicted by the LRU bound.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	s.reg.GaugeFunc("qisimd_cache_entries",
+		"Resident result-cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.reg.GaugeFunc("qisimd_queue_depth",
+		"Jobs queued but not yet running.",
+		func() float64 { return float64(s.mgr.QueueDepth()) })
+	s.reg.GaugeFunc("qisimd_jobs_inflight",
+		"Jobs queued or running.",
+		func() float64 { return float64(s.mgr.InFlight()) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() { s.mgr.Start() }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting work, cancels in-flight jobs (they surface as
+// Truncated partials) and waits for the pool (bounded by ctx).
+func (s *Server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+
+// Registry exposes the metrics registry (tests, extra collectors).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Cache exposes the result cache (tests, fault injection).
+func (s *Server) Cache() *rescache.Cache { return s.cache }
+
+// Manager exposes the job manager (tests).
+func (s *Server) Manager() *jobs.Manager { return s.mgr }
+
+// submitResponse is the POST /v1/jobs body.
+type submitResponse struct {
+	Outcome string        `json:"outcome"` // queued | coalesced | cached
+	Job     jobs.Snapshot `json:"job"`
+}
+
+// errorResponse is every error body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.mRejected.With("invalid").Inc()
+		s.writeError(w, simerr.Invalidf("service: bad request body: %v", err))
+		return
+	}
+	kind, key, run, err := buildJob(req)
+	if err != nil {
+		s.mRejected.With("invalid").Inc()
+		s.writeError(w, err)
+		return
+	}
+	snap, outcome, err := s.mgr.Submit(kind, key, run)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.mRejected.With("queue-full").Inc()
+		case s.mgr.Draining():
+			s.mRejected.With("draining").Inc()
+		default:
+			s.mRejected.With("error").Inc()
+		}
+		s.writeError(w, err)
+		return
+	}
+	s.mSubmitted.With(string(kind)).Inc()
+	code := http.StatusAccepted
+	switch outcome {
+	case jobs.OutcomeCached:
+		s.mCacheHits.Inc()
+		code = http.StatusOK
+	case jobs.OutcomeCoalesced:
+		s.mCoalesced.Inc()
+	default:
+		s.mCacheMiss.Inc()
+	}
+	writeJSON(w, code, submitResponse{Outcome: outcome.String(), Job: snap})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := rescache.Key(r.PathValue("key"))
+	if !key.Valid() {
+		s.writeError(w, simerr.Invalidf("service: malformed result key %q", string(key)))
+		return
+	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no cached result for key " + string(key)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// httpStatus maps a typed error to its HTTP status, mirroring the CLI
+// exit-code mapping one protocol over.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, simerr.ErrInterrupted):
+		return http.StatusServiceUnavailable // 503 (exit 3)
+	case errors.Is(err, simerr.ErrInvalidConfig):
+		return http.StatusBadRequest // 400 (exit 4)
+	case errors.Is(err, simerr.ErrNumerical):
+		return http.StatusInternalServerError // 500 (exit 5)
+	case errors.Is(err, simerr.ErrBudgetInfeasible):
+		return http.StatusUnprocessableEntity // 422 (exit 6)
+	case errors.Is(err, simerr.ErrUnsupportedQASM):
+		return http.StatusNotImplemented // 501 (exit 7)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), errorResponse{Error: err.Error(), Class: simerr.Class(err)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

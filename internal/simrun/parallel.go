@@ -179,7 +179,7 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	var (
 		mu       sync.Mutex
 		tally    Tally
-		frontier int     // next shard index awaiting commit
+		frontier int       // next shard index awaiting commit
 		stopAt   = nShards // shards >= stopAt are never merged
 		reason   string
 	)
@@ -189,14 +189,21 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	// shards, feeding the cross-shard tally and running the convergence test
 	// at each shard boundary. Called with mu held.
 	commit := func() {
+		advanced := false
 		for frontier < stopAt && recs[frontier].done {
 			tally.Add(shards[frontier].N, recs[frontier].events)
 			frontier++
+			advanced = true
 			if tally.Converged(opt.TargetRelStdErr, opt.MinShots) {
 				stopAt = frontier
 				reason = StopConverged
-				return
+				break
 			}
+		}
+		if advanced && opt.Progress != nil {
+			// Observational only: reports the committed prefix, never
+			// uncommitted shards, so the callback cannot perturb determinism.
+			opt.Progress(shardShots(budget, opt.ShardSize, frontier), budget)
 		}
 	}
 

@@ -1,0 +1,64 @@
+package simrun
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRunShardedProgressReportsCommittedPrefix: the Progress hook must see a
+// non-decreasing sequence of committed shot counts ending at the full
+// budget, for both the serial and the parallel path, without changing the
+// merged result.
+func TestRunShardedProgressReportsCommittedPrefix(t *testing.T) {
+	const shots, shard = 1000, 64
+	run := func(workers int) (int, []int) {
+		var mu sync.Mutex
+		var seen []int
+		sum, st, err := RunSharded(context.Background(), shots, 42,
+			Options{Workers: workers, ShardSize: shard, Progress: func(done, req int) {
+				if req != shots {
+					t.Errorf("progress requested=%d, want %d", req, shots)
+				}
+				mu.Lock()
+				seen = append(seen, done)
+				mu.Unlock()
+			}},
+			func(task *ShardTask) (int, int, error) {
+				n := 0
+				for i := 0; task.Continue(i); i++ {
+					if task.RNG.Float64() < 0.5 {
+						n++
+					}
+				}
+				return n, -1, nil
+			},
+			func(dst *int, src int) { *dst += src })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != shots {
+			t.Fatalf("workers=%d completed %d/%d", workers, st.Completed, shots)
+		}
+		return sum, seen
+	}
+
+	serialSum, serialSeen := run(1)
+	parSum, parSeen := run(4)
+	if serialSum != parSum {
+		t.Fatalf("progress hook perturbed determinism: serial %d vs parallel %d", serialSum, parSum)
+	}
+	for _, seen := range [][]int{serialSeen, parSeen} {
+		if len(seen) == 0 {
+			t.Fatal("progress hook never called")
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				t.Fatalf("progress went backwards: %v", seen)
+			}
+		}
+		if last := seen[len(seen)-1]; last != shots {
+			t.Fatalf("final progress %d, want %d", last, shots)
+		}
+	}
+}

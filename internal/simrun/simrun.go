@@ -62,6 +62,14 @@ type Options struct {
 	// (default DefaultShardSize). It fixes the RNG stream layout: two runs
 	// agree bit-exactly only when seed AND ShardSize agree.
 	ShardSize int
+	// Progress, when non-nil, is invoked by the parallel engine each time
+	// the committed in-order shard prefix advances, with the shots merged so
+	// far and the effective budget. It is strictly observational — it sees
+	// only already-committed state and must not block: qisimd uses it to
+	// publish live partial-progress for GET /v1/jobs/{id}. Called from
+	// worker goroutines under the engine's commit lock; keep it O(1) (e.g.
+	// two atomic stores).
+	Progress func(completed, requested int)
 }
 
 // Validate checks the options for internal consistency against a requested
