@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service fuzz serve verify clean
+.PHONY: all build test vet race race-parallel race-service race-resume fuzz serve verify clean
 
 all: build
 
@@ -36,6 +36,15 @@ race-parallel:
 # suites, run twice so goroutine scheduling varies.
 race-service:
 	$(GO) test -race -count=2 ./internal/service ./internal/jobs ./internal/rescache ./internal/metrics
+
+# Focused race pass over the crash-safety layer: the checkpoint container +
+# saver, the engine's resume path, the job journal, qisimd recovery, and the
+# consumer-level crash-resume equivalence suite, run twice so goroutine
+# scheduling varies.
+race-resume:
+	$(GO) test -race -count=2 ./internal/checkpoint ./internal/simrun
+	$(GO) test -race -count=2 -run 'Recovery|Journal' ./internal/service ./internal/jobs
+	$(GO) test -race -count=2 -run 'CrashResume' .
 
 # Short fuzz smoke of the QASM parser boundary (the long runs happen in CI
 # and on demand: `go test ./internal/qasm -fuzz FuzzParse -fuzztime 5m`).

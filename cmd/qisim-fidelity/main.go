@@ -6,6 +6,14 @@
 //
 //	qisim-fidelity [-machine ibm_mumbai] [-arch cmos|sfq] [-mc] [-workers n] file.qasm
 //	cat circuit.qasm | qisim-fidelity -
+//
+// SIGINT/SIGTERM cancel the -mc estimator cooperatively: the partial
+// estimate over the committed shard prefix is still printed (flagged
+// truncated) and the process exits with code 3. With -checkpoint-dir the
+// committed prefix is also persisted crash-safely, keyed by the normalized
+// request (the same content address qisimd uses); -resume restarts from
+// that snapshot and produces a fidelity bit-identical to an uninterrupted
+// run.
 package main
 
 import (
@@ -14,12 +22,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"qisim/internal/buildinfo"
+	"qisim/internal/checkpoint"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
 	"qisim/internal/pauli"
 	"qisim/internal/qasm"
+	"qisim/internal/rescache"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
 	"qisim/internal/validate"
@@ -30,6 +42,12 @@ func main() {
 	arch := flag.String("arch", "cmos", "QCI architecture: cmos or sfq")
 	mc := flag.Bool("mc", false, "also run the Monte-Carlo estimator")
 	workers := flag.Int("workers", 0, "parallel worker goroutines for -mc (0 = all cores, 1 = serial; the estimate is identical for every value)")
+	shots := flag.Int("shots", 50000, "-mc shot budget")
+	seed := flag.Int64("seed", 3, "-mc RNG seed")
+	shardSize := flag.Int("shard-size", 0, "-mc shots per shard (0 = engine default; part of the RNG stream layout and the checkpoint identity)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist crash-safe -mc checkpoints of the committed shard prefix in this directory")
+	resume := flag.Bool("resume", false, "resume -mc from the checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "write a checkpoint every N committed shards (the final flush always writes)")
 	list := flag.Bool("list", false, "list reference machines")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
@@ -48,6 +66,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fatal("expected exactly one QASM file (or - for stdin)")
 	}
+	if *resume && *ckptDir == "" {
+		fatalErr(simerr.Invalidf("-resume requires -checkpoint-dir"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
@@ -96,13 +120,57 @@ func main() {
 	pcfg := pauli.DefaultConfig(rates)
 	fmt.Printf("fidelity:      %.4f  (%s, ESP)\n", pauli.ESP(res, pcfg), *machine)
 	if *mc {
-		pcfg.Shots = 50000
-		mcRes, err := pauli.MonteCarloCtx(context.Background(), res, pcfg,
-			simrun.Options{Workers: *workers})
+		pcfg.Shots = *shots
+		pcfg.Seed = *seed
+		opt := simrun.Options{Workers: *workers, ShardSize: *shardSize}
+		var sv *checkpoint.Saver
+		if *ckptDir != "" {
+			ss := opt.ShardSize
+			if ss <= 0 {
+				ss = simrun.DefaultShardSize
+			}
+			// Key params mirror qisimd's pauli.mc normalization (params minus
+			// workers, with seed and shard size in the envelope), so the CLI
+			// and the service agree on the checkpoint identity of a request.
+			key, err := rescache.KeyFor("pauli.mc", map[string]any{
+				"qasm": src, "machine": *machine, "arch": *arch,
+				"shots": *shots, "period_ns": pcfg.DecoherencePeriod * 1e9, "rel_se": 0.0,
+			}, *seed, ss)
+			if err != nil {
+				fatalErr(err)
+			}
+			meta := checkpoint.Meta{Kind: "pauli.mc", Key: string(key),
+				Seed: *seed, ShardSize: ss, Budget: *shots}
+			var snap *checkpoint.Snapshot
+			sv, snap, err = checkpoint.Attach(&opt, *ckptDir, *resume, *ckptEvery, meta)
+			if err != nil {
+				fatalErr(err)
+			}
+			if snap != nil {
+				fmt.Fprintf(os.Stderr, "qisim-fidelity: resuming from %d/%d committed shots (%s)\n",
+					snap.Shots, snap.Meta.Budget, sv.Path)
+			}
+		}
+		mcRes, err := pauli.MonteCarloCtx(ctx, res, pcfg, opt)
 		if err != nil {
 			fatalErr(err)
 		}
-		fmt.Printf("fidelity (MC): %.4f  (50k shots)\n", mcRes.Fidelity)
+		fmt.Printf("fidelity (MC): %.4f  (%d/%d shots)\n",
+			mcRes.Fidelity, mcRes.Status.Completed, mcRes.Status.Requested)
+		if sv != nil {
+			if serr := sv.Err(); serr != nil {
+				fmt.Fprintf(os.Stderr, "qisim-fidelity: warning: checkpoint durability degraded: %v\n", serr)
+			} else if mcRes.Status.Truncated {
+				fmt.Fprintf(os.Stderr, "qisim-fidelity: checkpoint saved to %s — rerun with -resume to continue\n", sv.Path)
+			}
+		}
+		if mcRes.Status.Truncated {
+			fmt.Printf("(truncated: %s after %d/%d shots — partial estimate)\n",
+				mcRes.Status.StopReason, mcRes.Status.Completed, mcRes.Status.Requested)
+		}
+		if serr := mcRes.Status.Err(); serr != nil {
+			fatalErr(serr) // exit 3: partial estimate already printed
+		}
 	}
 }
 

@@ -30,9 +30,11 @@ import (
 	"syscall"
 
 	"qisim/internal/buildinfo"
+	"qisim/internal/checkpoint"
 	"qisim/internal/experiments"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
+	"qisim/internal/rescache"
 	"qisim/internal/scalability"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -214,6 +216,14 @@ func sweep(ctx context.Context, name string, counts []string, jsonOut bool, work
 // cancellation support — the CLI face of the context-aware simulation layer.
 // On SIGINT or timeout it emits the partial estimate (valid JSON with
 // status.truncated=true under -json) and exits with code 3.
+//
+// With -checkpoint-dir the committed shard prefix is persisted at shard
+// boundaries (and flushed once more when the run stops, so ^C loses
+// nothing); -resume restarts from that snapshot and produces output
+// byte-identical to an uninterrupted run. The snapshot is keyed by the
+// normalized request (the same content address qisimd uses), so resuming
+// with different parameters is refused with a typed error rather than
+// silently mixing runs.
 func mc(ctx context.Context, args []string, jsonOut bool, workers int) error {
 	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
 	d := fs.Int("d", 11, "code distance (odd, >= 3)")
@@ -224,6 +234,10 @@ func mc(ctx context.Context, args []string, jsonOut bool, workers int) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	relSE := fs.Float64("rel-se", 0, "convergence target: stop once the relative std-err drops below this (0 = run full budget)")
 	mcWorkers := fs.Int("workers", workers, "parallel worker goroutines (0 = all cores, 1 = serial; the estimate is identical for every value)")
+	shardSize := fs.Int("shard-size", 0, "shots per shard (0 = engine default; part of the RNG stream layout and the checkpoint identity)")
+	ckptDir := fs.String("checkpoint-dir", "", "persist crash-safe checkpoints of the committed shard prefix in this directory")
+	resume := fs.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
+	ckptEvery := fs.Int("checkpoint-every", 1, "write a checkpoint every N committed shards (the final flush always writes)")
 	if err := fs.Parse(args); err != nil {
 		return simerr.Invalidf("mc: %v", err)
 	}
@@ -231,8 +245,15 @@ func mc(ctx context.Context, args []string, jsonOut bool, workers int) error {
 	if r == 0 {
 		r = *d
 	}
-	res, err := surface.MonteCarloPhenomenologicalCtx(ctx, *d, *p, *q, r, *shots, *seed,
-		simrun.Options{TargetRelStdErr: *relSE, Workers: *mcWorkers})
+	opt := simrun.Options{TargetRelStdErr: *relSE, Workers: *mcWorkers, ShardSize: *shardSize}
+	sv, err := wireCheckpoint(&opt, *ckptDir, *resume, *ckptEvery, "surface.mc",
+		map[string]any{"distance": *d, "p": *p, "q": *q, "rounds": r, "shots": *shots, "rel_se": *relSE},
+		*seed, *shots)
+	if err != nil {
+		return err
+	}
+	res, err := surface.MonteCarloPhenomenologicalCtx(ctx, *d, *p, *q, r, *shots, *seed, opt)
+	reportCheckpoint(sv, err == nil && res.Status.Truncated)
 	if err != nil {
 		return err
 	}
@@ -259,6 +280,60 @@ func mc(ctx context.Context, args []string, jsonOut bool, workers int) error {
 		}
 	}
 	return res.Status.Err()
+}
+
+// wireCheckpoint configures crash-safe checkpointing on opt. The snapshot is
+// keyed by the same content address the qisimd result cache uses — kind +
+// normalized params + seed + effective shard size — so a checkpoint can only
+// ever resume the exact run that wrote it. With dir == "" it is a no-op
+// (nil Saver, safe to pass to reportCheckpoint). With resume it loads the
+// snapshot at the derived path: a missing file starts cold, a corrupted or
+// mismatched file is a typed error (never silently replayed).
+func wireCheckpoint(opt *simrun.Options, dir string, resume bool, every int,
+	kind string, params map[string]any, seed int64, shots int) (*checkpoint.Saver, error) {
+	if dir == "" {
+		if resume {
+			return nil, simerr.Invalidf("-resume requires -checkpoint-dir")
+		}
+		return nil, nil
+	}
+	ss := opt.ShardSize
+	if ss <= 0 {
+		ss = simrun.DefaultShardSize
+	}
+	key, err := rescache.KeyFor(kind, params, seed, ss)
+	if err != nil {
+		return nil, err
+	}
+	meta := checkpoint.Meta{
+		Kind: kind, Key: string(key), Seed: seed, ShardSize: ss, Budget: shots,
+		MinShots: opt.MinShots, TargetRelStdErr: opt.TargetRelStdErr,
+	}
+	sv, snap, err := checkpoint.Attach(opt, dir, resume, every, meta)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		fmt.Fprintf(os.Stderr, "qisim: resuming %s from %d/%d committed shots (%s)\n",
+			kind, snap.Shots, snap.Meta.Budget, sv.Path)
+	}
+	return sv, nil
+}
+
+// reportCheckpoint surfaces the checkpoint outcome after a run: a write
+// failure degraded durability (warning — the run result itself is still
+// valid), and a truncated run prints where to resume from.
+func reportCheckpoint(sv *checkpoint.Saver, truncated bool) {
+	if sv == nil {
+		return
+	}
+	if err := sv.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "qisim: warning: checkpoint durability degraded: %v\n", err)
+		return
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "qisim: checkpoint saved to %s — rerun with -resume to continue\n", sv.Path)
+	}
 }
 
 func emitJSON(v any) error {
@@ -290,6 +365,10 @@ func usage() {
 cores, 1 = serial); deterministic sharded RNG makes the result bit-identical
 for every worker count. SIGINT or -timeout cancels cooperatively: partial
 results are printed (flagged truncated in -json) and the exit code is 3.
+mc -checkpoint-dir persists crash-safe snapshots of the committed shard
+prefix (flushed once more on ^C); mc -resume restarts from that snapshot and
+produces output byte-identical to an uninterrupted run. Inspect snapshots
+with the qisim-checkpoint tool.
 Error-class exit codes: 4 invalid config, 5 numerical, 6 budget infeasible,
 7 unsupported QASM.`)
 }

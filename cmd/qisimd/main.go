@@ -5,7 +5,7 @@
 // Usage:
 //
 //	qisimd [-addr :8080] [-workers n] [-queue 64] [-cache-entries 256]
-//	       [-job-timeout d] [-drain-timeout 30s]
+//	       [-job-timeout d] [-drain-timeout 30s] [-data-dir dir]
 //
 // API:
 //
@@ -13,12 +13,21 @@
 //	GET  /v1/jobs/{id}     job state, live progress, result or typed error
 //	GET  /v1/results/{key} cached result body (byte-exact replay)
 //	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          200 serving / 503 draining
+//	GET  /healthz          liveness: 200 serving / 503 draining
+//	GET  /readyz           readiness: 503 recovering / draining / saturated
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight jobs are cancelled and finish through the partial-result path
 // (their snapshots flagged "truncated"), and the process exits 0 once the
 // pool has committed those partials (or -drain-timeout expires).
+//
+// With -data-dir the daemon is crash-safe: accepted jobs are write-ahead-
+// logged to <dir>/journal.wal and Monte-Carlo runs checkpoint their
+// committed shard prefix under <dir>/checkpoints. On boot the journal is
+// replayed — jobs that were queued or running when the previous process
+// died are resubmitted and resume from their checkpoints, producing results
+// byte-identical to an uninterrupted run. /readyz stays 503 until the
+// replay finishes.
 package main
 
 import (
@@ -44,28 +53,47 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (entries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	dataDir := flag.String("data-dir", "", "crash-safe state directory (job journal + MC checkpoints); empty = in-memory only")
+	maxBody := flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "largest accepted POST /v1/jobs body (413 beyond)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisimd"))
 		return
 	}
-	if err := run(*addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout, *dataDir, *maxBody); err != nil {
 		fmt.Fprintln(os.Stderr, "qisimd:", err)
 		os.Exit(simerr.ExitCode(err))
 	}
 }
 
-func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout time.Duration) error {
-	srv := service.New(service.Config{
+func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout time.Duration, dataDir string, maxBody int64) error {
+	srv, err := service.New(service.Config{
 		Workers:      workers,
 		QueueDepth:   queue,
 		CacheEntries: cacheEntries,
 		JobTimeout:   jobTimeout,
+		DataDir:      dataDir,
+		MaxBodyBytes: maxBody,
 	})
+	if err != nil {
+		return err
+	}
 	srv.Start()
+	if n, err := srv.Recover(); err != nil {
+		return err
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "qisimd: recovered %d journaled job(s) from %s\n", n, dataDir)
+	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	// Slow-client hardening: bound the header read and reap idle keep-alive
+	// connections so a stalled peer cannot pin a connection forever.
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"qisim/internal/simerr"
+)
+
+// FuzzCheckpointDecode hammers Decode with arbitrary byte soup plus a seed
+// corpus of realistic corruptions (torn prefixes, bit flips, trailing
+// garbage, header-only files). The invariants under fuzz:
+//
+//  1. Decode never panics;
+//  2. a failure is always a typed simerr.ErrInvalidConfig (no untyped
+//     corruption escapes);
+//  3. a success re-encodes to the byte-identical input (Decode∘Encode is the
+//     identity on valid containers), so Decode cannot "repair" a file into
+//     something that was never written.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := Encode(testSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed corpus: the valid container and its characteristic corruptions.
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))                  // header-only torn file
+	f.Add(valid[:headerLen])              // payload fully torn off
+	f.Add(valid[:len(valid)/2])           // torn mid-payload
+	f.Add(valid[:len(valid)-1])           // torn by one byte
+	f.Add(append([]byte{}, valid[1:]...)) // first byte torn off
+	f.Add(append(append([]byte{}, valid...), 'X'))
+	bitflip := append([]byte{}, valid...)
+	bitflip[headerLen+2] ^= 0x01 // payload flip → CRC mismatch
+	f.Add(bitflip)
+	crcflip := append([]byte{}, valid...)
+	crcflip[len(magic)+4] ^= 0x80 // stored-CRC flip
+	f.Add(crcflip)
+	lenflip := append([]byte{}, valid...)
+	lenflip[len(magic)+3] ^= 0x02 // declared-length flip
+	f.Add(lenflip)
+	f.Add([]byte("QISNAP01 this is not a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, simerr.ErrInvalidConfig) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("decode accepted an invalid snapshot: %v", verr)
+		}
+		re, err := Encode(s)
+		if err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not the identity:\n in  %q\n out %q", data, re)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// The simrun bridge: a Saver turns engine commit callbacks into durable
+// snapshots, and Resume turns a snapshot back into the engine's ResumeState.
+package checkpoint
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+)
+
+// now is stubbed in tests that pin SavedAt.
+var now = time.Now
+
+// Saver persists engine commits as snapshots at Path. Wire its Hook into
+// simrun.Options.Checkpoint:
+//
+//	sv := &checkpoint.Saver{Path: path, Meta: meta, Every: 4}
+//	opt.Checkpoint = sv.Hook()
+//	... run ...
+//	if err := sv.Err(); err != nil { /* durability degraded, run still valid */ }
+//
+// Every commit callback serializes the accumulator synchronously (the
+// engine's contract: State must not be retained); only every Every-th commit
+// actually hits the disk, except the Final flush, which is always written —
+// that is what makes SIGINT-then-resume lossless.
+//
+// Write failures are recorded, not raised: a full disk degrades durability
+// (the run continues and stays correct), it does not kill the run. Callers
+// check Err after the run and surface it as a warning.
+type Saver struct {
+	// Path is the snapshot destination (see PathFor).
+	Path string
+	// Meta is the run identity stamped into every snapshot.
+	Meta Meta
+	// Every throttles mid-run writes to every N-th commit (<= 1 = every
+	// commit). The Final flush ignores the throttle.
+	Every int
+
+	mu      sync.Mutex
+	commits int
+	saves   int
+	err     error
+}
+
+// Hook returns the simrun.Options.Checkpoint callback.
+func (sv *Saver) Hook() func(simrun.CheckpointState) {
+	return func(st simrun.CheckpointState) {
+		sv.mu.Lock()
+		defer sv.mu.Unlock()
+		sv.commits++
+		every := sv.Every
+		if every < 1 {
+			every = 1
+		}
+		if !st.Final && sv.commits%every != 0 {
+			return
+		}
+		snap, err := SnapshotOf(sv.Meta, st)
+		if err != nil {
+			if sv.err == nil {
+				sv.err = err
+			}
+			return
+		}
+		if err := Save(sv.Path, snap); err != nil {
+			if sv.err == nil {
+				sv.err = err
+			}
+			return
+		}
+		sv.saves++
+	}
+}
+
+// Saves returns how many snapshots reached the disk.
+func (sv *Saver) Saves() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.saves
+}
+
+// Err returns the first write/serialization failure ("" durability
+// degraded); the run result itself is unaffected.
+func (sv *Saver) Err() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.err
+}
+
+// SnapshotOf converts one engine commit into a Snapshot (exported for
+// callers that persist through their own channel).
+func SnapshotOf(m Meta, st simrun.CheckpointState) (Snapshot, error) {
+	state, err := json.Marshal(st.State)
+	if err != nil {
+		return Snapshot{}, simerr.Invalidf("checkpoint: accumulator %T does not serialize: %v", st.State, err)
+	}
+	m.Budget = st.Requested
+	return Snapshot{
+		Version:    Version,
+		Meta:       m,
+		Shards:     st.Shards,
+		Shots:      st.Shots,
+		Events:     st.Events,
+		NoConverge: st.NoConverge,
+		Final:      st.Final,
+		State:      state,
+		SavedAt:    now(),
+	}, nil
+}
+
+// Resume converts a snapshot into the engine's ResumeState after verifying
+// it belongs to the run identified by meta. Mismatches are typed errors —
+// resuming against the wrong run is refused, never silently replayed.
+func Resume(s Snapshot, meta Meta) (*simrun.ResumeState, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Match(meta); err != nil {
+		return nil, err
+	}
+	return &simrun.ResumeState{
+		Shards:     s.Shards,
+		Shots:      s.Shots,
+		Events:     s.Events,
+		NoConverge: s.NoConverge,
+		StateJSON:  []byte(s.State),
+	}, nil
+}
+
+// Attach wires crash-safe checkpointing into an engine Options in one call:
+// it derives the snapshot path from meta.Key under dir, optionally loads an
+// existing snapshot into opt.Resume (resume == true), and installs a Saver
+// hook as opt.Checkpoint. The returned Snapshot pointer is non-nil only when
+// a resume snapshot was actually loaded. A corrupted or mismatched snapshot
+// is a typed error; a missing one starts cold.
+func Attach(opt *simrun.Options, dir string, resume bool, every int, meta Meta) (*Saver, *Snapshot, error) {
+	path := PathFor(dir, meta.Key)
+	var loaded *Snapshot
+	if resume {
+		rs, snap, err := LoadResume(path, meta)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rs != nil {
+			opt.Resume = rs
+			loaded = &snap
+		}
+	}
+	sv := &Saver{Path: path, Meta: meta, Every: every}
+	opt.Checkpoint = sv.Hook()
+	return sv, loaded, nil
+}
+
+// LoadResume loads the snapshot at path and converts it for the run
+// identified by meta. A missing file returns (nil, zero, nil): start cold.
+// A present-but-corrupted or mismatched file is a typed error: the caller
+// must not guess.
+func LoadResume(path string, meta Meta) (*simrun.ResumeState, Snapshot, error) {
+	s, err := Load(path)
+	if err != nil {
+		if IsNotExist(err) {
+			return nil, Snapshot{}, nil
+		}
+		return nil, Snapshot{}, err
+	}
+	rs, err := Resume(s, meta)
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+	return rs, s, nil
+}

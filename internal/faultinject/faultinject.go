@@ -15,7 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"time"
 
+	"qisim/internal/checkpoint"
 	"qisim/internal/cmath"
 	"qisim/internal/compile"
 	"qisim/internal/ham"
@@ -378,7 +381,7 @@ func Scenarios() []Scenario {
 				if err != nil {
 					return Outcome{Err: err, Detail: "keying failed"}
 				}
-				snap, _, err := m.Submit(jobs.KindSurfaceMC, key,
+				snap, _, err := m.Submit(jobs.KindSurfaceMC, key, nil,
 					func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
 						res, err := surface.MonteCarloPhenomenologicalCtx(ctx, 5, 0.02, 0.02, 5, 20000, 11,
 							simrun.Options{CheckEvery: 1, ShardSize: 100, Progress: progress})
@@ -446,6 +449,152 @@ func Scenarios() []Scenario {
 					return Outcome{Err: fmt.Errorf("recomputed entry not served (hit=%v)", ok)}
 				}
 				return Outcome{Detail: "corrupted entry detected, dropped and recomputed; never served"}
+			},
+		},
+		{
+			// (f) A torn checkpoint file — the crash hit mid-write, or the
+			// filesystem truncated the snapshot — must be rejected as a typed
+			// configuration error when a resume is attempted. Replaying half
+			// a snapshot would silently skew the committed prefix.
+			Name:  "torn-checkpoint-file",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				dir, err := os.MkdirTemp("", "faultinject-torn-*")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("tempdir: %w", err)}
+				}
+				defer os.RemoveAll(dir)
+				meta := checkpoint.Meta{
+					Kind: "surface.mc", Key: "k-torn", Seed: 7, ShardSize: 100, Budget: 1000,
+				}
+				snap := checkpoint.Snapshot{
+					Version: checkpoint.Version, Meta: meta,
+					Shards: 3, Shots: 300, Events: 11,
+					State: json.RawMessage(`{"failures":11}`), SavedAt: time.Now(),
+				}
+				path := checkpoint.PathFor(dir, meta.Key)
+				if err := checkpoint.Save(path, snap); err != nil {
+					return Outcome{Err: fmt.Errorf("save: %w", err)}
+				}
+				full, err := os.ReadFile(path)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("read back: %w", err)}
+				}
+				// The injected fault: tear the file mid-payload.
+				if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+					return Outcome{Err: fmt.Errorf("tear: %w", err)}
+				}
+				var opt simrun.Options
+				_, loaded, err := checkpoint.Attach(&opt, dir, true, 1, meta)
+				if err == nil {
+					return Outcome{Err: fmt.Errorf("torn snapshot accepted for resume (loaded=%v)", loaded != nil)}
+				}
+				return Outcome{Err: err,
+					Detail: fmt.Sprintf("snapshot torn to %d of %d bytes", len(full)/2, len(full))}
+			},
+		},
+		{
+			// (f') A journal entry whose checkpoint never made it to disk —
+			// the daemon crashed after the WAL append but before the first
+			// shard committed. Recovery must run the job cold to completion
+			// and resolve the journal entry; a missing snapshot is a cold
+			// start, never an error.
+			Name: "journal-entry-missing-checkpoint",
+			Run: func() Outcome {
+				dir, err := os.MkdirTemp("", "faultinject-wal-*")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("tempdir: %w", err)}
+				}
+				defer os.RemoveAll(dir)
+				key, err := rescache.KeyFor("surface.mc", map[string]any{"distance": 3}, 7, 100)
+				if err != nil {
+					return Outcome{Err: err, Detail: "keying failed"}
+				}
+				// Previous life: the submit hit the WAL, then the process died
+				// before any checkpoint was flushed.
+				j, err := jobs.OpenJournal(dir + "/journal.wal")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("open journal: %w", err)}
+				}
+				if err := j.Append(jobs.OpSubmit, jobs.KindSurfaceMC, key, nil); err != nil {
+					return Outcome{Err: fmt.Errorf("append: %w", err)}
+				}
+				j.Close()
+
+				// Next life: replay finds the pending job, no snapshot exists.
+				j2, err := jobs.OpenJournal(dir + "/journal.wal")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("reopen journal: %w", err)}
+				}
+				defer j2.Close()
+				pend := j2.Pending()
+				if len(pend) != 1 {
+					return Outcome{Err: fmt.Errorf("replay found %d pending jobs, want 1", len(pend))}
+				}
+				meta := checkpoint.Meta{
+					Kind: string(jobs.KindSurfaceMC), Key: string(key),
+					Seed: 7, ShardSize: 100, Budget: 1000,
+				}
+				opt := simrun.Options{ShardSize: 100}
+				sv, loaded, err := checkpoint.Attach(&opt, dir, true, 1, meta)
+				if err != nil {
+					return Outcome{Err: err, Detail: "missing snapshot must not be an error"}
+				}
+				if loaded != nil {
+					return Outcome{Err: fmt.Errorf("resume loaded a snapshot that cannot exist: %+v", *loaded)}
+				}
+				res, err := surface.MonteCarloLogicalErrorCtx(context.Background(), 3, 0.01, 1000, 7, opt)
+				if err != nil {
+					return Outcome{Err: err, Detail: "cold recovery run failed"}
+				}
+				if res.Status.Truncated {
+					return Outcome{Err: fmt.Errorf("cold recovery run truncated: %+v", res.Status)}
+				}
+				if serr := j2.Append(jobs.OpDone, jobs.KindSurfaceMC, key, nil); serr != nil {
+					return Outcome{Err: fmt.Errorf("resolve journal entry: %w", serr)}
+				}
+				if rem := j2.Pending(); len(rem) != 0 {
+					return Outcome{Err: fmt.Errorf("journal entry not resolved: %+v", rem)}
+				}
+				return Outcome{Status: res.Status,
+					Detail: fmt.Sprintf("cold recovery completed %d/%d shots, %d checkpoint saves",
+						res.Status.Completed, res.Status.Requested, sv.Saves())}
+			},
+		},
+		{
+			// (f'') A snapshot that does not belong to the requested run — a
+			// stale file for a different seed landed under the same path —
+			// must be refused as a typed configuration error. Resuming it
+			// would splice shard prefixes from two different RNG streams.
+			Name:  "checkpoint-request-key-mismatch",
+			Class: simerr.ErrInvalidConfig,
+			Run: func() Outcome {
+				dir, err := os.MkdirTemp("", "faultinject-mismatch-*")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("tempdir: %w", err)}
+				}
+				defer os.RemoveAll(dir)
+				stale := checkpoint.Meta{
+					Kind: "surface.mc", Key: "k-shared", Seed: 1, ShardSize: 100, Budget: 1000,
+				}
+				snap := checkpoint.Snapshot{
+					Version: checkpoint.Version, Meta: stale,
+					Shards: 2, Shots: 200, Events: 5,
+					State: json.RawMessage(`{"failures":5}`), SavedAt: time.Now(),
+				}
+				if err := checkpoint.Save(checkpoint.PathFor(dir, stale.Key), snap); err != nil {
+					return Outcome{Err: fmt.Errorf("save stale snapshot: %w", err)}
+				}
+				// The injected fault: the incoming run has the same key path
+				// but a different seed — the snapshot is not its prefix.
+				want := stale
+				want.Seed = 2
+				var opt simrun.Options
+				_, _, err = checkpoint.Attach(&opt, dir, true, 1, want)
+				if err == nil {
+					return Outcome{Err: fmt.Errorf("mismatched snapshot accepted for resume")}
+				}
+				return Outcome{Err: err, Detail: "seed-1 snapshot against a seed-2 run"}
 			},
 		},
 	}

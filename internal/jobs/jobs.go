@@ -169,6 +169,12 @@ type Config struct {
 	// Cache receives completed (non-truncated) results and serves repeat
 	// submissions. Optional: nil disables caching.
 	Cache *rescache.Cache
+	// Journal, when set, write-ahead-logs every accepted submission and its
+	// terminal outcome so queued/running work survives a daemon restart (see
+	// journal.go). Journal write failures degrade durability — they are
+	// counted on the journal and surfaced through metrics — but never fail a
+	// submission or a job.
+	Journal *Journal
 	// BaseContext is the ancestor of every job context (default
 	// context.Background()). Tests and fault injection use it to inject
 	// deterministic cancellation.
@@ -187,8 +193,9 @@ type job struct {
 	cached  bool
 	created time.Time
 
-	run  Runner
-	done chan struct{} // closed at finalization
+	run    Runner
+	params json.RawMessage // journaled request params (nil without a journal)
+	done   chan struct{}   // closed at finalization
 
 	state             State
 	started, finished time.Time
@@ -267,7 +274,12 @@ func (m *Manager) Start() {
 // bytes; key already in flight → the existing job (coalesced); otherwise a
 // new queued job. The cache probe and the singleflight insert happen under
 // one lock, so concurrent duplicates can never both enqueue.
-func (m *Manager) Submit(kind Kind, key rescache.Key, run Runner) (Snapshot, Outcome, error) {
+//
+// params is the raw request-params JSON retained in the journal (nil when no
+// journal is configured or the caller has no params) so the exact request
+// can be rebuilt and resubmitted after a restart. Cached and coalesced
+// submissions are not journaled — nothing new was enqueued.
+func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, run Runner) (Snapshot, Outcome, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -290,6 +302,7 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, run Runner) (Snapshot, Out
 	}
 	j := m.newJobLocked(kind, key)
 	j.run = run
+	j.params = params
 	j.state = StateQueued
 	select {
 	case m.queue <- j:
@@ -300,6 +313,11 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, run Runner) (Snapshot, Out
 		return Snapshot{}, OutcomeQueued, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.inflight[key] = j
+	if m.cfg.Journal != nil {
+		// Best-effort WAL: a failed append degrades durability (counted on
+		// the journal), it does not refuse the submission.
+		m.cfg.Journal.Append(OpSubmit, kind, key, params) //nolint:errcheck
+	}
 	return m.snapshotLocked(j), OutcomeQueued, nil
 }
 
@@ -383,6 +401,20 @@ func (m *Manager) execute(j *job) {
 	snapState, errClass, status := j.state, j.errClass, j.status
 	dur := j.finished.Sub(j.started)
 	m.mu.Unlock()
+
+	if m.cfg.Journal != nil {
+		// Resolve the WAL entry: done and failed retire the submission;
+		// truncated keeps it pending so the next boot resumes it from its
+		// checkpoint instead of dropping the committed prefix.
+		op := OpDone
+		switch {
+		case snapState == StateFailed:
+			op = OpFailed
+		case status != nil && status.Truncated:
+			op = OpTruncated
+		}
+		m.cfg.Journal.Append(op, j.kind, j.key, nil) //nolint:errcheck
+	}
 
 	if m.cfg.Hooks.JobFinished != nil {
 		m.cfg.Hooks.JobFinished(j.kind, snapState, errClass, status, dur)

@@ -194,7 +194,9 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 	mu := m * (2*q - 1)
 	sigma := 2 * math.Sqrt(m*q*(1-q))
 
-	type tallies struct{ errs, totalRounds, decidedBy3 int }
+	// Fields are exported so the accumulator JSON round-trips bit-exactly
+	// through checkpoint/resume (internal/checkpoint).
+	type tallies struct{ Errs, TotalRounds, DecidedBy3 int }
 	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
 		func(task *simrun.ShardTask) (tallies, int, error) {
 			var tl tallies
@@ -235,19 +237,19 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 					rounds = cfg.MaxRounds
 				}
 				if wrong {
-					tl.errs++
+					tl.Errs++
 				}
-				tl.totalRounds += rounds
+				tl.TotalRounds += rounds
 				if rounds <= 3 {
-					tl.decidedBy3++
+					tl.DecidedBy3++
 				}
 			}
-			return tl, tl.errs, nil
+			return tl, tl.Errs, nil
 		},
 		func(dst *tallies, src tallies) {
-			dst.errs += src.errs
-			dst.totalRounds += src.totalRounds
-			dst.decidedBy3 += src.decidedBy3
+			dst.Errs += src.Errs
+			dst.TotalRounds += src.TotalRounds
+			dst.DecidedBy3 += src.DecidedBy3
 		})
 	if gerr != nil {
 		return MultiRoundResult{}, gerr
@@ -255,11 +257,11 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 	res := MultiRoundResult{Status: status}
 	if status.Completed > 0 {
 		n := float64(status.Completed)
-		mr := float64(sum.totalRounds) / n
-		res.Error = float64(sum.errs) / n
+		mr := float64(sum.TotalRounds) / n
+		res.Error = float64(sum.Errs) / n
 		res.MeanRounds = mr
 		res.MeanTime = t.TotalTime(mr)
-		res.FracDecidedBy3 = float64(sum.decidedBy3) / n
+		res.FracDecidedBy3 = float64(sum.DecidedBy3) / n
 		full := t.TotalTime(float64(t.MaxRounds))
 		if full > 0 {
 			res.Speedup = 1 - res.MeanTime/full

@@ -114,7 +114,9 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 	// across shards; each shard draws noise from its private RNG stream and
 	// alternates preparation on the GLOBAL shot index, so the merged error
 	// counts are bit-identical for every worker count.
-	type tallies struct{ bin, single int }
+	// Exported fields: the accumulator must JSON round-trip bit-exactly for
+	// checkpoint/resume (internal/checkpoint).
+	type tallies struct{ Bin, Single int }
 	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
 		func(task *simrun.ShardTask) (tallies, int, error) {
 			var tl tallies
@@ -155,25 +157,25 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 				majority1 := count > float64(used)/2
 				mean1 := sumProj > 0
 				if majority1 != prepared1 {
-					tl.bin++
+					tl.Bin++
 				}
 				if mean1 != prepared1 {
-					tl.single++
+					tl.Single++
 				}
 			}
-			return tl, tl.bin, nil
+			return tl, tl.Bin, nil
 		},
 		func(dst *tallies, src tallies) {
-			dst.bin += src.bin
-			dst.single += src.single
+			dst.Bin += src.Bin
+			dst.Single += src.Single
 		})
 	if gerr != nil {
 		return TrajectoryResult{}, gerr
 	}
 	res := TrajectoryResult{Separation: sep, Status: status}
 	if status.Completed > 0 {
-		res.BinError = float64(sum.bin) / float64(status.Completed)
-		res.SingleError = float64(sum.single) / float64(status.Completed)
+		res.BinError = float64(sum.Bin) / float64(status.Completed)
+		res.SingleError = float64(sum.Single) / float64(status.Completed)
 	}
 	return res, nil
 }

@@ -35,7 +35,10 @@ func waitForGoroutines(t *testing.T, baseline int) {
 func TestDrainTruncatesInFlight(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	srv := New(Config{Workers: 1, QueueDepth: 4})
+	srv, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -118,7 +121,10 @@ func TestDrainTruncatesInFlight(t *testing.T) {
 // already-expired context still returns (with the interrupted class) rather
 // than hanging.
 func TestDrainIsIdempotent(t *testing.T) {
-	srv := New(Config{Workers: 2})
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	srv.Start()
 	ctx := context.Background()
 	if err := srv.Drain(ctx); err != nil {

@@ -9,7 +9,7 @@ import (
 
 func keyOf(t *testing.T, kind, params string) (jobs.Kind, string) {
 	t.Helper()
-	k, key, run, err := buildJob(jobRequest{Kind: kind, Params: json.RawMessage(params)})
+	k, key, run, err := buildJob(jobRequest{Kind: kind, Params: json.RawMessage(params)}, buildEnv{})
 	if err != nil {
 		t.Fatalf("buildJob(%s, %s): %v", kind, params, err)
 	}
@@ -108,7 +108,7 @@ func TestBuildJobRejects(t *testing.T) {
 		"missing qasm":    {Kind: "pauli.mc", Params: json.RawMessage(`{}`)},
 		"bad arch":        {Kind: "pauli.mc", Params: json.RawMessage(`{"qasm":"OPENQASM 2.0;","arch":"gaas"}`)},
 	} {
-		if _, _, _, err := buildJob(req); err == nil {
+		if _, _, _, err := buildJob(req, buildEnv{}); err == nil {
 			t.Errorf("%s: buildJob accepted a bad request", name)
 		}
 	}

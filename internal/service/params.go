@@ -17,8 +17,10 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"os"
 	"strings"
 
+	"qisim/internal/checkpoint"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
 	"qisim/internal/jobs"
@@ -40,21 +42,72 @@ type jobRequest struct {
 	Params json.RawMessage `json:"params"`
 }
 
+// buildEnv carries the server-side execution environment into the per-kind
+// builders: where checkpoints live and the observability hooks that count
+// what the runners did. The zero value disables checkpointing (tests, and
+// daemons running without -data-dir).
+type buildEnv struct {
+	// ckptDir is the crash-safe snapshot directory ("" = checkpointing off).
+	ckptDir string
+	// onSaves receives the number of snapshots a finished run wrote.
+	onSaves func(n int)
+	// onResume fires when a runner actually resumed from a snapshot instead
+	// of starting cold.
+	onResume func()
+}
+
+// attachCheckpoint wires crash-safe checkpointing into a runner's engine
+// options (no-op without a checkpoint dir). Resume is always attempted: a
+// missing snapshot starts cold, a snapshot from an interrupted earlier life
+// (or an interrupted earlier submission of the same request) continues from
+// the committed prefix — the deterministic engine makes the final bytes
+// identical either way. A corrupted or mismatched snapshot is a typed
+// runtime error on the job, never a silent replay.
+func (env buildEnv) attachCheckpoint(opt *simrun.Options, meta checkpoint.Meta) (*checkpoint.Saver, error) {
+	if env.ckptDir == "" {
+		return nil, nil
+	}
+	sv, snap, err := checkpoint.Attach(opt, env.ckptDir, true, 1, meta)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil && env.onResume != nil {
+		env.onResume()
+	}
+	return sv, nil
+}
+
+// finishCheckpoint reports snapshot-write counts and retires the snapshot of
+// a complete (non-truncated) run — the result is cached now, so the
+// checkpoint has nothing left to protect. Truncated runs keep theirs: it is
+// the resume point for the journal-driven retry.
+func (env buildEnv) finishCheckpoint(sv *checkpoint.Saver, truncated bool) {
+	if sv == nil {
+		return
+	}
+	if env.onSaves != nil {
+		env.onSaves(sv.Saves())
+	}
+	if !truncated {
+		os.Remove(sv.Path) //nolint:errcheck // best-effort cleanup
+	}
+}
+
 // buildJob validates and normalizes one request, returning its kind, cache
 // key and executor. All *configuration* errors surface here (mapped to HTTP
 // status codes by the caller); *runtime* errors surface on the job record.
-func buildJob(req jobRequest) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+func buildJob(req jobRequest, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
 	kind := jobs.Kind(req.Kind)
 	if !kind.Valid() {
 		return "", "", nil, simerr.Invalidf("service: unknown job kind %q (kinds: %v)", req.Kind, jobs.Kinds())
 	}
 	switch kind {
 	case jobs.KindSurfaceMC:
-		return buildSurfaceMC(req.Params)
+		return buildSurfaceMC(req.Params, env)
 	case jobs.KindPauliMC:
-		return buildPauliMC(req.Params)
+		return buildPauliMC(req.Params, env)
 	case jobs.KindReadoutMC:
-		return buildReadoutMC(req.Params)
+		return buildReadoutMC(req.Params, env)
 	case jobs.KindScalabilityAnalyze:
 		return buildScalabilityAnalyze(req.Params)
 	default:
@@ -146,7 +199,7 @@ type surfaceMCParams struct {
 	Workers   int      `json:"workers,omitempty"`
 }
 
-func buildSurfaceMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
 	var p surfaceMCParams
 	if err := decodeParams(raw, &p); err != nil {
 		return "", "", nil, err
@@ -179,13 +232,21 @@ func buildSurfaceMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, 
 	}
 	pp := p // captured normalized copy
 	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
-		res, err := surface.MonteCarloPhenomenologicalCtx(ctx, pp.Distance, *pp.P, *pp.Q,
-			pp.Rounds, pp.Shots, pp.Seed,
-			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
-				TargetRelStdErr: pp.RelSE, Progress: progress})
+		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+			TargetRelStdErr: pp.RelSE, Progress: progress}
+		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+			Kind: string(jobs.KindSurfaceMC), Key: string(key), Seed: pp.Seed,
+			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
+		})
 		if err != nil {
 			return nil, simrun.Status{}, err
 		}
+		res, err := surface.MonteCarloPhenomenologicalCtx(ctx, pp.Distance, *pp.P, *pp.Q,
+			pp.Rounds, pp.Shots, pp.Seed, opt)
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		env.finishCheckpoint(sv, res.Status.Truncated)
 		out := struct {
 			surface.DecoderResult
 			Rate float64 `json:"logical_error_rate"`
@@ -210,7 +271,7 @@ type pauliMCParams struct {
 	Workers   int     `json:"workers,omitempty"`
 }
 
-func buildPauliMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
 	var p pauliMCParams
 	if err := decodeParams(raw, &p); err != nil {
 		return "", "", nil, err
@@ -281,12 +342,20 @@ func buildPauliMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, er
 		pcfg.Shots = pp.Shots
 		pcfg.Seed = pp.Seed
 		pcfg.DecoherencePeriod = pp.PeriodNS * 1e-9
-		mc, err := pauli.MonteCarloCtx(ctx, simRes, pcfg,
-			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
-				TargetRelStdErr: pp.RelSE, Progress: progress})
+		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+			TargetRelStdErr: pp.RelSE, Progress: progress}
+		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+			Kind: string(jobs.KindPauliMC), Key: string(key), Seed: pp.Seed,
+			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
+		})
 		if err != nil {
 			return nil, simrun.Status{}, err
 		}
+		mc, err := pauli.MonteCarloCtx(ctx, simRes, pcfg, opt)
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		env.finishCheckpoint(sv, mc.Status.Truncated)
 		out := struct {
 			pauli.MCResult
 			ESP        float64 `json:"esp"`
@@ -310,7 +379,7 @@ type readoutMCParams struct {
 	Workers   int      `json:"workers,omitempty"`
 }
 
-func buildReadoutMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
 	var p readoutMCParams
 	if err := decodeParams(raw, &p); err != nil {
 		return "", "", nil, err
@@ -340,12 +409,20 @@ func buildReadoutMC(raw json.RawMessage) (jobs.Kind, rescache.Key, jobs.Runner, 
 		cfg := readout.MultiRoundConfig{
 			Range: *pp.Range, MaxRounds: pp.MaxRounds, Shots: pp.Shots, Seed: pp.Seed,
 		}
-		res, err := readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), cfg,
-			simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
-				TargetRelStdErr: pp.RelSE, Progress: progress})
+		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
+			TargetRelStdErr: pp.RelSE, Progress: progress}
+		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+			Kind: string(jobs.KindReadoutMC), Key: string(key), Seed: pp.Seed,
+			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
+		})
 		if err != nil {
 			return nil, simrun.Status{}, err
 		}
+		res, err := readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), cfg, opt)
+		if err != nil {
+			return nil, simrun.Status{}, err
+		}
+		env.finishCheckpoint(sv, res.Status.Truncated)
 		body, err := marshalEnvelope(jobs.KindReadoutMC, key, keyed, pp.Seed, pp.ShardSize, res)
 		return body, res.Status, err
 	}

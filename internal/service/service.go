@@ -9,13 +9,24 @@
 //	GET  /v1/jobs/{id}     job snapshot   → state, live progress, result/error
 //	GET  /v1/results/{key} cached result  → the byte-exact stored body
 //	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          200 serving / 503 draining
+//	GET  /healthz          liveness: 200 while the process serves, 503 draining
+//	GET  /readyz           readiness: 503 while recovering the journal,
+//	                       draining, or with a saturated queue
 //
 // Error mapping mirrors the CLI exit-code contract (simerr codes 3–7):
 //
 //	interrupted        → 503    invalid-config   → 400
 //	numerical          → 500    budget-infeasible → 422
 //	unsupported-qasm   → 501    queue full       → 429
+//	body too large     → 413
+//
+// With Config.DataDir set the server is crash-safe: every accepted
+// submission is write-ahead-logged (internal/jobs journal) and every
+// Monte-Carlo run checkpoints its committed shard prefix
+// (internal/checkpoint). Recover() replays the journal on boot and
+// resubmits unresolved jobs, which resume from their snapshots — the
+// deterministic engine makes the recovered results byte-identical to what
+// the interrupted life would have produced.
 package service
 
 import (
@@ -23,6 +34,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"qisim/internal/jobs"
@@ -49,15 +62,33 @@ type Config struct {
 	// BaseContext is the ancestor of every job context (tests / fault
 	// injection inject deterministic cancellation here).
 	BaseContext context.Context
+	// DataDir enables crash-safe persistence: the job journal lives at
+	// DataDir/journal.wal and Monte-Carlo checkpoints under
+	// DataDir/checkpoints. Empty = fully in-memory (the pre-existing
+	// behaviour); jobs and results then do not survive a restart.
+	DataDir string
+	// MaxBodyBytes bounds the request body accepted by POST /v1/jobs
+	// (default 1 MiB; overflow is a 413). QASM programs are the largest
+	// legitimate payload and fit comfortably.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes bounds POST bodies when Config.MaxBodyBytes is unset.
+const DefaultMaxBodyBytes = 1 << 20
 
 // Server wires the request layer, the job manager, the cache and the metrics
 // registry together.
 type Server struct {
-	mgr   *jobs.Manager
-	cache *rescache.Cache
-	reg   *metrics.Registry
-	mux   *http.ServeMux
+	mgr     *jobs.Manager
+	cache   *rescache.Cache
+	reg     *metrics.Registry
+	mux     *http.ServeMux
+	journal *jobs.Journal // nil without DataDir
+	ckptDir string        // "" without DataDir
+
+	queueDepth   int
+	maxBodyBytes int64
+	ready        atomic.Bool // true once Recover has replayed the journal
 
 	mSubmitted *metrics.CounterVec // kind
 	mFinished  *metrics.CounterVec // kind, state
@@ -69,16 +100,42 @@ type Server struct {
 	mCoalesced *metrics.Counter
 	mRejected  *metrics.CounterVec // reason
 	mShots     *metrics.Counter
+
+	mRecovered      *metrics.Counter // journaled jobs resubmitted at boot
+	mResumed        *metrics.Counter // runs that resumed from a checkpoint
+	mRecoveryFailed *metrics.Counter // journaled jobs that could not be rebuilt
+	mCkptSaved      *metrics.Counter // checkpoint snapshots written
 }
 
-// New builds a Server (workers not yet running — call Start).
-func New(cfg Config) *Server {
+// New builds a Server (workers not yet running — call Start; with DataDir,
+// also call Recover after Start to replay the journal). The only error
+// source is an unusable DataDir/journal.
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{
-		cache: rescache.New(cfg.CacheEntries),
-		reg:   metrics.New(),
+		cache:        rescache.New(cfg.CacheEntries),
+		reg:          metrics.New(),
+		queueDepth:   cfg.QueueDepth,
+		maxBodyBytes: cfg.MaxBodyBytes,
+	}
+	if cfg.DataDir != "" {
+		journal, err := jobs.OpenJournal(filepath.Join(cfg.DataDir, "journal.wal"))
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		s.ckptDir = filepath.Join(cfg.DataDir, "checkpoints")
+	} else {
+		// Nothing to recover: the server is ready as soon as it starts.
+		s.ready.Store(true)
 	}
 	s.mSubmitted = s.reg.CounterVec("qisimd_jobs_submitted_total",
 		"Job submissions accepted (queued, coalesced or served from cache).", "kind")
@@ -100,6 +157,14 @@ func New(cfg Config) *Server {
 		"Refused submissions by reason (queue-full, draining, invalid, ...).", "reason")
 	s.mShots = s.reg.Counter("qisimd_shots_total",
 		"Monte-Carlo shots committed across all finished jobs.")
+	s.mRecovered = s.reg.Counter("qisimd_jobs_recovered_total",
+		"Journaled jobs resubmitted during boot recovery.")
+	s.mResumed = s.reg.Counter("qisimd_jobs_resumed_total",
+		"Runs that resumed from a crash-safe checkpoint instead of starting cold.")
+	s.mRecoveryFailed = s.reg.Counter("qisimd_jobs_recovery_failed_total",
+		"Journaled jobs that could not be rebuilt or resubmitted at boot.")
+	s.mCkptSaved = s.reg.Counter("qisimd_checkpoints_saved_total",
+		"Checkpoint snapshots written by Monte-Carlo runners.")
 
 	s.mgr = jobs.NewManager(jobs.Config{
 		Workers:     cfg.Workers,
@@ -107,6 +172,7 @@ func New(cfg Config) *Server {
 		JobTimeout:  cfg.JobTimeout,
 		MaxRecords:  cfg.MaxRecords,
 		Cache:       s.cache,
+		Journal:     s.journal,
 		BaseContext: cfg.BaseContext,
 		Hooks: jobs.Hooks{
 			JobFinished: func(kind jobs.Kind, state jobs.State, errClass string, st *simrun.Status, dur time.Duration) {
@@ -141,6 +207,17 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("qisimd_jobs_inflight",
 		"Jobs queued or running.",
 		func() float64 { return float64(s.mgr.InFlight()) })
+	if s.journal != nil {
+		s.reg.CounterFunc("qisimd_journal_replayed_entries_total",
+			"Valid journal entries folded during boot replay.",
+			func() float64 { return float64(s.journal.Stats().Replayed) })
+		s.reg.CounterFunc("qisimd_journal_torn_entries_total",
+			"Undecodable journal tail records discarded during boot replay.",
+			func() float64 { return float64(s.journal.Stats().Torn) })
+		s.reg.CounterFunc("qisimd_journal_append_errors_total",
+			"Journal record writes that failed (durability degraded).",
+			func() float64 { return float64(s.journal.Stats().AppendErrors) })
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -148,19 +225,82 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Start launches the worker pool. Idempotent.
 func (s *Server) Start() { s.mgr.Start() }
 
+// env is the execution environment handed to the per-kind job builders.
+func (s *Server) env() buildEnv {
+	return buildEnv{
+		ckptDir:  s.ckptDir,
+		onSaves:  func(n int) { s.mCkptSaved.Add(float64(n)) },
+		onResume: func() { s.mResumed.Inc() },
+	}
+}
+
+// Recover replays the job journal: every unresolved submission — queued or
+// running when the previous life died — is rebuilt from its journaled
+// params and resubmitted. Runs that already committed a shard prefix resume
+// from their checkpoint, so no completed work is recomputed and the final
+// bytes are identical to what an uninterrupted life would have produced.
+// The journal is compacted first so file growth stays bounded across
+// restarts. Recover flips the /readyz gate once replay is finished; servers
+// without a DataDir are born ready and Recover is a no-op. Call after
+// Start.
+func (s *Server) Recover() (int, error) {
+	defer s.ready.Store(true)
+	if s.journal == nil {
+		return 0, nil
+	}
+	pending := s.journal.Pending()
+	if err := s.journal.Compact(); err != nil {
+		// Compaction failure degrades disk usage, not correctness.
+		s.mRecoveryFailed.Inc()
+	}
+	recovered := 0
+	for _, p := range pending {
+		kind, key, run, err := buildJob(jobRequest{Kind: string(p.Kind), Params: p.Params}, s.env())
+		if err != nil || key != p.Key {
+			// The journaled request no longer normalizes to the same key
+			// (version drift) or no longer validates: journal a failure so
+			// it is not retried forever, and count it.
+			s.journal.Append(jobs.OpFailed, p.Kind, p.Key, nil) //nolint:errcheck
+			s.mRecoveryFailed.Inc()
+			continue
+		}
+		if _, _, err := s.mgr.Submit(kind, key, p.Params, run); err != nil {
+			s.mRecoveryFailed.Inc()
+			continue
+		}
+		s.mSubmitted.With(string(kind)).Inc()
+		s.mRecovered.Inc()
+		recovered++
+	}
+	return recovered, nil
+}
+
+// Ready reports whether the server has finished journal recovery.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops accepting work, cancels in-flight jobs (they surface as
-// Truncated partials) and waits for the pool (bounded by ctx).
-func (s *Server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+// Truncated partials — journaled as such, so the next boot resumes them
+// from their checkpoints) and waits for the pool (bounded by ctx). The
+// journal's append handle closes once the pool has committed every final
+// record.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.mgr.Drain(ctx)
+	if err == nil && s.journal != nil {
+		s.journal.Close() //nolint:errcheck
+	}
+	return err
+}
 
 // Registry exposes the metrics registry (tests, extra collectors).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -184,21 +324,30 @@ type errorResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Bound the body BEFORE decoding: an oversized (or unbounded) payload
+	// is refused with 413 instead of being buffered into memory.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	var req jobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.mRejected.With("too-large").Inc()
+			s.writeError(w, err) // httpStatus maps *http.MaxBytesError → 413
+			return
+		}
 		s.mRejected.With("invalid").Inc()
 		s.writeError(w, simerr.Invalidf("service: bad request body: %v", err))
 		return
 	}
-	kind, key, run, err := buildJob(req)
+	kind, key, run, err := buildJob(req, s.env())
 	if err != nil {
 		s.mRejected.With("invalid").Inc()
 		s.writeError(w, err)
 		return
 	}
-	snap, outcome, err := s.mgr.Submit(kind, key, run)
+	snap, outcome, err := s.mgr.Submit(kind, key, req.Params, run)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
@@ -258,9 +407,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer gate: the server is ready only once the
+// journal has been replayed, while it is not draining, and while the
+// bounded queue still has room. Unlike /healthz (liveness) a 503 here means
+// "send traffic elsewhere", not "restart me".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.mgr.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	case s.mgr.QueueDepth() >= s.queueDepth:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 // httpStatus maps a typed error to its HTTP status, mirroring the CLI
 // exit-code mapping one protocol over.
 func httpStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge // 413
+	}
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		return http.StatusTooManyRequests // 429

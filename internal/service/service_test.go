@@ -21,7 +21,10 @@ import (
 // drains the pool so no worker goroutines outlive the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

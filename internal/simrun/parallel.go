@@ -2,10 +2,13 @@ package simrun
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"qisim/internal/simerr"
 )
 
 // Tally is the locked cross-shard event counter of the parallel engine.
@@ -44,6 +47,14 @@ func (t *Tally) Snapshot() (shots, events int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.shots, t.events
+}
+
+// State returns the committed totals plus the no-convergence latch — the
+// triple a checkpoint must capture to restore the tally exactly.
+func (t *Tally) State() (shots, events int, noConverge bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shots, t.events, t.noConverge
 }
 
 // Converged reports whether the committed totals satisfy the binomial
@@ -142,6 +153,13 @@ type shardRecord[R any] struct {
 //
 // The returned Status counts shots over the merged prefix (Completed is
 // always a whole number of shards).
+//
+// Checkpoint/resume: opt.Checkpoint observes every commit (and a Final
+// flush) with the merged-so-far accumulator; opt.Resume skips an already-
+// committed prefix and restores the accumulator, making a crash-resumed run
+// bit-identical to a cold one — the accumulator is folded in strictly
+// ascending shard order in both cases, so the floating-point/merge sequence
+// is the same sequence either way.
 func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	run ShardFunc[R], merge MergeFunc[R]) (R, Status, error) {
 
@@ -167,31 +185,93 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	}
 	shards := shardPlan(budget, opt.ShardSize, seed)
 	nShards := len(shards)
+
+	// Restore a committed prefix. The geometry is re-validated so a snapshot
+	// taken under a different budget or shard size (or simply corrupted) can
+	// never be silently replayed into a double-count.
+	var out R
+	start := 0
+	var tally Tally
+	if opt.Resume != nil {
+		r := opt.Resume
+		if r.Shards < 0 || r.Shards > nShards {
+			return zero, Status{}, simerr.Invalidf(
+				"simrun: resume prefix of %d shards outside the %d-shard plan", r.Shards, nShards)
+		}
+		if want := shardShots(budget, opt.ShardSize, r.Shards); r.Shots != want {
+			return zero, Status{}, simerr.Invalidf(
+				"simrun: resume prefix covers %d shots, but %d shards of %d-shot budget at shard size %d cover %d",
+				r.Shots, r.Shards, budget, opt.ShardSize, want)
+		}
+		if len(r.StateJSON) > 0 {
+			if err := json.Unmarshal(r.StateJSON, &out); err != nil {
+				return zero, Status{}, simerr.Invalidf("simrun: resume state does not decode into %T: %v", out, err)
+			}
+		} else if r.Shards > 0 {
+			return zero, Status{}, simerr.Invalidf(
+				"simrun: resume prefix of %d shards has no accumulator state", r.Shards)
+		}
+		start = r.Shards
+		if r.NoConverge {
+			tally.Add(r.Shots, -1)
+		} else {
+			tally.Add(r.Shots, r.Events)
+		}
+		if opt.Progress != nil {
+			opt.Progress(r.Shots, budget)
+		}
+		finish := func(reason string) (R, Status, error) {
+			st := Status{
+				Requested:  budget,
+				Completed:  r.Shots,
+				Converged:  reason == StopConverged,
+				StopReason: reason,
+			}
+			if opt.Checkpoint != nil {
+				sh, ev, nc := tally.State()
+				opt.Checkpoint(CheckpointState{Shards: start, Shots: sh, Requested: budget,
+					Events: ev, NoConverge: nc, State: out, Final: true})
+			}
+			return out, st, nil
+		}
+		// A snapshot of the full plan, or one whose prefix already satisfies
+		// the convergence guard, is a finished run: return it as-is (the
+		// bytes a cold run would have produced) without spending a shot.
+		if r.Shards == nShards {
+			return finish(StopCompleted)
+		}
+		if tally.Converged(opt.TargetRelStdErr, opt.MinShots) {
+			return finish(StopConverged)
+		}
+	}
+
 	workers := opt.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > nShards {
-		workers = nShards
+	if workers > nShards-start {
+		workers = nShards - start
 	}
 
 	recs := make([]shardRecord[R], nShards)
 	var (
 		mu       sync.Mutex
-		tally    Tally
-		frontier int       // next shard index awaiting commit
+		frontier = start   // next shard index awaiting commit
 		stopAt   = nShards // shards >= stopAt are never merged
 		reason   string
 	)
-	var next int64 // atomic shard issuance counter
+	next := int64(start) // atomic shard issuance counter
 
 	// commit advances the contiguous committed prefix over freshly completed
-	// shards, feeding the cross-shard tally and running the convergence test
-	// at each shard boundary. Called with mu held.
+	// shards, folding each one into the accumulator in strictly ascending
+	// shard order, feeding the cross-shard tally and running the convergence
+	// test at each shard boundary. Called with mu held.
 	commit := func() {
 		advanced := false
 		for frontier < stopAt && recs[frontier].done {
 			tally.Add(shards[frontier].N, recs[frontier].events)
+			merge(&out, recs[frontier].res)
+			recs[frontier] = shardRecord[R]{done: true} // release the shard's result
 			frontier++
 			advanced = true
 			if tally.Converged(opt.TargetRelStdErr, opt.MinShots) {
@@ -200,10 +280,17 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 				break
 			}
 		}
-		if advanced && opt.Progress != nil {
-			// Observational only: reports the committed prefix, never
-			// uncommitted shards, so the callback cannot perturb determinism.
-			opt.Progress(shardShots(budget, opt.ShardSize, frontier), budget)
+		if advanced {
+			// Observational only: both callbacks see the committed prefix,
+			// never uncommitted shards, so they cannot perturb determinism.
+			if opt.Progress != nil {
+				opt.Progress(shardShots(budget, opt.ShardSize, frontier), budget)
+			}
+			if opt.Checkpoint != nil {
+				sh, ev, nc := tally.State()
+				opt.Checkpoint(CheckpointState{Shards: frontier, Shots: sh, Requested: budget,
+					Events: ev, NoConverge: nc, State: out})
+			}
 		}
 	}
 
@@ -263,12 +350,12 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 		}
 	}
 
-	// Decide the merged prefix and stop reason.
-	end := frontier
+	// Decide the stop reason; the accumulator already holds exactly the
+	// committed prefix [0, frontier) — when convergence fired, the commit
+	// loop stopped at the converged boundary, so frontier == stopAt.
 	switch {
 	case reason == StopConverged:
-		end = stopAt
-	case end >= nShards:
+	case frontier >= nShards:
 		reason = StopCompleted
 	case ctx.Err() == context.DeadlineExceeded:
 		reason = StopDeadline
@@ -276,11 +363,15 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 		reason = StopCanceled
 	}
 
-	var out R
-	for i := 0; i < end; i++ {
-		merge(&out, recs[i].res)
+	completed := shardShots(budget, opt.ShardSize, frontier)
+	if opt.Checkpoint != nil {
+		// The Final flush: whatever stopped the run (SIGINT, deadline,
+		// convergence, completion), the last committed prefix is persisted
+		// before the caller sees the status.
+		sh, ev, nc := tally.State()
+		opt.Checkpoint(CheckpointState{Shards: frontier, Shots: sh, Requested: budget,
+			Events: ev, NoConverge: nc, State: out, Final: true})
 	}
-	completed := shardShots(budget, opt.ShardSize, end)
 	return out, Status{
 		Requested:  budget,
 		Completed:  completed,

@@ -1,0 +1,245 @@
+package simrun
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"qisim/internal/simerr"
+)
+
+// shardBody is the reference shard function used across the resume tests: a
+// deterministic pseudo-MC with a float accumulator so merge order matters.
+func shardBody(t *ShardTask) (float64, int, error) {
+	var sum float64
+	events := 0
+	for i := 0; t.Continue(i); i++ {
+		v := t.RNG.Float64()
+		sum += v * float64(t.GlobalShot(i)%7+1)
+		if v < 0.1 {
+			events++
+		}
+	}
+	return sum, events, nil
+}
+
+func mergeFloat(dst *float64, src float64) { *dst += src }
+
+// runCold runs the reference body to completion and returns (result, status).
+func runCold(t *testing.T, shots int, opt Options) (float64, Status) {
+	t.Helper()
+	res, st, err := RunSharded(context.Background(), shots, 42, opt, shardBody, mergeFloat)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	return res, st
+}
+
+// TestResumeBitIdentical kills the run at every shard boundary (via a
+// checkpoint hook that captures state, then a fresh run resumed from it) and
+// asserts the resumed result is bit-identical to the cold run for several
+// worker counts.
+func TestResumeBitIdentical(t *testing.T) {
+	const shots = 1000
+	base := Options{ShardSize: 64, Workers: 1}
+	coldRes, coldSt := runCold(t, shots, base)
+
+	// Capture the state at every commit of a serial run.
+	var states []CheckpointState
+	capOpt := base
+	capOpt.Checkpoint = func(st CheckpointState) {
+		if !st.Final {
+			// Deep-copy: State is the live accumulator (float64 is a value,
+			// but marshal anyway to mimic real persistence).
+			b, err := json.Marshal(st.State)
+			if err != nil {
+				t.Errorf("marshal state: %v", err)
+			}
+			st.State = nil
+			states = append(states, st)
+			states[len(states)-1].State = json.RawMessage(b)
+		}
+	}
+	runCold(t, shots, capOpt)
+	if len(states) == 0 {
+		t.Fatal("no checkpoint states captured")
+	}
+
+	for _, workers := range []int{1, 4, 7} {
+		for _, st := range states {
+			opt := Options{ShardSize: 64, Workers: workers, Resume: &ResumeState{
+				Shards:     st.Shards,
+				Shots:      st.Shots,
+				Events:     st.Events,
+				NoConverge: st.NoConverge,
+				StateJSON:  st.State.(json.RawMessage),
+			}}
+			res, rst, err := RunSharded(context.Background(), shots, 42, opt, shardBody, mergeFloat)
+			if err != nil {
+				t.Fatalf("resume from %d shards (workers %d): %v", st.Shards, workers, err)
+			}
+			if res != coldRes {
+				t.Fatalf("resume from %d shards (workers %d): result %v != cold %v",
+					st.Shards, workers, res, coldRes)
+			}
+			if !reflect.DeepEqual(rst, coldSt) {
+				t.Fatalf("resume from %d shards (workers %d): status %+v != cold %+v",
+					st.Shards, workers, rst, coldSt)
+			}
+		}
+	}
+}
+
+// TestResumeConvergedPrefix checks that resuming a run whose prefix already
+// satisfies the convergence guard stops immediately with the identical
+// converged result, and that resume from a complete snapshot returns the
+// full result without spending shots.
+func TestResumeConvergedPrefix(t *testing.T) {
+	const shots = 4000
+	opt := Options{ShardSize: 128, Workers: 1, TargetRelStdErr: 0.2, MinShots: 256, CheckEvery: 32}
+	coldRes, coldSt := runCold(t, shots, opt)
+	if !coldSt.Converged {
+		t.Fatalf("expected converged cold run, got %+v", coldSt)
+	}
+
+	// Capture the final (converged) state.
+	var final *CheckpointState
+	capOpt := opt
+	capOpt.Checkpoint = func(st CheckpointState) {
+		if st.Final {
+			b, _ := json.Marshal(st.State)
+			c := st
+			c.State = b
+			final = &c
+		}
+	}
+	runCold(t, shots, capOpt)
+	if final == nil {
+		t.Fatal("no final checkpoint state")
+	}
+
+	shardsRun := 0
+	resOpt := opt
+	resOpt.Resume = &ResumeState{
+		Shards: final.Shards, Shots: final.Shots, Events: final.Events,
+		NoConverge: final.NoConverge, StateJSON: final.State.([]byte),
+	}
+	res, st, err := RunSharded(context.Background(), shots, 42, resOpt,
+		func(tk *ShardTask) (float64, int, error) {
+			shardsRun++
+			return shardBody(tk)
+		}, mergeFloat)
+	if err != nil {
+		t.Fatalf("resume converged: %v", err)
+	}
+	if shardsRun != 0 {
+		t.Fatalf("resume of a converged prefix ran %d shards, want 0", shardsRun)
+	}
+	if res != coldRes || st.Completed != coldSt.Completed || !st.Converged {
+		t.Fatalf("resume converged: got (%v, %+v), want (%v, %+v)", res, st, coldRes, coldSt)
+	}
+}
+
+// TestResumeMidShardKill cancels mid-shard (a torn shard is discarded, only
+// the committed prefix survives), then resumes and checks bit-identity.
+func TestResumeMidShardKill(t *testing.T) {
+	const shots = 960
+	base := Options{ShardSize: 64, Workers: 1}
+	coldRes, _ := runCold(t, shots, base)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var last CheckpointState
+	opt := base
+	opt.CheckEvery = 1
+	opt.Checkpoint = func(st CheckpointState) {
+		if st.Final {
+			return
+		}
+		b, _ := json.Marshal(st.State)
+		c := st
+		c.State = b
+		last = c
+		if st.Shards == 5 {
+			cancel() // kill mid-run: the NEXT shard will be torn and discarded
+		}
+	}
+	_, st, err := RunSharded(ctx, shots, 42, opt, shardBody, mergeFloat)
+	if err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	if !st.Truncated {
+		t.Fatalf("killed run not truncated: %+v", st)
+	}
+	if last.Shards == 0 {
+		t.Fatal("no committed prefix before the kill")
+	}
+
+	res, rst, err := RunSharded(context.Background(), shots, 42, Options{
+		ShardSize: 64, Workers: 4,
+		Resume: &ResumeState{Shards: last.Shards, Shots: last.Shots, Events: last.Events,
+			NoConverge: last.NoConverge, StateJSON: last.State.([]byte)},
+	}, shardBody, mergeFloat)
+	if err != nil {
+		t.Fatalf("resume after mid-shard kill: %v", err)
+	}
+	if res != coldRes || rst.Completed != shots {
+		t.Fatalf("resume after mid-shard kill: got (%v, %+v), want %v complete", res, rst, coldRes)
+	}
+}
+
+// TestResumeRejectsInconsistentPrefix exercises the typed-rejection paths:
+// geometry mismatch, missing state, undecodable state, out-of-plan prefix.
+func TestResumeRejectsInconsistentPrefix(t *testing.T) {
+	run := func(r *ResumeState) error {
+		_, _, err := RunSharded(context.Background(), 1000, 42,
+			Options{ShardSize: 64, Resume: r}, shardBody, mergeFloat)
+		return err
+	}
+	cases := []struct {
+		name string
+		r    *ResumeState
+	}{
+		{"shots-mismatch", &ResumeState{Shards: 3, Shots: 100, StateJSON: []byte("1.5")}},
+		{"negative-shards", &ResumeState{Shards: -1, Shots: 0}},
+		{"beyond-plan", &ResumeState{Shards: 99, Shots: 99 * 64}},
+		{"missing-state", &ResumeState{Shards: 2, Shots: 128}},
+		{"undecodable-state", &ResumeState{Shards: 2, Shots: 128, StateJSON: []byte(`{"not":"a float"}`)}},
+	}
+	for _, tc := range cases {
+		err := run(tc.r)
+		if !errors.Is(err, simerr.ErrInvalidConfig) {
+			t.Errorf("%s: want ErrInvalidConfig, got %v", tc.name, err)
+		}
+	}
+}
+
+// TestCheckpointFinalFlush asserts the Final callback fires exactly once per
+// run, for completed, canceled and converged stops alike.
+func TestCheckpointFinalFlush(t *testing.T) {
+	count := func(opt Options, ctx context.Context, shots int) int {
+		finals := 0
+		opt.Checkpoint = func(st CheckpointState) {
+			if st.Final {
+				finals++
+			}
+		}
+		_, _, err := RunSharded(ctx, shots, 7, opt, shardBody, mergeFloat)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return finals
+	}
+	if n := count(Options{ShardSize: 64, Workers: 2}, context.Background(), 500); n != 1 {
+		t.Errorf("completed run: %d final flushes, want 1", n)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := count(Options{ShardSize: 64, CheckEvery: 1}, canceled, 500); n != 1 {
+		t.Errorf("canceled run: %d final flushes, want 1", n)
+	}
+	if n := count(Options{ShardSize: 64, TargetRelStdErr: 0.3, MinShots: 128}, context.Background(), 4000); n != 1 {
+		t.Errorf("converged run: %d final flushes, want 1", n)
+	}
+}

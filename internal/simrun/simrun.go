@@ -70,6 +70,68 @@ type Options struct {
 	// worker goroutines under the engine's commit lock; keep it O(1) (e.g.
 	// two atomic stores).
 	Progress func(completed, requested int)
+	// Checkpoint, when non-nil, is invoked by the parallel engine at shard-
+	// boundary commits (the same commit point Progress piggybacks on) with
+	// the committed-prefix state, and once more with Final=true when the run
+	// stops for any reason. The handed-out State is the live accumulator:
+	// serialize it synchronously inside the callback and do not retain it.
+	// Called under the engine's commit lock — a slow callback (file I/O)
+	// throttles commits, not correctness. See internal/checkpoint.Saver for
+	// the durable-snapshot implementation.
+	Checkpoint func(CheckpointState)
+	// Resume, when non-nil, seeds the engine with a previously committed
+	// shard prefix (produced by a Checkpoint callback): the engine skips the
+	// first Resume.Shards shards, pre-seeds the convergence tally, and
+	// starts the accumulator from Resume.StateJSON. Because shard RNG
+	// streams derive purely from (seed, shard index), the resumed run is
+	// bit-identical to an uninterrupted one. The engine re-validates the
+	// prefix geometry against the current budget and shard size and rejects
+	// inconsistent snapshots with a typed error — it never double-counts or
+	// silently replays shards.
+	Resume *ResumeState
+}
+
+// CheckpointState is the committed-prefix state handed to the Checkpoint
+// callback at each shard-boundary commit.
+type CheckpointState struct {
+	// Shards is the committed contiguous shard-prefix length.
+	Shards int
+	// Shots is the number of shots covered by the committed prefix.
+	Shots int
+	// Requested is the effective shot budget (after MaxShots capping).
+	Requested int
+	// Events is the committed binomial event count feeding the convergence
+	// guard (0 when the estimator disabled convergence — see NoConverge).
+	Events int
+	// NoConverge is true when the estimator exposes no binomial statistic
+	// (shard functions returned negative event counts).
+	NoConverge bool
+	// State is the accumulator merged over the committed prefix. It is the
+	// engine's live value: serialize synchronously, do not retain.
+	State any
+	// Final is true for the one callback issued after the run stops
+	// (completed, converged, canceled or deadline); the flush that makes
+	// SIGINT-then-resume lossless.
+	Final bool
+}
+
+// ResumeState seeds RunSharded with a previously committed prefix.
+type ResumeState struct {
+	// Shards is the committed shard-prefix length to skip.
+	Shards int
+	// Shots is the number of shots the prefix covered; must equal the shot
+	// count of the first Shards shards under the current budget/ShardSize
+	// (re-validated by the engine).
+	Shots int
+	// Events is the committed binomial event count.
+	Events int
+	// NoConverge restores the tally's "no binomial statistic" latch.
+	NoConverge bool
+	// StateJSON is the serialized accumulator (the Checkpoint callback's
+	// State marshaled with encoding/json); it is unmarshaled into the shard
+	// result type R. Empty means the zero accumulator (only valid with
+	// Shards == 0).
+	StateJSON []byte
 }
 
 // Validate checks the options for internal consistency against a requested
