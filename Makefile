@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume fuzz serve verify clean
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs fuzz serve trace-demo verify clean
 
 all: build
 
@@ -45,6 +45,24 @@ race-resume:
 	$(GO) test -race -count=2 ./internal/checkpoint ./internal/simrun
 	$(GO) test -race -count=2 -run 'Recovery|Journal' ./internal/service ./internal/jobs
 	$(GO) test -race -count=2 -run 'CrashResume' .
+
+# Focused race pass over the observability layer: the span tracer +
+# exporters + slog handler, traced runs of the sharded engine, the qisimd
+# trace endpoint + stage histograms, and the root traced-determinism suite
+# (byte-identical Monte-Carlo results with tracing on and off), run twice so
+# goroutine scheduling varies.
+race-obs:
+	$(GO) test -race -count=2 ./internal/obs
+	$(GO) test -race -count=2 -run 'Trace|StageHistograms|Pprof' ./internal/simrun ./internal/service
+	$(GO) test -race -count=2 -run 'WithTracing|TracedShardOverhead' .
+
+# Record a span trace of a parallel Monte-Carlo decoder run and leave the
+# Chrome trace_event JSON next to the repo. Open it in chrome://tracing or
+# https://ui.perfetto.dev to see the engine fan-out: mc.run → per-shard
+# spans on worker lanes, in-order merges, checkpoint flushes.
+trace-demo:
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/qisim -trace-out qisim-trace.json -workers 4 mc -d 7 -shots 100000
+	@echo "trace written to qisim-trace.json — load it in chrome://tracing or https://ui.perfetto.dev"
 
 # Short fuzz smoke of the QASM parser boundary (the long runs happen in CI
 # and on demand: `go test ./internal/qasm -fuzz FuzzParse -fuzztime 5m`).

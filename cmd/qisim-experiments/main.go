@@ -23,17 +23,26 @@ import (
 
 	"qisim/internal/buildinfo"
 	"qisim/internal/experiments"
+	"qisim/internal/obs"
 	"qisim/internal/simerr"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit sweep data as CSV (fig12/fig13/fig17 only)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+	traceOut := flag.String("trace-out", "", "record a span trace of the run and write it as Chrome trace_event JSON to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisim-experiments"))
 		return
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
+		os.Exit(simerr.ExitCode(simerr.Invalidf("%v", err)))
 	}
 	args := flag.Args()
 
@@ -45,9 +54,32 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, args, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "qisim-experiments:", err)
-		os.Exit(simerr.ExitCode(err))
+	// -trace-out arms the span tracer: each experiment gets its own span
+	// under a root "cli" span, so the trace shows where regeneration time
+	// goes across figures/tables.
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(obs.TracerConfig{ID: "qisim-experiments"})
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	runErr := func() error {
+		if tr != nil {
+			span := tr.Start("cli", nil, obs.String("cmd", "experiments"))
+			ctx = obs.ContextWithSpan(ctx, tr, span)
+			defer span.End()
+		}
+		return run(ctx, args, *csv)
+	}()
+	if tr != nil {
+		// Trace export is best-effort: a write failure warns and leaves the
+		// run's exit code unchanged.
+		if err := obs.WriteChromeFile(*traceOut, tr); err != nil {
+			logger.Warn("trace export failed; run result unaffected", "err", err, "path", *traceOut)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "qisim-experiments:", runErr)
+		os.Exit(simerr.ExitCode(runErr))
 	}
 }
 
@@ -72,11 +104,13 @@ func run(ctx context.Context, args []string, csv bool) error {
 		}
 		var s string
 		var err error
+		_, span := obs.StartSpan(ctx, "experiment", obs.String("id", id), obs.Bool("csv", csv))
 		if csv {
 			s, err = experiments.FigureCSV(id)
 		} else {
 			s, err = experiments.Run(id)
 		}
+		span.End()
 		if err != nil {
 			return err
 		}

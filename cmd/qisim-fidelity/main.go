@@ -29,6 +29,7 @@ import (
 	"qisim/internal/checkpoint"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
+	"qisim/internal/obs"
 	"qisim/internal/pauli"
 	"qisim/internal/qasm"
 	"qisim/internal/rescache"
@@ -36,6 +37,29 @@ import (
 	"qisim/internal/simrun"
 	"qisim/internal/validate"
 )
+
+// logger is the process-wide structured logger, installed before the pipeline
+// runs so checkpoint notices and trace-export warnings honour -log-format.
+var logger = obs.Discard()
+
+// tracer/traceOut are set when -trace-out is given; fatalErr flushes the
+// (possibly partial) trace before exiting so failed runs can be diagnosed.
+var (
+	tracer   *obs.Tracer
+	traceOut string
+)
+
+// flushTrace writes the Chrome trace if one was recorded. An export failure
+// is a warning only: the run's own result and exit code are never affected.
+func flushTrace() {
+	if tracer == nil {
+		return
+	}
+	if err := obs.WriteChromeFile(traceOut, tracer); err != nil {
+		logger.Warn("trace export failed; run result unaffected", "err", err, "path", traceOut)
+	}
+	tracer = nil // idempotent: deferred and fatal paths may both call
+}
 
 func main() {
 	machine := flag.String("machine", "ibm_mumbai", "reference machine (see qisim-fidelity -list)")
@@ -49,11 +73,20 @@ func main() {
 	resume := flag.Bool("resume", false, "resume -mc from the checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "write a checkpoint every N committed shards (the final flush always writes)")
 	list := flag.Bool("list", false, "list reference machines")
+	traceOutFlag := flag.String("trace-out", "", "record a span trace of the run and write it as Chrome trace_event JSON to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisim-fidelity"))
 		return
+	}
+	var lerr error
+	logger, lerr = obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "qisim-fidelity:", lerr)
+		os.Exit(simerr.ExitCode(simerr.Invalidf("%v", lerr)))
 	}
 
 	if *list {
@@ -73,11 +106,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -trace-out arms the tracer for the whole pipeline; a root "cli" span
+	// covers parse → compile → simulate → fidelity, and the -mc estimator's
+	// engine spans nest underneath via the context. The trace flushes even on
+	// a fatal exit (partial traces are how failed runs get diagnosed).
+	if *traceOutFlag != "" {
+		traceOut = *traceOutFlag
+		tracer = obs.NewTracer(obs.TracerConfig{ID: "qisim-fidelity"})
+		ctx = obs.WithTracer(ctx, tracer)
+		root := tracer.Start("cli", nil, obs.String("cmd", "fidelity"))
+		ctx = obs.ContextWithSpan(ctx, tracer, root)
+		defer func() { root.End(); flushTrace() }()
+	}
+
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
 		fatalErr(err)
 	}
+	_, parseSpan := obs.StartSpan(ctx, "qasm.parse")
 	prog, err := qasm.Parse(src)
+	parseSpan.End()
 	if err != nil {
 		fatalErr(err) // unsupported/malformed QASM exits with code 7
 	}
@@ -93,7 +141,9 @@ func main() {
 		fatal(fmt.Sprintf("unknown machine %q (use -list)", *machine))
 	}
 
+	_, compileSpan := obs.StartSpan(ctx, "compile")
 	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	compileSpan.End()
 	if err != nil {
 		fatalErr(err)
 	}
@@ -106,7 +156,9 @@ func main() {
 	default:
 		fatal("arch must be cmos or sfq")
 	}
+	_, simSpan := obs.StartSpan(ctx, "cyclesim.run", obs.String("arch", *arch))
 	res, err := cyclesim.Run(ex, cfg)
+	simSpan.End()
 	if err != nil {
 		fatalErr(err)
 	}
@@ -147,8 +199,8 @@ func main() {
 				fatalErr(err)
 			}
 			if snap != nil {
-				fmt.Fprintf(os.Stderr, "qisim-fidelity: resuming from %d/%d committed shots (%s)\n",
-					snap.Shots, snap.Meta.Budget, sv.Path)
+				logger.Info("resuming from checkpoint",
+					"shots", snap.Shots, "budget", snap.Meta.Budget, "path", sv.Path)
 			}
 		}
 		mcRes, err := pauli.MonteCarloCtx(ctx, res, pcfg, opt)
@@ -159,9 +211,9 @@ func main() {
 			mcRes.Fidelity, mcRes.Status.Completed, mcRes.Status.Requested)
 		if sv != nil {
 			if serr := sv.Err(); serr != nil {
-				fmt.Fprintf(os.Stderr, "qisim-fidelity: warning: checkpoint durability degraded: %v\n", serr)
+				logger.Warn("checkpoint durability degraded", "err", serr)
 			} else if mcRes.Status.Truncated {
-				fmt.Fprintf(os.Stderr, "qisim-fidelity: checkpoint saved to %s — rerun with -resume to continue\n", sv.Path)
+				logger.Info("checkpoint saved — rerun with -resume to continue", "path", sv.Path)
 			}
 		}
 		if mcRes.Status.Truncated {
@@ -184,13 +236,16 @@ func readSource(path string) (string, error) {
 }
 
 func fatal(msg string) {
+	flushTrace()
 	fmt.Fprintln(os.Stderr, "qisim-fidelity:", msg)
 	os.Exit(1)
 }
 
 // fatalErr exits with the per-class code of the simerr contract (7 for
-// unsupported QASM, 4 for invalid configuration, ...).
+// unsupported QASM, 4 for invalid configuration, ...). The partial trace is
+// flushed first — os.Exit skips the deferred export in main.
 func fatalErr(err error) {
+	flushTrace()
 	fmt.Fprintln(os.Stderr, "qisim-fidelity:", err)
 	os.Exit(simerr.ExitCode(err))
 }

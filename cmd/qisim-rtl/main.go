@@ -5,6 +5,7 @@
 // Usage:
 //
 //	qisim-rtl [-fdm 32] [-phase 24] [-amp 14] [-iq 7] [-opt1] [-o dir]
+//	          [-log-level info] [-log-format text]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"path/filepath"
 
 	"qisim/internal/buildinfo"
+	"qisim/internal/obs"
+	"qisim/internal/simerr"
 	"qisim/internal/verilog"
 )
 
@@ -24,17 +27,24 @@ func main() {
 	iq := flag.Int("iq", 7, "RX IQ sample bits")
 	opt1 := flag.Bool("opt1", false, "use the Opt-#1 memory-less decision unit")
 	out := flag.String("o", "", "output directory (default: stdout)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisim-rtl"))
 		return
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+		os.Exit(simerr.ExitCode(simerr.Invalidf("%v", err)))
+	}
 
 	mods := verilog.GenerateQCI(*fdm, *phase, *amp, *iq, !*opt1)
 	if err := verilog.CheckBundle(mods); err != nil {
-		fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
-		os.Exit(1)
+		logger.Error("elaboration check failed", "err", err, "class", simerr.Class(err))
+		os.Exit(simerr.ExitCode(err))
 	}
 	if *out == "" {
 		for _, m := range mods {
@@ -43,15 +53,15 @@ func main() {
 		return
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+		logger.Error("cannot create output directory", "err", err, "dir", *out)
 		os.Exit(1)
 	}
 	for _, m := range mods {
 		path := filepath.Join(*out, m.Name+".v")
 		if err := os.WriteFile(path, []byte(m.Source), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "qisim-rtl:", err)
+			logger.Error("cannot write module", "err", err, "path", path)
 			os.Exit(1)
 		}
-		fmt.Println("wrote", path)
+		logger.Info("wrote module", "path", path, "module", m.Name)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"qisim/internal/buildinfo"
@@ -34,6 +35,7 @@ import (
 	"qisim/internal/experiments"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
+	"qisim/internal/obs"
 	"qisim/internal/rescache"
 	"qisim/internal/scalability"
 	"qisim/internal/simerr"
@@ -42,16 +44,30 @@ import (
 	"qisim/internal/wiring"
 )
 
+// logger is the process-wide structured logger, installed by main before any
+// subcommand runs. Checkpoint/resume notices and warnings go through it so
+// -log-format=json keeps stderr machine-parseable.
+var logger = obs.Discard()
+
 func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables (analyze, sweep, mc)")
 	workers := flag.Int("workers", 0, "parallel worker goroutines for MC/sweep runs (0 = all cores, 1 = serial; results are identical for every value)")
+	traceOut := flag.String("trace-out", "", "record a span trace of the run and write it as Chrome trace_event JSON to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisim"))
 		return
+	}
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qisim:", err)
+		os.Exit(simerr.ExitCode(simerr.Invalidf("%v", err)))
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -71,9 +87,35 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, args, *jsonOut, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "qisim:", err)
-		os.Exit(simerr.ExitCode(err))
+	// -trace-out arms the span tracer for the whole run: a root "cli" span
+	// names the subcommand, and every traced layer underneath (sharded engine,
+	// scalability fan-out, checkpointing) hangs off it via the context.
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(obs.TracerConfig{ID: "qisim"})
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	runErr := func() error {
+		if tr != nil {
+			span := tr.Start("cli", nil,
+				obs.String("cmd", args[0]), obs.String("argv", strings.Join(args[1:], " ")))
+			ctx = obs.ContextWithSpan(ctx, tr, span)
+			defer span.End()
+		}
+		return run(ctx, args, *jsonOut, *workers)
+	}()
+	// The trace is best-effort observability: an export failure is a warning
+	// and never changes the run's own exit code (the result already printed).
+	if tr != nil {
+		if err := obs.WriteChromeFile(*traceOut, tr); err != nil {
+			logger.Warn("trace export failed; run result unaffected", "err", err, "path", *traceOut)
+		} else {
+			logger.Debug("trace written", "path", *traceOut, "spans", tr.Len(), "dropped", tr.Dropped())
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "qisim:", runErr)
+		os.Exit(simerr.ExitCode(runErr))
 	}
 }
 
@@ -314,8 +356,8 @@ func wireCheckpoint(opt *simrun.Options, dir string, resume bool, every int,
 		return nil, err
 	}
 	if snap != nil {
-		fmt.Fprintf(os.Stderr, "qisim: resuming %s from %d/%d committed shots (%s)\n",
-			kind, snap.Shots, snap.Meta.Budget, sv.Path)
+		logger.Info("resuming from checkpoint",
+			"kind", kind, "shots", snap.Shots, "budget", snap.Meta.Budget, "path", sv.Path)
 	}
 	return sv, nil
 }
@@ -328,11 +370,11 @@ func reportCheckpoint(sv *checkpoint.Saver, truncated bool) {
 		return
 	}
 	if err := sv.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "qisim: warning: checkpoint durability degraded: %v\n", err)
+		logger.Warn("checkpoint durability degraded", "err", err)
 		return
 	}
 	if truncated {
-		fmt.Fprintf(os.Stderr, "qisim: checkpoint saved to %s — rerun with -resume to continue\n", sv.Path)
+		logger.Info("checkpoint saved — rerun with -resume to continue", "path", sv.Path)
 	}
 }
 
@@ -369,6 +411,10 @@ mc -checkpoint-dir persists crash-safe snapshots of the committed shard
 prefix (flushed once more on ^C); mc -resume restarts from that snapshot and
 produces output byte-identical to an uninterrupted run. Inspect snapshots
 with the qisim-checkpoint tool.
+-trace-out=<file> records a span trace of the run (engine, shards, merges,
+checkpoints) and writes Chrome trace_event JSON loadable in a trace viewer;
+tracing never changes the computed results. -log-level and -log-format
+control the structured stderr log (text or json).
 Error-class exit codes: 4 invalid config, 5 numerical, 6 budget infeasible,
 7 unsupported QASM.`)
 }

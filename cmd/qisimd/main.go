@@ -6,15 +6,24 @@
 //
 //	qisimd [-addr :8080] [-workers n] [-queue 64] [-cache-entries 256]
 //	       [-job-timeout d] [-drain-timeout 30s] [-data-dir dir]
+//	       [-pprof addr] [-log-level info] [-log-format text]
 //
 // API:
 //
-//	POST /v1/jobs          {"kind": "surface.mc", "params": {...}}
-//	GET  /v1/jobs/{id}     job state, live progress, result or typed error
-//	GET  /v1/results/{key} cached result body (byte-exact replay)
-//	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          liveness: 200 serving / 503 draining
-//	GET  /readyz           readiness: 503 recovering / draining / saturated
+//	POST /v1/jobs            {"kind": "surface.mc", "params": {...}}
+//	GET  /v1/jobs/{id}       job state, live progress, result or typed error
+//	GET  /v1/jobs/{id}/trace finished job's span tree (?format=json|chrome|tree)
+//	GET  /v1/results/{key}   cached result body (byte-exact replay)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            liveness: 200 serving / 503 draining
+//	GET  /readyz             readiness: 503 recovering / draining / saturated
+//
+// Observability: every executed job records a bounded span trace (queue
+// wait, executor, per-shard, merge, checkpoint spans) served by the trace
+// endpoint and folded into the qisimd_stage_seconds / qisimd_shard_seconds
+// / qisimd_queue_wait_seconds histograms. -pprof exposes net/http/pprof on
+// a SEPARATE listener so profiling traffic never shares the API port.
+// Logs are structured (log/slog) and stamped with job/trace/span IDs.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight jobs are cancelled and finish through the partial-result path
@@ -35,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +52,9 @@ import (
 	"time"
 
 	"qisim/internal/buildinfo"
+	"qisim/internal/cmos"
+	"qisim/internal/dsp"
+	"qisim/internal/obs"
 	"qisim/internal/service"
 	"qisim/internal/simerr"
 )
@@ -55,26 +68,44 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	dataDir := flag.String("data-dir", "", "crash-safe state directory (job journal + MC checkpoints); empty = in-memory only")
 	maxBody := flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "largest accepted POST /v1/jobs body (413 beyond)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = off")
+	traceSpans := flag.Int("trace-max-spans", 0, "per-job span-buffer bound (0 = default, negative = disable job tracing)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("qisimd"))
 		return
 	}
-	if err := run(*addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout, *dataDir, *maxBody); err != nil {
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qisimd:", err)
+		os.Exit(simerr.ExitCode(simerr.Invalidf("%v", err)))
+	}
+	// Point the model packages' logging seams at the shared logger so
+	// -log-level=debug surfaces their diagnostics in the daemon's stream.
+	dsp.SetLogger(logger)
+	cmos.SetLogger(logger)
+	if err := run(logger, *addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout,
+		*dataDir, *maxBody, *pprofAddr, *traceSpans); err != nil {
+		logger.Error("qisimd exiting on error", "err", err, "class", simerr.Class(err))
 		os.Exit(simerr.ExitCode(err))
 	}
 }
 
-func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout time.Duration, dataDir string, maxBody int64) error {
+func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
+	jobTimeout, drainTimeout time.Duration, dataDir string, maxBody int64,
+	pprofAddr string, traceSpans int) error {
 	srv, err := service.New(service.Config{
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheEntries: cacheEntries,
-		JobTimeout:   jobTimeout,
-		DataDir:      dataDir,
-		MaxBodyBytes: maxBody,
+		Workers:       workers,
+		QueueDepth:    queue,
+		CacheEntries:  cacheEntries,
+		JobTimeout:    jobTimeout,
+		DataDir:       dataDir,
+		MaxBodyBytes:  maxBody,
+		Logger:        logger,
+		TraceMaxSpans: traceSpans,
 	})
 	if err != nil {
 		return err
@@ -83,7 +114,24 @@ func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout
 	if n, err := srv.Recover(); err != nil {
 		return err
 	} else if n > 0 {
-		fmt.Fprintf(os.Stderr, "qisimd: recovered %d journaled job(s) from %s\n", n, dataDir)
+		logger.Info("recovered journaled jobs", "count", n, "data_dir", dataDir)
+	}
+
+	if pprofAddr != "" {
+		// Profiling lives on its own listener: operators can firewall it
+		// separately and a profile download can never saturate the API port.
+		pprofSrv := &http.Server{
+			Addr:              pprofAddr,
+			Handler:           obs.PprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener died", "err", err)
+			}
+		}()
+		defer pprofSrv.Close()
 	}
 
 	// Slow-client hardening: bound the header read and reap idle keep-alive
@@ -100,7 +148,7 @@ func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "qisimd: %s listening on %s\n", buildinfo.String("qisimd"), addr)
+		logger.Info("listening", "addr", addr, "version", buildinfo.String("qisimd"))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -112,7 +160,7 @@ func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 
-	fmt.Fprintln(os.Stderr, "qisimd: draining (in-flight jobs finish as truncated partials)...")
+	logger.Info("draining (in-flight jobs finish as truncated partials)")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	// Drain the job pool first so /v1/jobs polls during shutdown still see
@@ -124,6 +172,6 @@ func run(addr string, workers, queue, cacheEntries int, jobTimeout, drainTimeout
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return simerr.Interruptedf("qisimd: shutdown: %v", err)
 	}
-	fmt.Fprintln(os.Stderr, "qisimd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

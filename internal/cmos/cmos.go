@@ -14,8 +14,21 @@ package cmos
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
+
+	"qisim/internal/obs"
 )
+
+// logger is the package's structured-logging seam: silent by default so the
+// power model stays pure, it can be pointed at a shared slog.Logger
+// (SetLogger) to surface per-qubit breakdowns at debug level.
+var logger = obs.Discard()
+
+// SetLogger installs the structured logger the package's debug diagnostics
+// go to. Call once at process startup (before concurrent use); nil restores
+// the silent default.
+func SetLogger(l *slog.Logger) { logger = obs.OrDiscard(l) }
 
 // Node is a CMOS technology node with its power scaling relative to the
 // 45 nm FreePDK baseline (the same role as the paper's Eq. 2 + ITRS table).
@@ -293,5 +306,8 @@ func Breakdown(cfg QCIConfig) PerQubitBreakdown {
 	b.TX = (tx.DigitalPower(cfg.Node, cfg.Cond, cfg.ClockHz, 14) + tx.AnalogW*as) / float64(cfg.ReadoutFDM)
 	b.RXDigital = rx.DigitalPower(cfg.Node, cfg.Cond, cfg.ClockHz, 14) / float64(cfg.ReadoutFDM)
 	b.RXAnalog = rx.AnalogW * as / float64(cfg.ReadoutFDM)
+	logger.Debug("per-qubit power breakdown",
+		"node", cfg.Node.Name, "total_w", b.Total(),
+		"drive_digital_w", b.DriveDigital, "rx_digital_w", b.RXDigital)
 	return b
 }

@@ -6,7 +6,22 @@
 // against the golden floating-point models in internal/pulse.
 package dsp
 
-import "math"
+import (
+	"log/slog"
+	"math"
+
+	"qisim/internal/obs"
+)
+
+// logger is the package's structured-logging seam: silent by default so the
+// bit-accurate models stay pure, it can be pointed at a shared slog.Logger
+// (SetLogger) to surface quantization diagnostics at debug level.
+var logger = obs.Discard()
+
+// SetLogger installs the structured logger the package's debug diagnostics
+// go to. Call once at process startup (before concurrent use); nil restores
+// the silent default.
+func SetLogger(l *slog.Logger) { logger = obs.OrDiscard(l) }
 
 // FixedNCO is the fixed-point phase-accumulator NCO: an unsigned PhaseBits
 // accumulator advancing by a frequency control word each sample, with the
@@ -224,6 +239,8 @@ func EncodeEnvelope(samples []float64, ampBits int) []AWGEntry {
 		table = append(table, AWGEntry{Amp: a, Len: 1})
 	}
 	table = append(table, AWGEntry{Len: 0}) // terminator
+	logger.Debug("envelope encoded",
+		"samples", len(samples), "entries", len(table)-1, "amp_bits", ampBits)
 	return table
 }
 

@@ -25,6 +25,7 @@ import (
 	"qisim/internal/jobs"
 	"qisim/internal/lattice"
 	"qisim/internal/microarch"
+	"qisim/internal/obs"
 	"qisim/internal/pauli"
 	"qisim/internal/pulse"
 	"qisim/internal/qasm"
@@ -595,6 +596,87 @@ func Scenarios() []Scenario {
 					return Outcome{Err: fmt.Errorf("mismatched snapshot accepted for resume")}
 				}
 				return Outcome{Err: err, Detail: "seed-1 snapshot against a seed-2 run"}
+			},
+		},
+		{
+			// (g) Trace-buffer overflow: a span buffer far too small for the
+			// run must drop spans (counted), never block a worker, and never
+			// perturb the Monte-Carlo result — tracing is a pure observer
+			// even when saturated.
+			Name: "trace-buffer-overflow",
+			Run: func() Outcome {
+				const (
+					d, p, shots, seed = 3, 0.05, 6400, 11
+					shardSize         = 64 // 100 shards >> 4-span buffer
+				)
+				opt := simrun.Options{Workers: 4, ShardSize: shardSize}
+				plain, err := surface.MonteCarloLogicalErrorCtx(
+					context.Background(), d, p, shots, seed, opt)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("untraced baseline failed: %w", err)}
+				}
+				tr := obs.NewTracer(obs.TracerConfig{ID: "overflow", MaxSpans: 4}) // the injected fault
+				traced, err := surface.MonteCarloLogicalErrorCtx(
+					obs.WithTracer(context.Background(), tr), d, p, shots, seed, opt)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("traced run failed: %w", err), Status: traced.Status}
+				}
+				if traced != plain {
+					return Outcome{Err: fmt.Errorf("saturated tracer perturbed the result:\nplain  %+v\ntraced %+v", plain, traced)}
+				}
+				if tr.Dropped() == 0 {
+					return Outcome{Err: fmt.Errorf("100-shard run through a 4-span buffer dropped nothing")}
+				}
+				if tr.Len() > 4 {
+					return Outcome{Err: fmt.Errorf("span buffer exceeded its bound: %d > 4", tr.Len())}
+				}
+				snap := tr.Snapshot()
+				if err := snap.Check(); err != nil {
+					return Outcome{Err: fmt.Errorf("overflowed trace fails validation: %w", err)}
+				}
+				return Outcome{Status: traced.Status,
+					Detail: fmt.Sprintf("result bit-identical, %d spans kept, %d dropped", tr.Len(), tr.Dropped())}
+			},
+		},
+		{
+			// (g') Trace-export write failure: the trace file landing on an
+			// unwritable path must surface as an ordinary error from the
+			// export boundary — the traced run's result stays valid and the
+			// caller's exit code is unchanged (the CLIs log a warning and
+			// keep going; this scenario pins the API contract they rely on).
+			Name: "trace-export-write-failure",
+			Run: func() Outcome {
+				tr := obs.NewTracer(obs.TracerConfig{ID: "export-fail"})
+				res, err := surface.MonteCarloLogicalErrorCtx(
+					obs.WithTracer(context.Background(), tr), 3, 0.05, 640, 11,
+					simrun.Options{ShardSize: 64})
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("traced run failed: %w", err)}
+				}
+				if res.Status.Truncated || res.Status.Completed != 640 {
+					return Outcome{Err: fmt.Errorf("traced run incomplete: %+v", res.Status)}
+				}
+				dir, err := os.MkdirTemp("", "faultinject-export-*")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("tempdir: %w", err)}
+				}
+				defer os.RemoveAll(dir)
+				// The injected fault: the export path's parent is a regular
+				// file, so os.Create must fail.
+				blocker := dir + "/not-a-dir"
+				if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+					return Outcome{Err: fmt.Errorf("write blocker: %w", err)}
+				}
+				exportErr := obs.WriteChromeFile(blocker+"/trace.json", tr)
+				if exportErr == nil {
+					return Outcome{Err: fmt.Errorf("export into a non-directory succeeded")}
+				}
+				// The run's own outcome is untouched by the failed export.
+				if res.Rate() < 0 || res.Shots != 640 {
+					return Outcome{Err: fmt.Errorf("result corrupted after export failure: %+v", res)}
+				}
+				return Outcome{Status: res.Status,
+					Detail: fmt.Sprintf("export failed cleanly (%v); run result intact", exportErr)}
 			},
 		},
 	}

@@ -26,11 +26,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"qisim/internal/obs"
 	"qisim/internal/rescache"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -111,11 +113,13 @@ type Snapshot struct {
 type Hooks struct {
 	// JobStarted fires when a worker picks the job up.
 	JobStarted func(kind Kind)
-	// JobFinished fires once per executed job with its terminal state,
-	// simerr class ("" unless failed), final status (nil when failed before
-	// a run produced one) and wall-clock duration. Cached submissions do
-	// not fire it (nothing executed).
-	JobFinished func(kind Kind, state State, errClass string, st *simrun.Status, dur time.Duration)
+	// JobFinished fires once per executed job with its ID and terminal
+	// state, simerr class ("" unless failed), final status (nil when failed
+	// before a run produced one) and wall-clock duration. Cached
+	// submissions do not fire it (nothing executed). The job's finished
+	// trace — when the manager traces jobs — is already retrievable via
+	// Manager.Trace(id) by the time the hook fires.
+	JobFinished func(id string, kind Kind, state State, errClass string, st *simrun.Status, dur time.Duration)
 }
 
 // Outcome classifies what Submit did.
@@ -181,6 +185,16 @@ type Config struct {
 	BaseContext context.Context
 	// Hooks are the observability callbacks.
 	Hooks Hooks
+	// Logger receives the manager's lifecycle records (submissions, state
+	// transitions, journal degradation) with job IDs attached. Nil = silent.
+	Logger *slog.Logger
+	// TraceMaxSpans, when positive, makes the manager trace every executed
+	// job: a per-job obs.Tracer (span buffer bounded at this many spans)
+	// records a "job" root span with "queue.wait" and "executor" children,
+	// journal appends, and — via the job context handed to the Runner — the
+	// engine's mc.run/shard/merge/checkpoint spans. Finished traces are
+	// served by Manager.Trace. Zero disables job tracing entirely.
+	TraceMaxSpans int
 }
 
 // job is the manager-internal record. Mutable fields are guarded by the
@@ -203,6 +217,15 @@ type job struct {
 	errClass, errMsg  string
 	result            []byte
 
+	// Tracing (nil/empty when Config.TraceMaxSpans == 0 or the job was
+	// served from cache). rootSpan covers submit→finalize, queueSpan the
+	// queued interval; trace is the finished snapshot stored before done
+	// closes, so pollers that see a terminal state can always fetch it.
+	tr        *obs.Tracer
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+	trace     *obs.Trace
+
 	progressDone, progressTotal atomic.Int64
 }
 
@@ -210,6 +233,7 @@ type job struct {
 // singleflight index.
 type Manager struct {
 	cfg    Config
+	log    *slog.Logger
 	ctx    context.Context // ancestor of every job context
 	cancel context.CancelFunc
 
@@ -243,6 +267,7 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(base)
 	return &Manager{
 		cfg:      cfg,
+		log:      obs.OrDiscard(cfg.Logger),
 		ctx:      ctx,
 		cancel:   cancel,
 		byID:     map[string]*job{},
@@ -297,6 +322,7 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, ru
 			j.started, j.finished = now, now
 			j.result = body
 			close(j.done)
+			m.log.Debug("job served from cache", "job", j.id, "kind", string(kind))
 			return m.snapshotLocked(j), OutcomeCached, nil
 		}
 	}
@@ -304,6 +330,13 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, ru
 	j.run = run
 	j.params = params
 	j.state = StateQueued
+	if m.cfg.TraceMaxSpans > 0 {
+		// The job's trace is born at acceptance: the root span covers the
+		// whole lifecycle and queue.wait measures time-to-worker.
+		j.tr = obs.NewTracer(obs.TracerConfig{ID: j.id, MaxSpans: m.cfg.TraceMaxSpans})
+		j.rootSpan = j.tr.Start("job", nil, obs.String("kind", string(kind)))
+		j.queueSpan = j.tr.Start("queue.wait", j.rootSpan)
+	}
 	select {
 	case m.queue <- j:
 	default:
@@ -316,8 +349,14 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, ru
 	if m.cfg.Journal != nil {
 		// Best-effort WAL: a failed append degrades durability (counted on
 		// the journal), it does not refuse the submission.
-		m.cfg.Journal.Append(OpSubmit, kind, key, params) //nolint:errcheck
+		js := j.tr.Start("journal.append", j.rootSpan, obs.String("op", string(OpSubmit)))
+		if err := m.cfg.Journal.Append(OpSubmit, kind, key, params); err != nil {
+			m.log.Warn("journal append failed; durability degraded",
+				"job", j.id, "op", string(OpSubmit), "err", err)
+		}
+		js.End()
 	}
+	m.log.Info("job queued", "job", j.id, "kind", string(kind))
 	return m.snapshotLocked(j), OutcomeQueued, nil
 }
 
@@ -362,6 +401,7 @@ func (m *Manager) execute(j *job) {
 	j.started = time.Now()
 	run := j.run
 	m.mu.Unlock()
+	j.queueSpan.End() // queued → picked up by a worker
 	if m.cfg.Hooks.JobStarted != nil {
 		m.cfg.Hooks.JobStarted(j.kind)
 	}
@@ -371,12 +411,46 @@ func (m *Manager) execute(j *job) {
 	if m.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
 	}
+	// The job context carries the job identity for log stamping and — when
+	// tracing — the executor span, so the engine's mc.run span (and its
+	// shard/merge/checkpoint children) nest under it.
+	ctx = obs.WithJobID(ctx, j.id)
+	execSpan := j.tr.Start("executor", j.rootSpan, obs.String("kind", string(j.kind)))
+	ctx = obs.ContextWithSpan(ctx, j.tr, execSpan)
+	m.log.InfoContext(ctx, "job started", "kind", string(j.kind))
 	progress := func(completed, requested int) {
 		j.progressDone.Store(int64(completed))
 		j.progressTotal.Store(int64(requested))
 	}
 	body, st, err := runSafely(run, ctx, progress)
 	cancel()
+	if err != nil {
+		execSpan.SetAttr(obs.String("error_class", simerr.Class(err)))
+	} else {
+		execSpan.SetAttr(obs.String("stop", st.StopReason))
+	}
+	execSpan.End()
+
+	// Resolve the WAL entry before finalizing, so the append lands inside
+	// the job's trace: done and failed retire the submission; truncated
+	// keeps it pending so the next boot resumes it from its checkpoint
+	// instead of dropping the committed prefix.
+	if m.cfg.Journal != nil {
+		op := OpDone
+		switch {
+		case err != nil:
+			op = OpFailed
+		case st.Truncated:
+			op = OpTruncated
+		}
+		js := j.tr.Start("journal.append", j.rootSpan, obs.String("op", string(op)))
+		if jerr := m.cfg.Journal.Append(op, j.kind, j.key, nil); jerr != nil {
+			m.log.WarnContext(ctx, "journal append failed; durability degraded",
+				"op", string(op), "err", jerr)
+		}
+		js.End()
+	}
+	j.rootSpan.End()
 
 	m.mu.Lock()
 	j.finished = time.Now()
@@ -396,28 +470,27 @@ func (m *Manager) execute(j *job) {
 			m.cfg.Cache.Put(j.key, string(j.kind), body)
 		}
 	}
+	if j.tr != nil {
+		// Snapshot the finished trace before done closes: anyone observing
+		// a terminal state can fetch the trace without racing finalization.
+		snap := j.tr.Snapshot()
+		j.trace = &snap
+	}
 	delete(m.inflight, j.key)
 	close(j.done)
 	snapState, errClass, status := j.state, j.errClass, j.status
 	dur := j.finished.Sub(j.started)
 	m.mu.Unlock()
 
-	if m.cfg.Journal != nil {
-		// Resolve the WAL entry: done and failed retire the submission;
-		// truncated keeps it pending so the next boot resumes it from its
-		// checkpoint instead of dropping the committed prefix.
-		op := OpDone
-		switch {
-		case snapState == StateFailed:
-			op = OpFailed
-		case status != nil && status.Truncated:
-			op = OpTruncated
-		}
-		m.cfg.Journal.Append(op, j.kind, j.key, nil) //nolint:errcheck
+	if err != nil {
+		m.log.WarnContext(ctx, "job failed",
+			"kind", string(j.kind), "class", errClass, "err", err, "dur", dur)
+	} else {
+		m.log.InfoContext(ctx, "job finished",
+			"kind", string(j.kind), "stop", st.StopReason, "dur", dur)
 	}
-
 	if m.cfg.Hooks.JobFinished != nil {
-		m.cfg.Hooks.JobFinished(j.kind, snapState, errClass, status, dur)
+		m.cfg.Hooks.JobFinished(j.id, j.kind, snapState, errClass, status, dur)
 	}
 }
 
@@ -437,6 +510,25 @@ func (m *Manager) Get(id string) (Snapshot, bool) {
 		return Snapshot{}, false
 	}
 	return m.snapshotLocked(j), true
+}
+
+// Trace returns the job's finished trace. The bool reports whether the job
+// exists at all; the returned state disambiguates the empty trace: a job
+// that is still queued/running has no trace YET (poll again), while a
+// terminal job without one (served from cache, or tracing disabled) never
+// will — Trace.Spans stays empty in both cases and the caller decides from
+// the state. The qisimd trace endpoint maps this to 404/202/200.
+func (m *Manager) Trace(id string) (obs.Trace, State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return obs.Trace{}, "", false
+	}
+	if j.trace == nil {
+		return obs.Trace{}, j.state, true
+	}
+	return *j.trace, j.state, true
 }
 
 // Wait blocks until the job finalizes (or ctx fires) and returns its final

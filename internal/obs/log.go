@@ -1,0 +1,112 @@
+// Structured logging on log/slog: a shared handler that stamps every
+// record with the trace, span and job IDs carried by the logging context,
+// plus the level/format parsing behind the CLIs' -log-level/-log-format
+// flags and a dependency-free discard logger for quiet defaults.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Handler wraps an inner slog.Handler and appends the observability
+// identity carried by the record's context — job ID, trace ID and span ID —
+// as attributes on every record. Records logged without any identity pass
+// through unchanged.
+type Handler struct {
+	inner slog.Handler
+}
+
+// NewHandler wraps inner with context stamping.
+func NewHandler(inner slog.Handler) *Handler { return &Handler{inner: inner} }
+
+// Enabled defers to the inner handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle appends job/trace/span attributes from ctx and forwards to the
+// inner handler.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	if id := JobID(ctx); id != "" {
+		r.AddAttrs(slog.String("job", id))
+	}
+	if tr := FromContext(ctx); tr != nil {
+		r.AddAttrs(slog.String("trace", tr.ID()))
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		r.AddAttrs(slog.Uint64("span", s.ID()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs returns a stamped handler over the inner handler's WithAttrs.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &Handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup returns a stamped handler over the inner handler's WithGroup.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name)}
+}
+
+// ParseLevel maps the CLI -log-level values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the shared logger: level is debug|info|warn|error,
+// format is text|json. The returned logger stamps every record with the
+// job/trace/span identity carried by the logging context.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var inner slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		inner = slog.NewTextHandler(w, opts)
+	case "json":
+		inner = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(NewHandler(inner)), nil
+}
+
+// discardHandler drops every record. (go.mod targets Go 1.22, which
+// predates slog.DiscardHandler.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops everything — the default for
+// libraries whose callers didn't install a logger.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// OrDiscard returns l, or the discard logger when l is nil, so library
+// code can log unconditionally.
+func OrDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l
+}

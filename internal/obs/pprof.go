@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/. qisimd mounts it on a separate listener (-pprof)
+// so profiling traffic never shares the API port.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

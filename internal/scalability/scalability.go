@@ -14,6 +14,7 @@ import (
 
 	"qisim/internal/cryo"
 	"qisim/internal/microarch"
+	"qisim/internal/obs"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
 	"qisim/internal/surface"
@@ -182,7 +183,11 @@ func AnalyzeAllCtx(ctx context.Context, opt Options) ([]Analysis, simrun.Status,
 		func(t *simrun.ShardTask) ([]Analysis, int, error) {
 			part := make([]Analysis, 0, t.N)
 			for i := 0; t.Continue(i); i++ {
-				part = append(part, Analyze(ds[t.GlobalShot(i)], opt))
+				d := ds[t.GlobalShot(i)]
+				_, span := obs.StartSpan(t.Context(), "design.analyze",
+					obs.String("design", d.Name))
+				part = append(part, Analyze(d, opt))
+				span.End()
 			}
 			return part, -1, nil
 		},
@@ -251,6 +256,7 @@ func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Op
 			part := make([]CurvePoint, 0, t.N)
 			for i := 0; t.Continue(i); i++ {
 				n := qubitCounts[t.GlobalShot(i)]
+				_, span := obs.StartSpan(t.Context(), "sweep.point", obs.Int("qubits", n))
 				cp := CurvePoint{Qubits: n, Utilization: map[wiring.Stage]float64{}, LogicalError: pl}
 				cp.Feasible = true
 				for st, budget := range opt.Budgets {
@@ -265,6 +271,8 @@ func SweepCtx(ctx context.Context, d microarch.Design, qubitCounts []int, opt Op
 				if pl > cp.Target {
 					cp.Feasible = false
 				}
+				span.SetAttr(obs.Bool("feasible", cp.Feasible))
+				span.End()
 				part = append(part, cp)
 			}
 			return part, -1, nil

@@ -25,6 +25,7 @@ import (
 	"qisim/internal/cyclesim"
 	"qisim/internal/jobs"
 	"qisim/internal/microarch"
+	"qisim/internal/obs"
 	"qisim/internal/pauli"
 	"qisim/internal/qasm"
 	"qisim/internal/readout"
@@ -63,14 +64,19 @@ type buildEnv struct {
 // the committed prefix — the deterministic engine makes the final bytes
 // identical either way. A corrupted or mismatched snapshot is a typed
 // runtime error on the job, never a silent replay.
-func (env buildEnv) attachCheckpoint(opt *simrun.Options, meta checkpoint.Meta) (*checkpoint.Saver, error) {
+func (env buildEnv) attachCheckpoint(ctx context.Context, opt *simrun.Options, meta checkpoint.Meta) (*checkpoint.Saver, error) {
 	if env.ckptDir == "" {
 		return nil, nil
 	}
+	_, span := obs.StartSpan(ctx, "checkpoint.load")
 	sv, snap, err := checkpoint.Attach(opt, env.ckptDir, true, 1, meta)
 	if err != nil {
+		span.SetAttr(obs.String("error", simerr.Class(err)))
+		span.End()
 		return nil, err
 	}
+	span.SetAttr(obs.Bool("resumed", snap != nil))
+	span.End()
 	if snap != nil && env.onResume != nil {
 		env.onResume()
 	}
@@ -234,7 +240,7 @@ func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
 		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
 			TargetRelStdErr: pp.RelSE, Progress: progress}
-		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+		sv, err := env.attachCheckpoint(ctx, &opt, checkpoint.Meta{
 			Kind: string(jobs.KindSurfaceMC), Key: string(key), Seed: pp.Seed,
 			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
 		})
@@ -344,7 +350,7 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 		pcfg.DecoherencePeriod = pp.PeriodNS * 1e-9
 		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
 			TargetRelStdErr: pp.RelSE, Progress: progress}
-		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+		sv, err := env.attachCheckpoint(ctx, &opt, checkpoint.Meta{
 			Kind: string(jobs.KindPauliMC), Key: string(key), Seed: pp.Seed,
 			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
 		})
@@ -411,7 +417,7 @@ func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 		}
 		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
 			TargetRelStdErr: pp.RelSE, Progress: progress}
-		sv, err := env.attachCheckpoint(&opt, checkpoint.Meta{
+		sv, err := env.attachCheckpoint(ctx, &opt, checkpoint.Meta{
 			Kind: string(jobs.KindReadoutMC), Key: string(key), Seed: pp.Seed,
 			ShardSize: pp.ShardSize, Budget: pp.Shots, TargetRelStdErr: pp.RelSE,
 		})

@@ -33,6 +33,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 
 	"qisim/internal/jobs"
 	"qisim/internal/metrics"
+	"qisim/internal/obs"
 	"qisim/internal/rescache"
 	"qisim/internal/simerr"
 	"qisim/internal/simrun"
@@ -71,6 +73,14 @@ type Config struct {
 	// (default 1 MiB; overflow is a 413). QASM programs are the largest
 	// legitimate payload and fit comfortably.
 	MaxBodyBytes int64
+	// Logger receives the service's structured lifecycle records (job
+	// submissions, state transitions, recovery). Nil = silent.
+	Logger *slog.Logger
+	// TraceMaxSpans bounds each job's span buffer. 0 = obs.DefaultMaxSpans
+	// (per-job tracing on by default — the source of GET
+	// /v1/jobs/{id}/trace and the qisimd_stage_seconds histograms);
+	// negative disables job tracing entirely.
+	TraceMaxSpans int
 }
 
 // DefaultMaxBodyBytes bounds POST bodies when Config.MaxBodyBytes is unset.
@@ -90,6 +100,8 @@ type Server struct {
 	maxBodyBytes int64
 	ready        atomic.Bool // true once Recover has replayed the journal
 
+	log *slog.Logger
+
 	mSubmitted *metrics.CounterVec // kind
 	mFinished  *metrics.CounterVec // kind, state
 	mTruncated *metrics.CounterVec // kind
@@ -105,6 +117,10 @@ type Server struct {
 	mResumed        *metrics.Counter // runs that resumed from a checkpoint
 	mRecoveryFailed *metrics.Counter // journaled jobs that could not be rebuilt
 	mCkptSaved      *metrics.Counter // checkpoint snapshots written
+
+	mStageSeconds *metrics.HistogramVec // per-stage span durations, from traces
+	mShardSeconds *metrics.Histogram    // per-shard span durations
+	mQueueWait    *metrics.Histogram    // queue.wait span durations
 }
 
 // New builds a Server (workers not yet running — call Start; with DataDir,
@@ -120,11 +136,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	traceMaxSpans := cfg.TraceMaxSpans
+	switch {
+	case traceMaxSpans == 0:
+		traceMaxSpans = obs.DefaultMaxSpans
+	case traceMaxSpans < 0:
+		traceMaxSpans = 0 // disables job tracing in the manager
+	}
 	s := &Server{
 		cache:        rescache.New(cfg.CacheEntries),
 		reg:          metrics.New(),
 		queueDepth:   cfg.QueueDepth,
 		maxBodyBytes: cfg.MaxBodyBytes,
+		log:          obs.OrDiscard(cfg.Logger),
 	}
 	if cfg.DataDir != "" {
 		journal, err := jobs.OpenJournal(filepath.Join(cfg.DataDir, "journal.wal"))
@@ -165,17 +189,28 @@ func New(cfg Config) (*Server, error) {
 		"Journaled jobs that could not be rebuilt or resubmitted at boot.")
 	s.mCkptSaved = s.reg.Counter("qisimd_checkpoints_saved_total",
 		"Checkpoint snapshots written by Monte-Carlo runners.")
+	s.mStageSeconds = s.reg.HistogramVec("qisimd_stage_seconds",
+		"Per-stage wall clock from finished job traces (stage = span name).",
+		metrics.DefaultLatencyBuckets(), "stage")
+	s.mShardSeconds = s.reg.Histogram("qisimd_shard_seconds",
+		"Monte-Carlo shard execution wall clock, one observation per shard.",
+		metrics.DefaultLatencyBuckets())
+	s.mQueueWait = s.reg.Histogram("qisimd_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.",
+		metrics.DefaultLatencyBuckets())
 
 	s.mgr = jobs.NewManager(jobs.Config{
-		Workers:     cfg.Workers,
-		QueueDepth:  cfg.QueueDepth,
-		JobTimeout:  cfg.JobTimeout,
-		MaxRecords:  cfg.MaxRecords,
-		Cache:       s.cache,
-		Journal:     s.journal,
-		BaseContext: cfg.BaseContext,
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		JobTimeout:    cfg.JobTimeout,
+		MaxRecords:    cfg.MaxRecords,
+		Cache:         s.cache,
+		Journal:       s.journal,
+		BaseContext:   cfg.BaseContext,
+		Logger:        cfg.Logger,
+		TraceMaxSpans: traceMaxSpans,
 		Hooks: jobs.Hooks{
-			JobFinished: func(kind jobs.Kind, state jobs.State, errClass string, st *simrun.Status, dur time.Duration) {
+			JobFinished: func(id string, kind jobs.Kind, state jobs.State, errClass string, st *simrun.Status, dur time.Duration) {
 				s.mFinished.With(string(kind), string(state)).Inc()
 				s.mSeconds.With(string(kind)).Observe(dur.Seconds())
 				if errClass != "" {
@@ -187,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 						s.mTruncated.With(string(kind)).Inc()
 					}
 				}
+				s.observeTrace(id)
 			},
 		},
 	})
@@ -222,6 +258,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -232,6 +269,27 @@ func New(cfg Config) (*Server, error) {
 
 // Start launches the worker pool. Idempotent.
 func (s *Server) Start() { s.mgr.Start() }
+
+// observeTrace folds one finished job's trace into the stage-latency
+// histograms: every span contributes to qisimd_stage_seconds{stage=<name>},
+// shard spans additionally to qisimd_shard_seconds and the queue.wait span
+// to qisimd_queue_wait_seconds. No-op when the job recorded no trace.
+func (s *Server) observeTrace(id string) {
+	trace, _, ok := s.mgr.Trace(id)
+	if !ok {
+		return
+	}
+	for _, sp := range trace.Spans {
+		secs := float64(sp.DurNS()) / 1e9
+		s.mStageSeconds.With(sp.Name).Observe(secs)
+		switch sp.Name {
+		case "shard":
+			s.mShardSeconds.Observe(secs)
+		case "queue.wait":
+			s.mQueueWait.Observe(secs)
+		}
+	}
+}
 
 // env is the execution environment handed to the per-kind job builders.
 func (s *Server) env() buildEnv {
@@ -381,6 +439,50 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTrace serves a finished job's span tree. State machine:
+//
+//	unknown job, or a terminal job that recorded no trace
+//	(cache hit / tracing disabled)                          → 404
+//	job still queued or running                             → 202 {state}
+//	finished job with a trace                               → 200
+//
+// Formats (?format=): "json" (default) the obs.Trace object, "chrome"
+// Chrome trace_event JSON for chrome://tracing / Perfetto, "tree" the
+// indented text outline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	trace, state, ok := s.mgr.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	if state == jobs.StateQueued || state == jobs.StateRunning {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"state": string(state), "error": "trace not available until the job finishes"})
+		return
+	}
+	if len(trace.Spans) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "no trace recorded for job " + id + " (cached result or tracing disabled)"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, trace)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		trace.WriteChrome(w) //nolint:errcheck
+	case "tree":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(trace.TreeString())) //nolint:errcheck
+	default:
+		s.writeError(w, simerr.Invalidf("service: unknown trace format %q (want json|chrome|tree)",
+			r.URL.Query().Get("format")))
+	}
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

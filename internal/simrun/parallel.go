@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qisim/internal/obs"
 	"qisim/internal/simerr"
 )
 
@@ -105,6 +106,12 @@ func (t *ShardTask) Continue(i int) bool {
 // Interrupted reports whether the shard loop was cut short by cancellation.
 func (t *ShardTask) Interrupted() bool { return t.interrupted }
 
+// Context returns the shard's context: it carries the engine's cancellation
+// signal plus — when tracing is enabled — the shard's span, so a ShardFunc
+// can open child spans with obs.StartSpan (the scalability sweep opens one
+// per design point). The context must not outlive the ShardFunc invocation.
+func (t *ShardTask) Context() context.Context { return t.ctx }
+
 // GlobalShot maps a local loop index to the run-global shot index.
 func (t *ShardTask) GlobalShot(i int) int { return t.Start + i }
 
@@ -186,6 +193,15 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	shards := shardPlan(budget, opt.ShardSize, seed)
 	nShards := len(shards)
 
+	// Tracing: one root span for the whole run, per-shard spans under it,
+	// merge/checkpoint spans on the commit path. The tracer consumes no
+	// random numbers and never blocks (bounded buffer, counted drops), so
+	// results are bit-identical with tracing on or off.
+	ctx, runSpan := obs.StartSpan(ctx, "mc.run",
+		obs.Int("shots", budget), obs.Int("shards", nShards),
+		obs.Int("shard_size", opt.ShardSize))
+	defer runSpan.End()
+
 	// Restore a committed prefix. The geometry is re-validated so a snapshot
 	// taken under a different budget or shard size (or simply corrupted) can
 	// never be silently replayed into a double-count.
@@ -194,20 +210,26 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	var tally Tally
 	if opt.Resume != nil {
 		r := opt.Resume
+		_, resumeSpan := obs.StartSpan(ctx, "resume",
+			obs.Int("shards", r.Shards), obs.Int("resumed_shots", r.Shots))
 		if r.Shards < 0 || r.Shards > nShards {
+			resumeSpan.End()
 			return zero, Status{}, simerr.Invalidf(
 				"simrun: resume prefix of %d shards outside the %d-shard plan", r.Shards, nShards)
 		}
 		if want := shardShots(budget, opt.ShardSize, r.Shards); r.Shots != want {
+			resumeSpan.End()
 			return zero, Status{}, simerr.Invalidf(
 				"simrun: resume prefix covers %d shots, but %d shards of %d-shot budget at shard size %d cover %d",
 				r.Shots, r.Shards, budget, opt.ShardSize, want)
 		}
 		if len(r.StateJSON) > 0 {
 			if err := json.Unmarshal(r.StateJSON, &out); err != nil {
+				resumeSpan.End()
 				return zero, Status{}, simerr.Invalidf("simrun: resume state does not decode into %T: %v", out, err)
 			}
 		} else if r.Shards > 0 {
+			resumeSpan.End()
 			return zero, Status{}, simerr.Invalidf(
 				"simrun: resume prefix of %d shards has no accumulator state", r.Shards)
 		}
@@ -220,6 +242,7 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 		if opt.Progress != nil {
 			opt.Progress(r.Shots, budget)
 		}
+		resumeSpan.End()
 		finish := func(reason string) (R, Status, error) {
 			st := Status{
 				Requested:  budget,
@@ -228,10 +251,14 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 				StopReason: reason,
 			}
 			if opt.Checkpoint != nil {
+				_, ckSpan := obs.StartSpan(ctx, "checkpoint.save",
+					obs.Int("shards", start), obs.Bool("final", true))
 				sh, ev, nc := tally.State()
 				opt.Checkpoint(CheckpointState{Shards: start, Shots: sh, Requested: budget,
 					Events: ev, NoConverge: nc, State: out, Final: true})
+				ckSpan.End()
 			}
+			runSpan.SetAttr(obs.String("stop", reason), obs.Int("completed", r.Shots))
 			return out, st, nil
 		}
 		// A snapshot of the full plan, or one whose prefix already satisfies
@@ -252,6 +279,7 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	if workers > nShards-start {
 		workers = nShards - start
 	}
+	runSpan.SetAttr(obs.Int("workers", workers))
 
 	recs := make([]shardRecord[R], nShards)
 	var (
@@ -266,32 +294,44 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 	// shards, folding each one into the accumulator in strictly ascending
 	// shard order, feeding the cross-shard tally and running the convergence
 	// test at each shard boundary. Called with mu held.
+	//
+	// Reentrancy: Progress, Checkpoint and the tracer all run under mu here
+	// (see the Options contract) — a slow callback slows commits but can
+	// never deadlock the engine (workers finish their current shard and
+	// queue on mu; nothing the engine holds is required by the callbacks)
+	// and can never reorder the merge, which happened before the callback
+	// fired. The tracer's own lock is leaf-level: it is never held while
+	// acquiring mu.
 	commit := func() {
-		advanced := false
+		if frontier >= stopAt || !recs[frontier].done {
+			return // nothing to fold: the frontier shard is still running
+		}
+		mergeCtx, mergeSpan := obs.StartSpan(ctx, "merge", obs.Int("from", frontier))
 		for frontier < stopAt && recs[frontier].done {
 			tally.Add(shards[frontier].N, recs[frontier].events)
 			merge(&out, recs[frontier].res)
 			recs[frontier] = shardRecord[R]{done: true} // release the shard's result
 			frontier++
-			advanced = true
 			if tally.Converged(opt.TargetRelStdErr, opt.MinShots) {
 				stopAt = frontier
 				reason = StopConverged
 				break
 			}
 		}
-		if advanced {
-			// Observational only: both callbacks see the committed prefix,
-			// never uncommitted shards, so they cannot perturb determinism.
-			if opt.Progress != nil {
-				opt.Progress(shardShots(budget, opt.ShardSize, frontier), budget)
-			}
-			if opt.Checkpoint != nil {
-				sh, ev, nc := tally.State()
-				opt.Checkpoint(CheckpointState{Shards: frontier, Shots: sh, Requested: budget,
-					Events: ev, NoConverge: nc, State: out})
-			}
+		mergeSpan.SetAttr(obs.Int("to", frontier))
+		// Observational only: both callbacks see the committed prefix,
+		// never uncommitted shards, so they cannot perturb determinism.
+		if opt.Progress != nil {
+			opt.Progress(shardShots(budget, opt.ShardSize, frontier), budget)
 		}
+		if opt.Checkpoint != nil {
+			_, ckSpan := obs.StartSpan(mergeCtx, "checkpoint.save", obs.Int("shards", frontier))
+			sh, ev, nc := tally.State()
+			opt.Checkpoint(CheckpointState{Shards: frontier, Shots: sh, Requested: budget,
+				Events: ev, NoConverge: nc, State: out})
+			ckSpan.End()
+		}
+		mergeSpan.End()
 	}
 
 	worker := func() {
@@ -309,13 +349,24 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 			if i >= sa {
 				return
 			}
+			// The shard span's context doubles as the shard's cancellation
+			// context: context.WithValue preserves Done(), so Continue's
+			// polling is unchanged whether tracing is on or off.
+			shardCtx, shardSpan := obs.StartSpan(ctx, "shard",
+				obs.Int("shard", i), obs.Int("shots", shards[i].N))
 			t := &ShardTask{
 				Shard: shards[i],
 				RNG:   rand.New(rand.NewSource(shards[i].Seed)),
-				ctx:   ctx,
+				ctx:   shardCtx,
 				every: opt.CheckEvery,
 			}
 			res, events, err := run(t)
+			if t.interrupted {
+				shardSpan.SetAttr(obs.Bool("interrupted", true))
+			} else if err == nil && events >= 0 {
+				shardSpan.SetAttr(obs.Int("events", events))
+			}
+			shardSpan.End()
 			mu.Lock()
 			if err != nil {
 				recs[i].err = err
@@ -368,10 +419,14 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 		// The Final flush: whatever stopped the run (SIGINT, deadline,
 		// convergence, completion), the last committed prefix is persisted
 		// before the caller sees the status.
+		_, ckSpan := obs.StartSpan(ctx, "checkpoint.save",
+			obs.Int("shards", frontier), obs.Bool("final", true))
 		sh, ev, nc := tally.State()
 		opt.Checkpoint(CheckpointState{Shards: frontier, Shots: sh, Requested: budget,
 			Events: ev, NoConverge: nc, State: out, Final: true})
+		ckSpan.End()
 	}
+	runSpan.SetAttr(obs.String("stop", reason), obs.Int("completed", completed))
 	return out, Status{
 		Requested:  budget,
 		Completed:  completed,

@@ -69,6 +69,21 @@ type Options struct {
 	// publish live partial-progress for GET /v1/jobs/{id}. Called from
 	// worker goroutines under the engine's commit lock; keep it O(1) (e.g.
 	// two atomic stores).
+	//
+	// Reentrancy contract (shared with Checkpoint and the tracer's
+	// merge/checkpoint spans, which fire at the same commit point): the
+	// callback runs while the engine holds its commit mutex, AFTER the
+	// shard fold for this commit has fully happened. A slow or even
+	// permanently blocking callback therefore (a) stalls further commits —
+	// workers finish their in-flight shard and then queue on the mutex —
+	// but (b) can never deadlock the engine, because the engine acquires
+	// nothing else while calling out and the callback is handed plain
+	// values, and (c) can never reorder or skew the merge, whose in-order
+	// fold completed before the callback observed it. The callback MUST NOT
+	// call back into the same run's engine (that would be a self-deadlock
+	// on the commit mutex); starting spans on the run's tracer is safe (the
+	// tracer lock is leaf-level). TestRunShardedBlockingCallbacksCannotSkewMerge
+	// pins this contract.
 	Progress func(completed, requested int)
 	// Checkpoint, when non-nil, is invoked by the parallel engine at shard-
 	// boundary commits (the same commit point Progress piggybacks on) with
@@ -76,8 +91,9 @@ type Options struct {
 	// stops for any reason. The handed-out State is the live accumulator:
 	// serialize it synchronously inside the callback and do not retain it.
 	// Called under the engine's commit lock — a slow callback (file I/O)
-	// throttles commits, not correctness. See internal/checkpoint.Saver for
-	// the durable-snapshot implementation.
+	// throttles commits, not correctness; see the reentrancy contract on
+	// Progress. See internal/checkpoint.Saver for the durable-snapshot
+	// implementation.
 	Checkpoint func(CheckpointState)
 	// Resume, when non-nil, seeds the engine with a previously committed
 	// shard prefix (produced by a Checkpoint callback): the engine skips the

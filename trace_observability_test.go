@@ -1,0 +1,120 @@
+// Observability regression: tracing must be a pure observer. A traced
+// Monte-Carlo run returns results byte-identical to an untraced one (spans
+// never touch the RNG stream or the merge order), and the per-shard span
+// cost stays under 1% of the work a shard actually does.
+package qisim_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qisim/internal/obs"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
+)
+
+// TestSurfaceMCDeterministicWithTracing: identical seeds with tracing off
+// and on (serial and parallel) produce identical DecoderResults, and the
+// recorded trace is structurally valid with one span per shard.
+func TestSurfaceMCDeterministicWithTracing(t *testing.T) {
+	const (
+		d, p, q   = 5, 0.01, 0.01
+		rounds    = 5
+		shots     = 4096
+		seed      = 17
+		shardSize = 512
+	)
+	run := func(ctx context.Context, workers int) surface.DecoderResult {
+		r, err := surface.MonteCarloPhenomenologicalCtx(ctx, d, p, q, rounds, shots, seed,
+			simrun.Options{Workers: workers, ShardSize: shardSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	plain := run(context.Background(), 1)
+	for _, workers := range []int{1, 4} {
+		tr := obs.NewTracer(obs.TracerConfig{ID: "determinism"})
+		traced := run(obs.WithTracer(context.Background(), tr), workers)
+		if traced != plain {
+			t.Fatalf("workers=%d: traced run diverged:\nplain  %+v\ntraced %+v", workers, plain, traced)
+		}
+		trace := tr.Snapshot()
+		if err := trace.Check(); err != nil {
+			t.Fatalf("workers=%d: trace invariants: %v", workers, err)
+		}
+		if n := trace.Count("shard"); n != shots/shardSize {
+			t.Fatalf("workers=%d: %d shard spans, want %d", workers, n, shots/shardSize)
+		}
+		if _, ok := trace.Find("mc.run"); !ok {
+			t.Fatalf("workers=%d: no mc.run span", workers)
+		}
+	}
+}
+
+// TestTracedShardOverheadUnderOnePercent pins the overhead contract from
+// first principles: the engine opens exactly one span per shard, so the
+// tracing tax per shard is one Start+End pair. Measuring that pair against
+// the wall clock of a real default-sized shard keeps the assertion stable
+// where a head-to-head timing of two full runs would drown in scheduler
+// noise.
+func TestTracedShardOverheadUnderOnePercent(t *testing.T) {
+	// Cost of one traced span (amortised over many; the buffer is sized so
+	// nothing drops and the overflow fast path never engages).
+	const spans = 50000
+	tr := obs.NewTracer(obs.TracerConfig{MaxSpans: spans + 1})
+	start := time.Now()
+	for i := 0; i < spans; i++ {
+		s := tr.Start("shard", nil, obs.Int("shard", i), obs.Int("shots", 512))
+		s.End()
+	}
+	perSpan := time.Since(start) / spans
+
+	// Wall clock of one default-sized shard of the phenomenological decoder
+	// (min of rounds to shed warm-up noise).
+	shardShots := simrun.DefaultShardSize
+	shardTime := time.Duration(1<<62 - 1)
+	for round := 0; round < 3; round++ {
+		begin := time.Now()
+		if _, err := surface.MonteCarloPhenomenologicalCtx(context.Background(),
+			5, 0.01, 0.01, 5, shardShots, 17, simrun.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(begin); el < shardTime {
+			shardTime = el
+		}
+	}
+
+	overhead := float64(perSpan) / float64(shardTime)
+	t.Logf("span cost %v, shard (%d shots) %v, overhead %.4f%%",
+		perSpan, shardShots, shardTime, 100*overhead)
+	if overhead >= 0.01 {
+		t.Fatalf("per-shard tracing overhead %.3f%% >= 1%% (span %v vs shard %v)",
+			100*overhead, perSpan, shardTime)
+	}
+}
+
+// BenchmarkTracedShardOverhead times the same Monte-Carlo workload with
+// tracing off and on; the delta between the two sub-benchmarks is the
+// end-to-end tracing tax (expected in the noise floor, <1%).
+func BenchmarkTracedShardOverhead(b *testing.B) {
+	workload := func(ctx context.Context) {
+		if _, err := surface.MonteCarloPhenomenologicalCtx(ctx,
+			7, 0.008, 0.008, 7, 8192, 23, simrun.Options{Workers: 1, ShardSize: 512}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload(context.Background())
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTracer(obs.TracerConfig{ID: "bench"})
+			workload(obs.WithTracer(context.Background(), tr))
+		}
+	})
+}
