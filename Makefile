@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume race-obs fuzz serve trace-demo verify clean
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist bench-baseline fuzz serve trace-demo verify clean
 
 all: build
 
@@ -55,6 +55,21 @@ race-obs:
 	$(GO) test -race -count=2 ./internal/obs
 	$(GO) test -race -count=2 -run 'Trace|StageHistograms|Pprof' ./internal/simrun ./internal/service
 	$(GO) test -race -count=2 -run 'WithTracing|TracedShardOverhead' .
+
+# Focused race pass over the distributed-execution layer: the coordinator's
+# lease/steal/evict machinery and fold determinism, the worker claim loop,
+# the dist fault-injection scenarios, the service fleet E2E, and the root
+# chaos kill-matrix, run twice so goroutine scheduling varies.
+race-dist:
+	$(GO) test -race -count=2 ./internal/dist ./internal/backoff
+	$(GO) test -race -count=2 -run 'Dist|Fleet|Probe|Degraded|FaultSuite/dist' ./internal/service ./internal/faultinject
+	$(GO) test -race -count=2 -run 'ChaosKillMatrix' .
+
+# Regenerate BENCH_baseline.json: one sample of every benchmark in the repo,
+# recorded so a future change can diff dispatch overhead against the
+# baseline. Commit the refreshed file together with the change that moved it.
+bench-baseline:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | python3 scripts/bench_baseline.py > BENCH_baseline.json
 
 # Record a span trace of a parallel Monte-Carlo decoder run and leave the
 # Chrome trace_event JSON next to the repo. Open it in chrome://tracing or

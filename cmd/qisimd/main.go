@@ -7,6 +7,20 @@
 //	qisimd [-addr :8080] [-workers n] [-queue 64] [-cache-entries 256]
 //	       [-job-timeout d] [-drain-timeout 30s] [-data-dir dir]
 //	       [-pprof addr] [-log-level info] [-log-format text]
+//	       [-role standalone|coordinator|worker] [-coordinator-url url]
+//	       [-worker-id id] [-advertise url] [-lease-ttl 15s] [-unit-shards 4]
+//
+// Roles (see DESIGN.md "Distributed execution"):
+//
+//   - standalone (default): every job runs in-process.
+//   - coordinator: jobs are split into leased work units dispatched across
+//     registered fleet workers, with heartbeat renewal, retry with backoff,
+//     work stealing, health-probe eviction, and graceful degradation to the
+//     local path when the fleet is empty. Serves /v1/dist/* for workers.
+//     Merged results are byte-identical to a standalone run.
+//   - worker: runs the normal server (so /readyz answers the coordinator's
+//     health probes) plus a claim→execute→report loop against
+//     -coordinator-url. -advertise is the worker's own probeable base URL.
 //
 // API:
 //
@@ -53,6 +67,7 @@ import (
 
 	"qisim/internal/buildinfo"
 	"qisim/internal/cmos"
+	"qisim/internal/dist"
 	"qisim/internal/dsp"
 	"qisim/internal/obs"
 	"qisim/internal/service"
@@ -72,6 +87,12 @@ func main() {
 	traceSpans := flag.Int("trace-max-spans", 0, "per-job span-buffer bound (0 = default, negative = disable job tracing)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
+	role := flag.String("role", "standalone", "fleet role: standalone|coordinator|worker")
+	coordinatorURL := flag.String("coordinator-url", "", "coordinator base URL (required for -role worker)")
+	workerID := flag.String("worker-id", "", "fleet worker identity (default <hostname>-<pid>)")
+	advertise := flag.String("advertise", "", "this worker's probeable base URL, e.g. http://10.0.0.5:8080 (empty = health probes skip it)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator per-lease heartbeat deadline (0 = 15s default)")
+	unitShards := flag.Int("unit-shards", 0, "coordinator work-unit granularity in shards (0 = default)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
@@ -87,25 +108,61 @@ func main() {
 	// -log-level=debug surfaces their diagnostics in the daemon's stream.
 	dsp.SetLogger(logger)
 	cmos.SetLogger(logger)
-	if err := run(logger, *addr, *workers, *queue, *cacheEntries, *jobTimeout, *drainTimeout,
-		*dataDir, *maxBody, *pprofAddr, *traceSpans); err != nil {
+	opts := daemonOpts{
+		addr: *addr, workers: *workers, queue: *queue, cacheEntries: *cacheEntries,
+		jobTimeout: *jobTimeout, drainTimeout: *drainTimeout, dataDir: *dataDir,
+		maxBody: *maxBody, pprofAddr: *pprofAddr, traceSpans: *traceSpans,
+		role: *role, coordinatorURL: *coordinatorURL, workerID: *workerID,
+		advertise: *advertise, leaseTTL: *leaseTTL, unitShards: *unitShards,
+	}
+	if err := run(logger, opts); err != nil {
 		logger.Error("qisimd exiting on error", "err", err, "class", simerr.Class(err))
 		os.Exit(simerr.ExitCode(err))
 	}
 }
 
-func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
-	jobTimeout, drainTimeout time.Duration, dataDir string, maxBody int64,
-	pprofAddr string, traceSpans int) error {
+// daemonOpts carries the parsed flag set into run.
+type daemonOpts struct {
+	addr                     string
+	workers, queue           int
+	cacheEntries             int
+	jobTimeout, drainTimeout time.Duration
+	dataDir                  string
+	maxBody                  int64
+	pprofAddr                string
+	traceSpans               int
+
+	role           string
+	coordinatorURL string
+	workerID       string
+	advertise      string
+	leaseTTL       time.Duration
+	unitShards     int
+}
+
+func run(logger *slog.Logger, o daemonOpts) error {
+	switch o.role {
+	case "standalone", "coordinator", "worker":
+	default:
+		return simerr.Invalidf("qisimd: unknown -role %q (roles: standalone, coordinator, worker)", o.role)
+	}
+	if o.role == "worker" && o.coordinatorURL == "" {
+		return simerr.Invalidf("qisimd: -role worker requires -coordinator-url")
+	}
 	srv, err := service.New(service.Config{
-		Workers:       workers,
-		QueueDepth:    queue,
-		CacheEntries:  cacheEntries,
-		JobTimeout:    jobTimeout,
-		DataDir:       dataDir,
-		MaxBodyBytes:  maxBody,
+		Workers:       o.workers,
+		QueueDepth:    o.queue,
+		CacheEntries:  o.cacheEntries,
+		JobTimeout:    o.jobTimeout,
+		DataDir:       o.dataDir,
+		MaxBodyBytes:  o.maxBody,
 		Logger:        logger,
-		TraceMaxSpans: traceSpans,
+		TraceMaxSpans: o.traceSpans,
+		Dist: service.DistConfig{
+			Enabled:    o.role == "coordinator",
+			LeaseTTL:   o.leaseTTL,
+			UnitShards: o.unitShards,
+		},
 	})
 	if err != nil {
 		return err
@@ -114,19 +171,51 @@ func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
 	if n, err := srv.Recover(); err != nil {
 		return err
 	} else if n > 0 {
-		logger.Info("recovered journaled jobs", "count", n, "data_dir", dataDir)
+		logger.Info("recovered journaled jobs", "count", n, "data_dir", o.dataDir)
 	}
 
-	if pprofAddr != "" {
+	// Fleet worker: claim→execute→report against the coordinator, alongside
+	// the normal HTTP server (whose /readyz answers the health probes).
+	var fleetWorker *dist.Worker
+	workerDone := make(chan error, 1)
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	if o.role == "worker" {
+		id := o.workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		fleetWorker, err = dist.NewWorker(dist.WorkerConfig{
+			ID:          id,
+			Coordinator: &dist.Client{Base: o.coordinatorURL},
+			Advertise:   o.advertise,
+			Cores:       service.BuildCore,
+			Logger:      logger,
+			Trace:       true,
+		})
+		if err != nil {
+			return err
+		}
+		go func() {
+			logger.Info("fleet worker claiming", "id", id, "coordinator", o.coordinatorURL)
+			workerDone <- fleetWorker.Run(workerCtx)
+		}()
+	}
+
+	if o.pprofAddr != "" {
 		// Profiling lives on its own listener: operators can firewall it
 		// separately and a profile download can never saturate the API port.
 		pprofSrv := &http.Server{
-			Addr:              pprofAddr,
+			Addr:              o.pprofAddr,
 			Handler:           obs.PprofMux(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			logger.Info("pprof listening", "addr", pprofAddr)
+			logger.Info("pprof listening", "addr", o.pprofAddr)
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Warn("pprof listener died", "err", err)
 			}
@@ -137,7 +226,7 @@ func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
 	// Slow-client hardening: bound the header read and reap idle keep-alive
 	// connections so a stalled peer cannot pin a connection forever.
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -148,7 +237,7 @@ func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", addr, "version", buildinfo.String("qisimd"))
+		logger.Info("listening", "addr", o.addr, "role", o.role, "version", buildinfo.String("qisimd"))
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -161,13 +250,31 @@ func run(logger *slog.Logger, addr string, workers, queue, cacheEntries int,
 	stop() // restore default signal handling: a second ^C kills immediately
 
 	logger.Info("draining (in-flight jobs finish as truncated partials)")
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
-	// Drain the job pool first so /v1/jobs polls during shutdown still see
+	// Worker drain first: stop claiming new units but finish and report the
+	// one in flight. Draining the service flips /readyz to "draining", which
+	// the coordinator's probes read as lease-non-renewable — NOT dead — so
+	// the unit is not prematurely re-dispatched elsewhere.
+	if fleetWorker != nil {
+		fleetWorker.Drain()
+	}
+	// Drain the job pool next so /v1/jobs polls during shutdown still see
 	// the final (possibly truncated) snapshots, then close the listener.
 	if err := srv.Drain(drainCtx); err != nil {
 		httpSrv.Close()
 		return err
+	}
+	if fleetWorker != nil {
+		select {
+		case err := <-workerDone:
+			if err != nil {
+				logger.Warn("fleet worker exited with error", "err", err)
+			}
+		case <-drainCtx.Done():
+			stopWorker() // deadline passed: abandon the in-flight unit
+			<-workerDone
+		}
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return simerr.Interruptedf("qisimd: shutdown: %v", err)

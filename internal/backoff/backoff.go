@@ -1,0 +1,151 @@
+// Package backoff is the shared retry-delay policy of the distributed
+// layer: capped exponential backoff with full jitter (the AWS architecture
+// blog's "full jitter" variant), used by the coordinator to pace lease
+// requeues and by the worker's HTTP client to pace retries against a busy
+// or briefly unreachable coordinator. It is also the helper CLI users are
+// expected to reach for when a qisimd returns 429 with a Retry-After
+// header.
+//
+// Determinism: Policy.Delay takes the random source as an argument, so
+// tests (and the coordinator, which seeds one RNG per dispatch) get
+// reproducible jitter sequences; nothing here reads global randomness.
+package backoff
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy is a capped exponential backoff: attempt n (0-based) draws a delay
+// uniformly from [0, min(Cap, Base·Factor^n)] — "full jitter", which
+// decorrelates retry storms better than equal or decorrelated jitter for
+// the fleet sizes qisimd targets.
+type Policy struct {
+	// Base is the first attempt's maximum delay (default 100ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 10s).
+	Cap time.Duration
+	// Factor is the per-attempt growth (default 2).
+	Factor float64
+}
+
+// Default is the policy the distributed layer uses when a zero Policy is
+// supplied.
+func Default() Policy {
+	return Policy{Base: 100 * time.Millisecond, Cap: 10 * time.Second, Factor: 2}
+}
+
+// normalized fills zero fields with the defaults.
+func (p Policy) normalized() Policy {
+	d := Default()
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = d.Cap
+	}
+	if p.Factor < 1 {
+		p.Factor = d.Factor
+	}
+	return p
+}
+
+// Ceiling returns attempt n's maximum delay: min(Cap, Base·Factor^n),
+// without jitter. Exposed so callers can report "retrying in ≤ d".
+func (p Policy) Ceiling(attempt int) time.Duration {
+	p = p.normalized()
+	if attempt < 0 {
+		attempt = 0
+	}
+	f := float64(p.Base) * math.Pow(p.Factor, float64(attempt))
+	if f >= float64(p.Cap) || math.IsInf(f, 1) {
+		return p.Cap
+	}
+	return time.Duration(f)
+}
+
+// Delay draws attempt n's full-jitter delay from rnd, a uniform [0,1)
+// source (rand.Float64 or a test stub). A nil rnd returns the ceiling
+// (deterministic worst case).
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	ceil := p.Ceiling(attempt)
+	if rnd == nil {
+		return ceil
+	}
+	return time.Duration(rnd() * float64(ceil))
+}
+
+// RetryAfter extracts a 429/503 response's Retry-After header as a
+// duration (both the delta-seconds and HTTP-date forms). ok is false when
+// the header is absent or unparseable — the caller falls back to its
+// Policy.
+func RetryAfter(resp *http.Response) (time.Duration, bool) {
+	if resp == nil {
+		return 0, false
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first, and
+// reports whether the full delay elapsed (false = canceled).
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Retry runs fn up to maxAttempts times, sleeping a jittered policy delay
+// (or the server-provided hint fn returns, when positive) between
+// attempts. fn reports (retryable, hint, err): a nil err stops with
+// success, a non-retryable error stops immediately, and exhausting the
+// attempts returns the last error. rnd may be nil (worst-case delays).
+func Retry(ctx context.Context, p Policy, maxAttempts int, rnd func() float64,
+	fn func(ctx context.Context) (retryable bool, hint time.Duration, err error)) error {
+
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		retryable, hint, err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt == maxAttempts-1 {
+			return lastErr
+		}
+		d := p.Delay(attempt, rnd)
+		if hint > 0 {
+			d = hint
+		}
+		if !Sleep(ctx, d) {
+			return lastErr
+		}
+	}
+	return lastErr
+}

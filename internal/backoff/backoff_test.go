@@ -1,0 +1,134 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestCeilingGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Ceiling(i); got != w {
+			t.Fatalf("Ceiling(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Ceiling(10_000); got != time.Second {
+		t.Fatalf("huge attempt must hit the cap, got %v", got)
+	}
+	if got := p.Ceiling(-3); got != 100*time.Millisecond {
+		t.Fatalf("negative attempt clamps to 0, got %v", got)
+	}
+}
+
+func TestDelayFullJitter(t *testing.T) {
+	p := Policy{Base: time.Second, Cap: time.Second, Factor: 2}
+	if got := p.Delay(0, func() float64 { return 0 }); got != 0 {
+		t.Fatalf("rnd=0 must give zero delay, got %v", got)
+	}
+	if got := p.Delay(0, func() float64 { return 0.5 }); got != 500*time.Millisecond {
+		t.Fatalf("rnd=0.5 must halve the ceiling, got %v", got)
+	}
+	if got := p.Delay(3, nil); got != time.Second {
+		t.Fatalf("nil rnd must return the ceiling, got %v", got)
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if got, want := p.Ceiling(0), Default().Base; got != want {
+		t.Fatalf("zero policy Ceiling(0) = %v, want default base %v", got, want)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if _, ok := RetryAfter(resp); ok {
+		t.Fatal("absent header must report ok=false")
+	}
+	resp.Header.Set("Retry-After", "3")
+	if d, ok := RetryAfter(resp); !ok || d != 3*time.Second {
+		t.Fatalf("delta-seconds form: got (%v, %v)", d, ok)
+	}
+	resp.Header.Set("Retry-After", "bogus")
+	if _, ok := RetryAfter(resp); ok {
+		t.Fatal("unparseable header must report ok=false")
+	}
+	resp.Header.Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+	if d, ok := RetryAfter(resp); !ok || d <= 0 || d > 2*time.Second {
+		t.Fatalf("HTTP-date form: got (%v, %v)", d, ok)
+	}
+	if _, ok := RetryAfter(nil); ok {
+		t.Fatal("nil response must report ok=false")
+	}
+}
+
+func TestRetryStopsOnSuccessAndNonRetryable(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond, Factor: 2}
+	calls := 0
+	err := Retry(context.Background(), p, 5, nil, func(context.Context) (bool, time.Duration, error) {
+		calls++
+		if calls < 3 {
+			return true, 0, errors.New("transient")
+		}
+		return false, 0, nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("want success after 3 calls, got err=%v calls=%d", err, calls)
+	}
+
+	hard := errors.New("hard")
+	calls = 0
+	err = Retry(context.Background(), p, 5, nil, func(context.Context) (bool, time.Duration, error) {
+		calls++
+		return false, 0, hard
+	})
+	if !errors.Is(err, hard) || calls != 1 {
+		t.Fatalf("non-retryable must stop immediately: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond, Factor: 2}
+	transient := errors.New("transient")
+	calls := 0
+	err := Retry(context.Background(), p, 3, nil, func(context.Context) (bool, time.Duration, error) {
+		calls++
+		return true, 0, transient
+	})
+	if !errors.Is(err, transient) || calls != 3 {
+		t.Fatalf("want last error after 3 attempts, got err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	transient := errors.New("transient")
+	calls := 0
+	err := Retry(ctx, Policy{Base: time.Hour, Cap: time.Hour, Factor: 2}, 5, nil,
+		func(context.Context) (bool, time.Duration, error) {
+			calls++
+			return true, 0, transient
+		})
+	if !errors.Is(err, transient) || calls != 1 {
+		t.Fatalf("canceled ctx must stop after the first attempt: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if Sleep(ctx, time.Hour) {
+		t.Fatal("Sleep on a canceled context must return false")
+	}
+	if !Sleep(context.Background(), 0) {
+		t.Fatal("zero-duration Sleep on a live context must return true")
+	}
+}

@@ -148,6 +148,51 @@ func (s Snapshot) Match(m Meta) error {
 		m.Kind, m.Key, m.Seed, m.ShardSize, m.Budget, m.TargetRelStdErr, m.MinShots)
 }
 
+// EncodeContainer frames an arbitrary payload in the QISNAP01 container
+// (magic + big-endian length + CRC-32C + payload). The snapshot layer
+// builds on it, and the distributed layer (internal/dist) reuses it as the
+// shard-result wire format so unit uploads get the same torn-write and
+// bit-rot detection as on-disk checkpoints.
+func EncodeContainer(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[len(magic):], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[len(magic)+4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// DecodeContainer verifies a QISNAP01 container and returns its payload.
+// Every failure mode — torn header, truncated or over-long payload, CRC
+// mismatch — comes back as a typed ErrInvalidConfig-classed error; a
+// corrupted payload is never partially returned.
+func DecodeContainer(b []byte) ([]byte, error) {
+	if len(b) < headerLen {
+		return nil, simerr.Invalidf("checkpoint: torn file: %d bytes is shorter than the %d-byte header",
+			len(b), headerLen)
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, simerr.Invalidf("checkpoint: bad magic %q (not a QIsim checkpoint, or an unsupported container version)",
+			string(b[:len(magic)]))
+	}
+	declared := binary.BigEndian.Uint32(b[len(magic):])
+	body := b[headerLen:]
+	if uint32(len(body)) < declared {
+		return nil, simerr.Invalidf("checkpoint: torn file: payload is %d bytes, header declares %d",
+			len(body), declared)
+	}
+	if uint32(len(body)) > declared {
+		return nil, simerr.Invalidf("checkpoint: %d trailing bytes after the declared %d-byte payload",
+			uint32(len(body))-declared, declared)
+	}
+	wantCRC := binary.BigEndian.Uint32(b[len(magic)+4:])
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, simerr.Invalidf("checkpoint: CRC mismatch (stored %08x, computed %08x): file is corrupted",
+			wantCRC, got)
+	}
+	return body, nil
+}
+
 // Encode serializes a snapshot into the CRC-guarded container format.
 func Encode(s Snapshot) ([]byte, error) {
 	if err := s.Validate(); err != nil {
@@ -157,12 +202,7 @@ func Encode(s Snapshot) ([]byte, error) {
 	if err != nil {
 		return nil, simerr.Invalidf("checkpoint: marshal snapshot: %v", err)
 	}
-	buf := make([]byte, headerLen+len(payload))
-	copy(buf, magic)
-	binary.BigEndian.PutUint32(buf[len(magic):], uint32(len(payload)))
-	binary.BigEndian.PutUint32(buf[len(magic)+4:], crc32.Checksum(payload, castagnoli))
-	copy(buf[headerLen:], payload)
-	return buf, nil
+	return EncodeContainer(payload), nil
 }
 
 // Decode parses and verifies a container produced by Encode. Every failure
@@ -171,28 +211,9 @@ func Encode(s Snapshot) ([]byte, error) {
 // ErrInvalidConfig-classed error; a corrupted snapshot is never partially
 // returned.
 func Decode(b []byte) (Snapshot, error) {
-	if len(b) < headerLen {
-		return Snapshot{}, simerr.Invalidf("checkpoint: torn file: %d bytes is shorter than the %d-byte header",
-			len(b), headerLen)
-	}
-	if string(b[:len(magic)]) != magic {
-		return Snapshot{}, simerr.Invalidf("checkpoint: bad magic %q (not a QIsim checkpoint, or an unsupported container version)",
-			string(b[:len(magic)]))
-	}
-	declared := binary.BigEndian.Uint32(b[len(magic):])
-	body := b[headerLen:]
-	if uint32(len(body)) < declared {
-		return Snapshot{}, simerr.Invalidf("checkpoint: torn file: payload is %d bytes, header declares %d",
-			len(body), declared)
-	}
-	if uint32(len(body)) > declared {
-		return Snapshot{}, simerr.Invalidf("checkpoint: %d trailing bytes after the declared %d-byte payload",
-			uint32(len(body))-declared, declared)
-	}
-	wantCRC := binary.BigEndian.Uint32(b[len(magic)+4:])
-	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
-		return Snapshot{}, simerr.Invalidf("checkpoint: CRC mismatch (stored %08x, computed %08x): file is corrupted",
-			wantCRC, got)
+	body, err := DecodeContainer(b)
+	if err != nil {
+		return Snapshot{}, err
 	}
 	var s Snapshot
 	dec := json.NewDecoder(bytes.NewReader(body))

@@ -1,0 +1,1032 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"qisim/internal/backoff"
+	"qisim/internal/jobs"
+	"qisim/internal/obs"
+	"qisim/internal/rescache"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+)
+
+// Hooks are the coordinator's observability callbacks (the service layer
+// maps them onto Prometheus metrics; tests onto counters). All optional,
+// all called under the coordinator lock — keep them O(1) and non-blocking.
+type Hooks struct {
+	// Lease fires per lease event: "granted", "renewed", "expired",
+	// "done", "adopted".
+	Lease func(event string)
+	// Retry fires when an expired/failed unit requeues with backoff.
+	Retry func()
+	// Steal fires when a straggler unit is hedge-dispatched to a second
+	// worker.
+	Steal func()
+	// Evict/Readmit fire on worker health transitions.
+	Evict   func()
+	Readmit func()
+	// Local fires when a unit falls back to the coordinator's local lane.
+	Local func()
+	// UnitDone fires when a unit's result is accepted, with the reporting
+	// worker ("local" for the local lane) and the unit's wall time.
+	UnitDone func(worker string, seconds float64)
+}
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// LeaseTTL is a lease's deadline extension per grant/renewal
+	// (default 15s).
+	LeaseTTL time.Duration
+	// UnitShards is the work-unit granularity in shards (default 4).
+	UnitShards int
+	// MaxAttempts is the remote grant budget per unit before it degrades
+	// to the local lane (default 4).
+	MaxAttempts int
+	// Backoff paces unit requeues after lease expiry (zero = backoff.Default).
+	Backoff backoff.Policy
+	// HedgeAfter is the straggler threshold: a leased unit older than this
+	// with no pending work left is re-dispatched to a second worker
+	// (default 2×LeaseTTL).
+	HedgeAfter time.Duration
+	// SweepInterval paces the background expiry sweep (default LeaseTTL/4).
+	SweepInterval time.Duration
+	// ProbeInterval paces worker health probes (default LeaseTTL).
+	ProbeInterval time.Duration
+	// ProbeFailLimit evicts a worker after this many consecutive probe
+	// failures (default 3).
+	ProbeFailLimit int
+	// Probe checks one worker's health endpoint, returning its readiness
+	// status ("ok", "draining", "saturated", ...) or an error for
+	// unreachable. Nil disables probing (workers die by lease expiry only).
+	Probe func(ctx context.Context, addr string) (string, error)
+	// UnitDir, when set, persists accepted unit results as QISNAP01
+	// containers so a restarted coordinator resumes a job without
+	// re-running already-reported shard ranges.
+	UnitDir string
+	// Journal, when set, records lease grants/resolutions in the job WAL
+	// so a coordinator crash can reconstruct in-flight assignments.
+	Journal *jobs.Journal
+	// Cache, when set, is the shared content-addressed result tier
+	// consulted per unit before dispatch.
+	Cache *rescache.Cache
+	// Clock injects time for tests (default time.Now).
+	Clock func() time.Time
+	// Seed seeds the jitter RNG (0 = 1); jitter is the only randomness
+	// here and never touches simulation results.
+	Seed   int64
+	Logger *slog.Logger
+	Hooks  Hooks
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.UnitShards <= 0 {
+		c.UnitShards = 4
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 2 * c.LeaseTTL
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 4
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = c.LeaseTTL
+	}
+	if c.ProbeFailLimit <= 0 {
+		c.ProbeFailLimit = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	}
+	return c
+}
+
+// Stats is a snapshot of the coordinator's cumulative counters.
+type Stats struct {
+	Grants      int // lease grants (primary + hedged)
+	Renewals    int
+	Expired     int // leases lost to deadline expiry
+	UnitRetries int // units requeued after losing all leases
+	Steals      int // hedged duplicate grants
+	Evictions   int
+	Readmits    int
+	LocalUnits  int // units run on the coordinator's local lane
+	UnitsDone   int
+	DupReports  int // idempotent duplicate uploads dropped
+	CacheHits   int // units answered from the shared result tier
+	FileReloads int // units reloaded from UnitDir after a restart
+}
+
+// Unit states.
+const (
+	unitPending = iota
+	unitLeased
+	unitDone
+)
+
+type unit struct {
+	idx        int
+	start, end int // global shard range [start,end)
+	state      int
+	attempts   int                  // primary grants so far
+	notBefore  time.Time            // backoff gate for re-dispatch
+	leases     map[string]time.Time // worker -> expiry (2 entries max: primary + hedge)
+	firstGrant time.Time            // straggler age reference
+	localOnly  bool                 // degraded to the local lane
+	localInFly bool                 // local lane currently executing it
+	states     []json.RawMessage    // per-shard results once done
+	events     []int
+}
+
+type distJob struct {
+	kind   string
+	key    string
+	params json.RawMessage
+	plan   Plan
+	core   Core
+	units  []*unit
+
+	deadline    time.Time
+	hasDeadline bool
+	tracer      *obs.Tracer
+	span        *obs.Span
+
+	fold          Fold
+	tally         simrun.Tally
+	frontierUnit  int // next unit awaiting fold
+	frontierShard int // next global shard awaiting fold
+	stopReason    string
+	finished      bool
+	result        []byte
+	status        simrun.Status
+	err           error
+}
+
+type workerState struct {
+	id         string
+	addr       string
+	draining   bool
+	evicted    bool
+	probeFails int
+	registered bool
+}
+
+// Coordinator splits jobs into leased work units across a worker fleet and
+// folds reported shard results back into byte-exact job results. All
+// methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	rnd     *rand.Rand
+	jobs    map[string]*distJob
+	order   []string // job admission order (claim fairness)
+	workers map[string]*workerState
+	adopted []jobs.PendingLease
+	stats   Stats
+}
+
+// NewCoordinator builds a coordinator; if cfg.Journal is set, outstanding
+// leases from a previous life are adopted and re-applied when their jobs
+// are re-submitted via Execute.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		rnd:     rand.New(rand.NewSource(cfg.Seed)),
+		jobs:    map[string]*distJob{},
+		workers: map[string]*workerState{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if cfg.Journal != nil {
+		c.adopted = cfg.Journal.PendingLeases()
+	}
+	return c
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WorkerInfo is a worker's registration record.
+type WorkerInfo struct {
+	ID string `json:"id"`
+	// Addr is the worker's advertised base URL for health probes
+	// ("" = unprobeable: the worker lives until its leases expire).
+	Addr string `json:"addr,omitempty"`
+}
+
+// Register admits (or re-admits) a worker into the fleet.
+func (c *Coordinator) Register(_ context.Context, info WorkerInfo) error {
+	if info.ID == "" {
+		return simerr.Invalidf("dist: register: empty worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[info.ID]
+	if w == nil {
+		w = &workerState{id: info.ID}
+		c.workers[info.ID] = w
+	}
+	w.addr = info.Addr
+	w.registered = true
+	if w.evicted {
+		c.stats.Readmits++
+		if c.cfg.Hooks.Readmit != nil {
+			c.cfg.Hooks.Readmit()
+		}
+	}
+	w.evicted = false
+	w.draining = false
+	w.probeFails = 0
+	c.cond.Broadcast()
+	return nil
+}
+
+// MarkDraining flags a worker as draining: its leases stay valid but are
+// no longer renewable and it receives no new grants. Used by the probe
+// loop (readyz 503 "draining") and by in-process drain notification.
+func (c *Coordinator) MarkDraining(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil {
+		w.draining = true
+	}
+	c.cond.Broadcast()
+}
+
+// liveWorkerLocked reports whether at least one registered worker can
+// accept new grants.
+func (c *Coordinator) liveWorkerLocked() bool {
+	for _, w := range c.workers {
+		if w.registered && !w.evicted && !w.draining {
+			return true
+		}
+	}
+	return false
+}
+
+// touchWorkerLocked counts any interaction as proof of life: a claim or
+// report from an "evicted" worker re-admits it (the probe was wrong or the
+// partition healed).
+func (c *Coordinator) touchWorkerLocked(id string) *workerState {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerState{id: id, registered: true}
+		c.workers[id] = w
+	}
+	w.registered = true
+	if w.evicted {
+		w.evicted = false
+		c.stats.Readmits++
+		if c.cfg.Hooks.Readmit != nil {
+			c.cfg.Hooks.Readmit()
+		}
+	}
+	w.probeFails = 0
+	return w
+}
+
+// LeaseGrant is one claimed work unit: everything a worker needs to
+// rebuild the job's core, execute the shard window, and report.
+type LeaseGrant struct {
+	Kind   string          `json:"kind"`
+	Key    string          `json:"key"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Plan   Plan            `json:"plan"`
+	Start  int             `json:"start"`
+	End    int             `json:"end"`
+	// TTLMS is the lease deadline budget: the worker must report or renew
+	// within it.
+	TTLMS int64 `json:"ttl_ms"`
+	// DeadlineMS, when positive, is the job deadline remaining at grant
+	// time, propagated from the client request so shard execution respects
+	// it end to end.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Claim hands the worker its next work unit, or nil when none is
+// available. Pending units gate on their backoff window; when nothing is
+// pending, an old straggler unit may be hedge-dispatched as a duplicate
+// lease (work stealing — first report wins).
+func (c *Coordinator) Claim(_ context.Context, workerID string) (*LeaseGrant, error) {
+	if workerID == "" {
+		return nil, simerr.Invalidf("dist: claim: empty worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(workerID)
+	if w.draining {
+		return nil, nil
+	}
+	now := c.cfg.Clock()
+
+	// Primary grants: first admitted job with a runnable pending unit.
+	for _, key := range c.order {
+		j := c.jobs[key]
+		if j == nil || j.finished || j.err != nil {
+			continue
+		}
+		for _, u := range j.units {
+			if u.state != unitPending || u.localOnly || u.localInFly || now.Before(u.notBefore) {
+				continue
+			}
+			return c.grantLocked(j, u, w, now, false), nil
+		}
+	}
+	// Work stealing: hedge the oldest straggler not already held by this
+	// worker.
+	var (
+		hj *distJob
+		hu *unit
+	)
+	for _, key := range c.order {
+		j := c.jobs[key]
+		if j == nil || j.finished || j.err != nil {
+			continue
+		}
+		for _, u := range j.units {
+			if u.state != unitLeased || len(u.leases) >= 2 {
+				continue
+			}
+			if _, mine := u.leases[workerID]; mine {
+				continue
+			}
+			if now.Sub(u.firstGrant) < c.cfg.HedgeAfter {
+				continue
+			}
+			if hu == nil || u.firstGrant.Before(hu.firstGrant) {
+				hj, hu = j, u
+			}
+		}
+	}
+	if hu != nil {
+		return c.grantLocked(hj, hu, w, now, true), nil
+	}
+	return nil, nil
+}
+
+// grantLocked records a lease on u for w and builds the grant.
+func (c *Coordinator) grantLocked(j *distJob, u *unit, w *workerState, now time.Time, hedge bool) *LeaseGrant {
+	expires := now.Add(c.cfg.LeaseTTL)
+	if u.leases == nil {
+		u.leases = map[string]time.Time{}
+	}
+	u.leases[w.id] = expires
+	if u.state == unitPending {
+		u.state = unitLeased
+		u.firstGrant = now
+		u.attempts++
+	}
+	if hedge {
+		c.stats.Steals++
+		if c.cfg.Hooks.Steal != nil {
+			c.cfg.Hooks.Steal()
+		}
+	}
+	c.stats.Grants++
+	if c.cfg.Hooks.Lease != nil {
+		c.cfg.Hooks.Lease("granted")
+	}
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.AppendLease(jobs.OpLease, jobs.Kind(j.kind), rescache.Key(j.key),
+			u.start, u.end, w.id, expires.UnixMilli()); err != nil {
+			c.cfg.Logger.Warn("dist: lease journal append failed", "err", err)
+		}
+	}
+	g := &LeaseGrant{
+		Kind: j.kind, Key: j.key, Params: j.params, Plan: j.plan,
+		Start: u.start, End: u.end, TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+	}
+	if j.hasDeadline {
+		if rem := j.deadline.Sub(now); rem > 0 {
+			g.DeadlineMS = rem.Milliseconds()
+		} else {
+			g.DeadlineMS = 1 // already past due: worker fails fast
+		}
+	}
+	return g
+}
+
+// Renew extends a worker's lease by one TTL. A draining worker's renewal
+// is accepted but does not extend the deadline (lease-non-renewable). A
+// lease the coordinator no longer recognises returns ErrGone: the worker
+// abandons the unit.
+func (c *Coordinator) Renew(_ context.Context, workerID, key string, start, end int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[key]
+	if j == nil || j.finished || j.err != nil {
+		return ErrGone
+	}
+	u := j.unitAt(start, end)
+	if u == nil || u.state != unitLeased {
+		return ErrGone
+	}
+	if _, ok := u.leases[workerID]; !ok {
+		return ErrGone
+	}
+	w := c.touchWorkerLocked(workerID)
+	if w.draining {
+		return nil // alive, but the lease runs out its current deadline
+	}
+	u.leases[workerID] = c.cfg.Clock().Add(c.cfg.LeaseTTL)
+	c.stats.Renewals++
+	if c.cfg.Hooks.Lease != nil {
+		c.cfg.Hooks.Lease("renewed")
+	}
+	return nil
+}
+
+// unitAt returns the unit exactly covering [start,end), or nil.
+func (j *distJob) unitAt(start, end int) *unit {
+	for _, u := range j.units {
+		if u.start == start && u.end == end {
+			return u
+		}
+	}
+	return nil
+}
+
+// Report accepts an uploaded unit result (a QISNAP01 container). The
+// upload is idempotent by (job key, shard range): duplicates and late
+// hedged completions are dropped, never double-counted. A report for an
+// unknown job (finished, or a pre-restart orphan) is persisted to UnitDir
+// when configured and acknowledged — re-reporting must always be safe.
+func (c *Coordinator) Report(_ context.Context, workerID string, container []byte) error {
+	u, err := DecodeUnitResult(container)
+	if err != nil {
+		return err
+	}
+	if workerID != "" && u.Worker == "" {
+		u.Worker = workerID
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if workerID != "" {
+		c.touchWorkerLocked(workerID)
+	}
+	j := c.jobs[u.Key]
+	if j == nil || j.finished || j.err != nil {
+		// Late or orphaned: keep the bytes for a future life, ack the
+		// worker so it stops retrying.
+		c.persistUnitLocked(u)
+		return nil
+	}
+	tu := j.unitAt(u.Start, u.End)
+	if tu == nil {
+		return simerr.Invalidf("dist: report range [%d,%d) does not align with job %.16s's unit plan",
+			u.Start, u.End, u.Key)
+	}
+	if tu.state == unitDone {
+		c.stats.DupReports++
+		return nil
+	}
+	c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
+	return nil
+}
+
+// acceptUnitLocked marks a unit done, persists + caches its result,
+// resolves its leases, grafts the worker trace, and advances the fold.
+func (c *Coordinator) acceptUnitLocked(j *distJob, u *unit, states []json.RawMessage, events []int, worker string, trace *obs.Trace) {
+	now := c.cfg.Clock()
+	u.states = states
+	u.events = events
+	u.state = unitDone
+	u.leases = nil
+	u.localInFly = false
+	c.stats.UnitsDone++
+	if c.cfg.Hooks.UnitDone != nil {
+		secs := 0.0
+		if !u.firstGrant.IsZero() {
+			secs = now.Sub(u.firstGrant).Seconds()
+		}
+		c.cfg.Hooks.UnitDone(worker, secs)
+	}
+	if c.cfg.Hooks.Lease != nil {
+		c.cfg.Hooks.Lease("done")
+	}
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.AppendLease(jobs.OpLeaseDone, jobs.Kind(j.kind), rescache.Key(j.key),
+			u.start, u.end, worker, 0); err != nil {
+			c.cfg.Logger.Warn("dist: lease-done journal append failed", "err", err)
+		}
+	}
+	res := UnitResult{Kind: j.kind, Key: j.key, Start: u.start, End: u.end,
+		States: states, Events: events, Worker: worker}
+	c.persistUnitLocked(res)
+	if c.cfg.Cache != nil {
+		if key, err := UnitCacheKey(j.kind, j.key, u.start, u.end, j.plan); err == nil {
+			if body, err := EncodeUnitResult(res); err == nil {
+				c.cfg.Cache.Put(key, "dist.unit."+j.kind, body)
+			}
+		}
+	}
+	if trace != nil && j.tracer != nil {
+		j.tracer.Graft(j.span, *trace,
+			obs.String("worker", worker), obs.Int("unit", u.idx))
+	}
+	c.advanceLocked(j)
+	c.cond.Broadcast()
+}
+
+// persistUnitLocked best-effort writes a unit result container to UnitDir.
+func (c *Coordinator) persistUnitLocked(u UnitResult) {
+	if c.cfg.UnitDir == "" {
+		return
+	}
+	body, err := EncodeUnitResult(u)
+	if err != nil {
+		return
+	}
+	path := c.unitPath(u.Key, u.Start, u.End)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.cfg.Logger.Warn("dist: unit dir", "err", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		c.cfg.Logger.Warn("dist: unit write", "err", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		c.cfg.Logger.Warn("dist: unit rename", "err", err)
+	}
+}
+
+func (c *Coordinator) unitPath(key string, start, end int) string {
+	safe := make([]byte, 0, len(key))
+	for i := 0; i < len(key) && i < 32; i++ {
+		ch := key[i]
+		if ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9' {
+			safe = append(safe, ch)
+		} else {
+			safe = append(safe, '_')
+		}
+	}
+	return filepath.Join(c.cfg.UnitDir, fmt.Sprintf("%s-%d-%d.unit", safe, start, end))
+}
+
+// advanceLocked folds the contiguous done-unit prefix shard by shard,
+// running the convergence guard at every shard boundary in global order —
+// exactly the walk simrun.RunSharded performs, so the first convergence
+// crossing (and therefore the converged bytes) is identical to a
+// standalone run.
+func (c *Coordinator) advanceLocked(j *distJob) {
+	if j.finished || j.err != nil {
+		return
+	}
+	for j.frontierUnit < len(j.units) && j.units[j.frontierUnit].state == unitDone {
+		u := j.units[j.frontierUnit]
+		for k := u.start; k < u.end; k++ {
+			st := u.states[k-u.start]
+			if err := j.fold.Add(st); err != nil {
+				j.err = err
+				return
+			}
+			j.tally.Add(j.plan.ShardShots(k), u.events[k-u.start])
+			j.frontierShard = k + 1
+			if j.tally.Converged(j.plan.TargetRelStdErr, j.plan.MinShots) {
+				j.stopReason = simrun.StopConverged
+				c.finishLocked(j)
+				return
+			}
+		}
+		j.frontierUnit++
+	}
+	if j.frontierUnit == len(j.units) {
+		j.stopReason = simrun.StopCompleted
+		c.finishLocked(j)
+	}
+}
+
+// finishLocked assembles the job result from the folded prefix.
+func (c *Coordinator) finishLocked(j *distJob) {
+	st := simrun.Status{
+		Requested:  j.plan.Shots,
+		Completed:  j.plan.PrefixShots(j.frontierShard),
+		Truncated:  j.stopReason == simrun.StopCanceled || j.stopReason == simrun.StopDeadline,
+		Converged:  j.stopReason == simrun.StopConverged,
+		StopReason: j.stopReason,
+	}
+	body, err := j.fold.Finish(st)
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.result = body
+	j.status = st
+	j.finished = true
+}
+
+// Sweep expires overdue leases, requeues their units with jittered
+// backoff, and degrades units that exhausted their remote attempts to the
+// local lane. Driven by Start's ticker in production and called directly
+// (with an injected clock) in tests.
+func (c *Coordinator) Sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range c.order {
+		j := c.jobs[key]
+		if j == nil || j.finished || j.err != nil {
+			continue
+		}
+		for _, u := range j.units {
+			if u.state != unitLeased {
+				continue
+			}
+			for w, exp := range u.leases {
+				if exp.After(now) {
+					continue
+				}
+				delete(u.leases, w)
+				c.stats.Expired++
+				if c.cfg.Hooks.Lease != nil {
+					c.cfg.Hooks.Lease("expired")
+				}
+			}
+			if len(u.leases) == 0 {
+				c.requeueLocked(u, now)
+			}
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// requeueLocked returns a lease-less unit to pending with a jittered
+// backoff gate, degrading it to the local lane once its remote attempts
+// are spent.
+func (c *Coordinator) requeueLocked(u *unit, now time.Time) {
+	u.state = unitPending
+	c.stats.UnitRetries++
+	if c.cfg.Hooks.Retry != nil {
+		c.cfg.Hooks.Retry()
+	}
+	if u.attempts >= c.cfg.MaxAttempts {
+		u.localOnly = true
+		if c.cfg.Hooks.Local != nil {
+			c.cfg.Hooks.Local()
+		}
+		u.notBefore = now
+		return
+	}
+	u.notBefore = now.Add(c.cfg.Backoff.Delay(u.attempts-1, c.rnd.Float64))
+}
+
+// ProbeAll health-checks every probeable worker and applies eviction /
+// re-admission / draining transitions. Eviction requeues the worker's
+// leases immediately instead of waiting for expiry.
+func (c *Coordinator) ProbeAll(ctx context.Context) {
+	c.mu.Lock()
+	type target struct{ id, addr string }
+	var targets []target
+	for id, w := range c.workers {
+		if w.registered && w.addr != "" {
+			targets = append(targets, target{id, w.addr})
+		}
+	}
+	probe := c.cfg.Probe
+	c.mu.Unlock()
+	if probe == nil {
+		return
+	}
+	sort.Slice(targets, func(i, k int) bool { return targets[i].id < targets[k].id })
+
+	type outcome struct {
+		id     string
+		status string
+		err    error
+	}
+	results := make([]outcome, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t target) {
+			defer wg.Done()
+			status, err := probe(ctx, t.addr)
+			results[i] = outcome{t.id, status, err}
+		}(i, t)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	for _, r := range results {
+		w := c.workers[r.id]
+		if w == nil {
+			continue
+		}
+		if r.err != nil {
+			w.probeFails++
+			if w.probeFails >= c.cfg.ProbeFailLimit && !w.evicted {
+				w.evicted = true
+				c.stats.Evictions++
+				if c.cfg.Hooks.Evict != nil {
+					c.cfg.Hooks.Evict()
+				}
+				c.evictLeasesLocked(r.id, now)
+			}
+			continue
+		}
+		w.probeFails = 0
+		if w.evicted {
+			w.evicted = false
+			c.stats.Readmits++
+			if c.cfg.Hooks.Readmit != nil {
+				c.cfg.Hooks.Readmit()
+			}
+		}
+		// Only an explicit drain is non-renewable; "saturated" and
+		// "recovering" workers are alive, just busy.
+		w.draining = r.status == "draining"
+	}
+	c.cond.Broadcast()
+}
+
+// evictLeasesLocked strips every lease held by a worker and requeues
+// lease-less units immediately.
+func (c *Coordinator) evictLeasesLocked(workerID string, now time.Time) {
+	for _, key := range c.order {
+		j := c.jobs[key]
+		if j == nil || j.finished || j.err != nil {
+			continue
+		}
+		for _, u := range j.units {
+			if u.state != unitLeased {
+				continue
+			}
+			if _, ok := u.leases[workerID]; !ok {
+				continue
+			}
+			delete(u.leases, workerID)
+			c.stats.Expired++
+			if c.cfg.Hooks.Lease != nil {
+				c.cfg.Hooks.Lease("expired")
+			}
+			if len(u.leases) == 0 {
+				c.requeueLocked(u, now)
+			}
+		}
+	}
+}
+
+// Start runs the background sweep + probe loops until ctx is done.
+func (c *Coordinator) Start(ctx context.Context) {
+	go func() {
+		sweep := time.NewTicker(c.cfg.SweepInterval)
+		probe := time.NewTicker(c.cfg.ProbeInterval)
+		defer sweep.Stop()
+		defer probe.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				return
+			case <-sweep.C:
+				c.Sweep(c.cfg.Clock())
+			case <-probe.C:
+				c.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// Execute distributes one job across the fleet and blocks until its
+// result is complete (or ctx truncates it). The merged result is
+// byte-identical to core.RunFull over the same plan.
+//
+// Degradation ladder: zero live workers at admission returns ErrNoWorkers
+// (the caller runs fully local); units that exhaust remote attempts — or
+// find the fleet empty mid-job — run on the local lane inside this call.
+func (c *Coordinator) Execute(ctx context.Context, kind, key string, params json.RawMessage, core Core, plan Plan) ([]byte, simrun.Status, error) {
+	plan = plan.Normalized()
+	if plan.Shots <= 0 {
+		return nil, simrun.Status{}, simerr.Invalidf("dist: plan has no shots")
+	}
+	n := plan.NumShards()
+
+	c.mu.Lock()
+	if !c.liveWorkerLocked() {
+		c.mu.Unlock()
+		return nil, simrun.Status{}, ErrNoWorkers
+	}
+	if _, dup := c.jobs[key]; dup {
+		c.mu.Unlock()
+		return nil, simrun.Status{}, simerr.Invalidf("dist: job %.16s already executing", key)
+	}
+	j := &distJob{
+		kind: kind, key: key, params: params, plan: plan, core: core,
+		fold:   core.NewFold(),
+		tracer: obs.FromContext(ctx),
+		span:   obs.SpanFromContext(ctx),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		j.deadline, j.hasDeadline = dl, true
+	}
+	for start := 0; start < n; start += c.cfg.UnitShards {
+		end := start + c.cfg.UnitShards
+		if end > n {
+			end = n
+		}
+		j.units = append(j.units, &unit{idx: len(j.units), start: start, end: end})
+	}
+	c.jobs[key] = j
+	c.order = append(c.order, key)
+	c.preloadUnitsLocked(j)
+	c.adoptLeasesLocked(j)
+	c.advanceLocked(j)
+	c.cond.Broadcast()
+
+	// Wake the wait loop on ctx cancellation.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	for !j.finished && j.err == nil {
+		if ctx.Err() != nil {
+			// Truncate at the folded prefix — a valid contiguous shard
+			// prefix, same as a standalone cancellation.
+			if ctx.Err() == context.DeadlineExceeded {
+				j.stopReason = simrun.StopDeadline
+			} else {
+				j.stopReason = simrun.StopCanceled
+			}
+			c.finishLocked(j)
+			break
+		}
+		if u := c.nextLocalUnitLocked(j); u != nil {
+			u.localInFly = true
+			c.stats.LocalUnits++
+			if c.cfg.Hooks.Local != nil && !u.localOnly {
+				c.cfg.Hooks.Local()
+			}
+			c.mu.Unlock()
+			states, events, err := core.RunWindow(ctx, plan, u.start, u.end)
+			c.mu.Lock()
+			u.localInFly = false
+			switch {
+			case err == nil:
+				if u.state != unitDone {
+					c.acceptUnitLocked(j, u, states, events, "local", nil)
+				}
+			case ctx.Err() != nil:
+				// Interrupted window: loop truncates on the next pass.
+			default:
+				j.err = err
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+
+	result, status, err := j.result, j.status, j.err
+	complete := j.finished && !j.status.Truncated
+	delete(c.jobs, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+
+	if complete && c.cfg.UnitDir != "" {
+		// The job is durably resolved in the jobs journal; its unit files
+		// are now garbage.
+		for _, u := range j.units {
+			os.Remove(c.unitPath(key, u.start, u.end))
+		}
+	}
+	if err != nil {
+		return nil, simrun.Status{}, err
+	}
+	return result, status, nil
+}
+
+// nextLocalUnitLocked picks a unit the coordinator itself must run: one
+// degraded to the local lane, or — when the fleet has zero live workers
+// mid-job — any runnable pending unit (graceful degradation instead of a
+// stalled job).
+func (c *Coordinator) nextLocalUnitLocked(j *distJob) *unit {
+	fleetDown := !c.liveWorkerLocked()
+	for _, u := range j.units {
+		if u.state != unitPending || u.localInFly {
+			continue
+		}
+		if u.localOnly || fleetDown {
+			return u
+		}
+	}
+	return nil
+}
+
+// preloadUnitsLocked answers units from the shared result cache and (after
+// a restart) from UnitDir, so already-reported shard ranges never re-run.
+func (c *Coordinator) preloadUnitsLocked(j *distJob) {
+	for _, u := range j.units {
+		if u.state == unitDone {
+			continue
+		}
+		if c.cfg.Cache != nil {
+			if key, err := UnitCacheKey(j.kind, j.key, u.start, u.end, j.plan); err == nil {
+				if body, ok := c.cfg.Cache.Get(key); ok {
+					if res, err := DecodeUnitResult(body); err == nil && res.Key == j.key &&
+						res.Start == u.start && res.End == u.end {
+						u.states, u.events = res.States, res.Events
+						u.state = unitDone
+						c.stats.CacheHits++
+						continue
+					}
+				}
+			}
+		}
+		if c.cfg.UnitDir != "" {
+			body, err := os.ReadFile(c.unitPath(j.key, u.start, u.end))
+			if err != nil {
+				continue
+			}
+			res, err := DecodeUnitResult(body)
+			if err != nil || res.Key != j.key || res.Start != u.start || res.End != u.end {
+				continue // corrupt or mismatched: re-run the unit
+			}
+			u.states, u.events = res.States, res.Events
+			u.state = unitDone
+			c.stats.FileReloads++
+		}
+	}
+}
+
+// adoptLeasesLocked re-applies journal-recovered lease assignments to a
+// re-submitted job: adopted units start leased until their recorded expiry
+// (floored to one TTL from now, since renewals are not journaled), so a
+// restarted coordinator waits for in-flight workers to report instead of
+// instantly double-dispatching.
+func (c *Coordinator) adoptLeasesLocked(j *distJob) {
+	if len(c.adopted) == 0 {
+		return
+	}
+	now := c.cfg.Clock()
+	kept := c.adopted[:0]
+	for _, l := range c.adopted {
+		if string(l.Key) != j.key {
+			kept = append(kept, l)
+			continue
+		}
+		u := j.unitAt(l.Start, l.End)
+		if u == nil || u.state != unitPending {
+			continue
+		}
+		exp := time.UnixMilli(l.ExpiresMS)
+		if min := now.Add(c.cfg.LeaseTTL); exp.Before(min) {
+			exp = min
+		}
+		if u.leases == nil {
+			u.leases = map[string]time.Time{}
+		}
+		u.leases[l.Worker] = exp
+		u.state = unitLeased
+		u.firstGrant = now
+		u.attempts++
+		if c.cfg.Hooks.Lease != nil {
+			c.cfg.Hooks.Lease("adopted")
+		}
+	}
+	c.adopted = kept
+}

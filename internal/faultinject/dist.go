@@ -1,0 +1,372 @@
+// Distributed-execution fault scenarios: worker death mid-shard, duplicate
+// shard reports, and a coordinator crash with outstanding leases. Each one
+// drives the dist coordinator through its public API with a manual clock —
+// lease expiry, backoff and adoption are functions of injected time, so the
+// scenarios are reproducible without real timers. The contract under test
+// mirrors the engine's: every fault must surface as retried-and-completed
+// work with bytes identical to a standalone run, never as a lost shard, a
+// double-counted shard, or a re-executed one.
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qisim/internal/dist"
+	"qisim/internal/jobs"
+	"qisim/internal/rescache"
+	"qisim/internal/simrun"
+)
+
+// distToyCore builds the deterministic int-sum core used by the dist
+// scenarios: each shard's partial encodes the shard identity, so any lost,
+// replayed or reordered shard changes the folded sum. A non-nil executed
+// counter tallies shard executions — the no-re-run proof for recovery.
+func distToyCore(executed *atomic.Int64) dist.Core {
+	return dist.NewCore(dist.CoreSpec[int]{
+		Run: func(t *simrun.ShardTask) (int, int, error) {
+			if executed != nil {
+				executed.Add(1)
+			}
+			sum := 0
+			for s := 0; t.Continue(s); s++ {
+				sum += int(t.RNG.Int63() % 1000)
+			}
+			return sum + t.Index*1_000_000, 1, nil
+		},
+		Merge: func(dst *int, src int) { *dst += src },
+		Finish: func(acc int, st simrun.Status) ([]byte, error) {
+			return json.Marshal(struct {
+				Sum    int           `json:"sum"`
+				Status simrun.Status `json:"status"`
+			}{acc, st})
+		},
+	})
+}
+
+var distToyPlan = dist.Plan{Shots: 1024, Seed: 9, ShardSize: 128} // 8 shards
+
+// manualClock is the injected time source: lease deadlines and backoff
+// windows move only when a scenario advances it.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (m *manualClock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+func (m *manualClock) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	return m.now
+}
+
+// claimUntil polls Claim until the coordinator hands out a grant (Execute
+// admits the job asynchronously) or the wall-clock guard expires.
+func claimUntil(c *dist.Coordinator, worker string) (*dist.LeaseGrant, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		g, err := c.Claim(context.Background(), worker)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			return g, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, fmt.Errorf("no grant became available")
+}
+
+// reportGrant executes a grant's shard window and uploads the unit result.
+func reportGrant(c *dist.Coordinator, core dist.Core, worker string, g *dist.LeaseGrant) error {
+	states, events, err := core.RunWindow(context.Background(), g.Plan, g.Start, g.End)
+	if err != nil {
+		return err
+	}
+	body, err := dist.EncodeUnitResult(dist.UnitResult{Kind: g.Kind, Key: g.Key,
+		Start: g.Start, End: g.End, States: states, Events: events, Worker: worker})
+	if err != nil {
+		return err
+	}
+	return c.Report(context.Background(), worker, body)
+}
+
+type distOutcome struct {
+	body   []byte
+	status simrun.Status
+	err    error
+}
+
+func startDistExecute(c *dist.Coordinator, ctx context.Context, key string, core dist.Core, p dist.Plan) chan distOutcome {
+	ch := make(chan distOutcome, 1)
+	go func() {
+		b, st, err := c.Execute(ctx, "toy", key, nil, core, p)
+		ch <- distOutcome{b, st, err}
+	}()
+	return ch
+}
+
+func waitDistOutcome(ch chan distOutcome) (distOutcome, error) {
+	select {
+	case o := <-ch:
+		return o, o.err
+	case <-time.After(30 * time.Second):
+		return distOutcome{}, fmt.Errorf("distributed Execute did not finish")
+	}
+}
+
+// distScenarios returns the distributed-execution fault suite, appended to
+// Scenarios().
+func distScenarios() []Scenario {
+	return []Scenario{
+		{
+			// (h) Worker killed mid-shard: a worker claims a unit and dies
+			// without reporting or renewing. The lease must expire at the
+			// injected deadline, the unit requeue with backoff, and a
+			// surviving worker finish the job — folded bytes identical to a
+			// standalone run, the dead worker's half-done window invisible.
+			Name: "dist-worker-killed-mid-shard",
+			Run: func() Outcome {
+				clk := &manualClock{now: time.Unix(1000, 0)}
+				c := dist.NewCoordinator(dist.Config{Clock: clk.Now, LeaseTTL: time.Second, UnitShards: 4})
+				core := distToyCore(nil)
+				want, _, err := core.RunFull(context.Background(), distToyPlan)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", err)}
+				}
+				c.Register(context.Background(), dist.WorkerInfo{ID: "doomed"}) //nolint:errcheck
+				c.Register(context.Background(), dist.WorkerInfo{ID: "alive"})  //nolint:errcheck
+				ch := startDistExecute(c, context.Background(), "k-killed", core, distToyPlan)
+
+				// The doomed worker grabs the first unit and is killed: no
+				// report, no renewal ever arrives.
+				if _, err := claimUntil(c, "doomed"); err != nil {
+					return Outcome{Err: err}
+				}
+				// The injected fault: its lease deadline passes un-renewed.
+				c.Sweep(clk.Advance(90 * time.Second))
+				// The survivor drains everything, including the requeue. The
+				// requeued unit sits behind a backoff window, so the clock
+				// advances between empty claims to walk past it.
+				for {
+					g, err := c.Claim(context.Background(), "alive")
+					if err != nil {
+						return Outcome{Err: err}
+					}
+					if g == nil {
+						clk.Advance(time.Second)
+						select {
+						case o := <-ch:
+							if o.err != nil {
+								return Outcome{Err: o.err}
+							}
+							if string(o.body) != string(want) {
+								return Outcome{Err: fmt.Errorf("retried bytes differ from standalone:\n%s\n%s", o.body, want)}
+							}
+							st := c.Stats()
+							if st.Expired == 0 || st.UnitRetries == 0 {
+								return Outcome{Err: fmt.Errorf("kill not observed: stats %+v", st)}
+							}
+							return Outcome{Status: o.status,
+								Detail: fmt.Sprintf("lease expired and unit retried (%d expiries); bytes identical", st.Expired)}
+						default:
+							time.Sleep(time.Millisecond)
+							continue
+						}
+					}
+					if err := reportGrant(c, core, "alive", g); err != nil {
+						return Outcome{Err: err}
+					}
+				}
+			},
+		},
+		{
+			// (h') Duplicate shard report: a retried or partitioned worker
+			// uploads the same (job, shard-range) unit twice. The idempotent
+			// report path must fold it exactly once — the duplicate is
+			// acknowledged, counted, and discarded, never double-merged.
+			Name: "dist-duplicate-shard-report",
+			Run: func() Outcome {
+				c := dist.NewCoordinator(dist.Config{LeaseTTL: time.Minute, UnitShards: 4})
+				core := distToyCore(nil)
+				want, _, err := core.RunFull(context.Background(), distToyPlan)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", err)}
+				}
+				c.Register(context.Background(), dist.WorkerInfo{ID: "w1"}) //nolint:errcheck
+				ch := startDistExecute(c, context.Background(), "k-dup", core, distToyPlan)
+
+				// Two units: report the first one TWICE while the second is
+				// still outstanding, then finish normally.
+				g1, err := claimUntil(c, "w1")
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				for i := 0; i < 2; i++ { // the injected fault: double upload
+					if err := reportGrant(c, core, "w1", g1); err != nil {
+						return Outcome{Err: fmt.Errorf("report %d: %w", i+1, err)}
+					}
+				}
+				g2, err := claimUntil(c, "w1")
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if err := reportGrant(c, core, "w1", g2); err != nil {
+					return Outcome{Err: err}
+				}
+				o, err := waitDistOutcome(ch)
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if string(o.body) != string(want) {
+					return Outcome{Err: fmt.Errorf("deduped bytes differ from standalone:\n%s\n%s", o.body, want)}
+				}
+				st := c.Stats()
+				if st.DupReports != 1 || st.UnitsDone != 2 {
+					return Outcome{Err: fmt.Errorf("dedupe not observed: stats %+v", st)}
+				}
+				return Outcome{Status: o.status,
+					Detail: "duplicate report acknowledged and dropped; folded exactly once"}
+			},
+		},
+		{
+			// (h'') Coordinator crash with outstanding leases: the process
+			// dies holding one reported unit (durable in the unit directory)
+			// and one granted-but-unreported lease (durable in the WAL). The
+			// next life must adopt the lease from the journal, reload the
+			// reported unit from disk without re-running it, and complete
+			// with standalone-identical bytes.
+			Name: "dist-coordinator-crash-outstanding-leases",
+			Run: func() Outcome {
+				dir, err := os.MkdirTemp("", "faultinject-dist-crash-*")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("tempdir: %w", err)}
+				}
+				defer os.RemoveAll(dir)
+				key, err := rescache.KeyFor("toy", map[string]any{"scenario": "crash"}, 9, 128)
+				if err != nil {
+					return Outcome{Err: err, Detail: "keying failed"}
+				}
+				jrn, err := jobs.OpenJournal(dir + "/journal.wal")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("open journal: %w", err)}
+				}
+				// The job must be journaled as pending for its leases to
+				// survive replay.
+				if err := jrn.Append(jobs.OpSubmit, jobs.Kind("toy"), key, nil); err != nil {
+					return Outcome{Err: fmt.Errorf("journal submit: %w", err)}
+				}
+				want, _, err := distToyCore(nil).RunFull(context.Background(), distToyPlan)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", err)}
+				}
+				// executed counts shard executions across both coordinator
+				// lives: exactly 8 (4 in each life) proves the already-
+				// reported unit was reloaded, never re-run.
+				var executed atomic.Int64
+				core := distToyCore(&executed)
+
+				// Life 1: one unit reported, one lease outstanding — then the
+				// injected fault: the coordinator's context dies mid-job.
+				c1 := dist.NewCoordinator(dist.Config{LeaseTTL: time.Minute, UnitShards: 4,
+					Journal: jrn, UnitDir: dir + "/units"})
+				c1.Register(context.Background(), dist.WorkerInfo{ID: "w1"}) //nolint:errcheck
+				ctx1, crash := context.WithCancel(context.Background())
+				defer crash()
+				ch1 := startDistExecute(c1, ctx1, string(key), core, distToyPlan)
+				g1, err := claimUntil(c1, "w1")
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if err := reportGrant(c1, core, "w1", g1); err != nil {
+					return Outcome{Err: err}
+				}
+				outstanding, err := claimUntil(c1, "w1") // granted, never reported in this life
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				crash()
+				if o, _ := waitDistOutcome(ch1); !o.status.Truncated && o.err == nil {
+					return Outcome{Err: fmt.Errorf("crashed run neither truncated nor errored: %+v", o.status)}
+				}
+				jrn.Close() //nolint:errcheck
+
+				// Life 2: replayed journal + unit directory.
+				jrn2, err := jobs.OpenJournal(dir + "/journal.wal")
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("reopen journal: %w", err)}
+				}
+				defer jrn2.Close()
+				c2 := dist.NewCoordinator(dist.Config{LeaseTTL: time.Minute, UnitShards: 4,
+					Journal: jrn2, UnitDir: dir + "/units"})
+				c2.Register(context.Background(), dist.WorkerInfo{ID: "w1"}) //nolint:errcheck
+				ch2 := startDistExecute(c2, context.Background(), string(key), core, distToyPlan)
+				// The adopted lease still belongs to w1: the worker that held
+				// it through the crash finishes its window ONCE and reports
+				// it — the unit is never re-granted to anyone else (Claim
+				// stays empty). A report landing before the job is
+				// re-admitted is an orphan ack, so the same container is
+				// re-sent until the fold completes; the idempotent report
+				// path folds it exactly once regardless.
+				states, events, err := core.RunWindow(context.Background(),
+					outstanding.Plan, outstanding.Start, outstanding.End)
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				container, err := dist.EncodeUnitResult(dist.UnitResult{
+					Kind: outstanding.Kind, Key: outstanding.Key,
+					Start: outstanding.Start, End: outstanding.End,
+					States: states, Events: events, Worker: "w1"})
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if err := c2.Report(context.Background(), "w1", container); err != nil {
+						return Outcome{Err: fmt.Errorf("report adopted lease: %w", err)}
+					}
+					if g, err := c2.Claim(context.Background(), "w1"); err != nil {
+						return Outcome{Err: err}
+					} else if g != nil {
+						return Outcome{Err: fmt.Errorf("adopted unit [%d,%d) was re-granted: got [%d,%d)",
+							outstanding.Start, outstanding.End, g.Start, g.End)}
+					}
+					select {
+					case o := <-ch2:
+						if o.err != nil {
+							return Outcome{Err: o.err}
+						}
+						if string(o.body) != string(want) {
+							return Outcome{Err: fmt.Errorf("recovered bytes differ from standalone:\n%s\n%s", o.body, want)}
+						}
+						if st := c2.Stats(); st.FileReloads < 1 {
+							return Outcome{Err: fmt.Errorf("reported unit not reloaded from disk: stats %+v", st)}
+						}
+						if n := executed.Load(); n != 8 {
+							return Outcome{Err: fmt.Errorf("executed %d shards across both lives, want 8 — a reported range was re-run", n)}
+						}
+						return Outcome{Status: o.status,
+							Detail: fmt.Sprintf("lease for [%d,%d) adopted from the journal; unit [%d,%d) reloaded, not re-run; bytes identical",
+								outstanding.Start, outstanding.End, g1.Start, g1.End)}
+					default:
+					}
+					if time.Now().After(deadline) {
+						return Outcome{Err: fmt.Errorf("recovered job did not complete")}
+					}
+					time.Sleep(time.Millisecond)
+				}
+			},
+		},
+	}
+}

@@ -117,10 +117,11 @@ func canceledCtx() context.Context {
 }
 
 // Scenarios returns the deterministic fault-injection suite. Every scenario
-// is reproducible: no timers, no goroutines, no real signals — cancellation
-// is injected with pre-canceled contexts and corruption with explicit NaNs.
+// is reproducible: no real timers or signals — cancellation is injected with
+// pre-canceled contexts, corruption with explicit NaNs, and the distributed
+// scenarios (see dist.go) drive lease expiry with a manual clock.
 func Scenarios() []Scenario {
-	return []Scenario{
+	return append([]Scenario{
 		{
 			// (a) Numerical corruption: a NaN sample injected into a drive
 			// pulse must be caught by the cmath sentinels after Hamiltonian
@@ -679,5 +680,5 @@ func Scenarios() []Scenario {
 					Detail: fmt.Sprintf("export failed cleanly (%v); run result intact", exportErr)}
 			},
 		},
-	}
+	}, distScenarios()...)
 }

@@ -277,3 +277,65 @@ func TestJournalAppendErrorDegrades(t *testing.T) {
 	}
 	drainManager(t, m)
 }
+
+// TestJournalLeaseLifecycle drives lease grants, hedged duplicates,
+// range resolution, and job resolution through a close/reopen cycle:
+// outstanding leases for still-pending jobs survive the crash, resolved
+// ranges and resolved jobs shed theirs.
+func TestJournalLeaseLifecycle(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLease := func(op string, k rescache.Key, start, end int, worker string) {
+		t.Helper()
+		if err := j.AppendLease(op, KindSurfaceMC, k, start, end, worker, 12345); err != nil {
+			t.Fatalf("lease %s: %v", op, err)
+		}
+	}
+	if err := j.Append(OpSubmit, KindSurfaceMC, key64('a'), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(OpSubmit, KindSurfaceMC, key64('b'), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustLease(OpLease, key64('a'), 0, 4, "w1")
+	mustLease(OpLease, key64('a'), 4, 8, "w2")
+	mustLease(OpLease, key64('a'), 4, 8, "w3") // hedged duplicate on [4,8)
+	mustLease(OpLease, key64('b'), 0, 2, "w1")
+	mustLease(OpLeaseDone, key64('a'), 4, 8, "") // resolves BOTH w2 and w3
+	if err := j.Append(OpDone, KindSurfaceMC, key64('b'), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	leases := j2.PendingLeases()
+	if len(leases) != 1 {
+		t.Fatalf("pending leases = %+v, want exactly [a 0-4 w1]", leases)
+	}
+	l := leases[0]
+	if l.Key != key64('a') || l.Start != 0 || l.End != 4 || l.Worker != "w1" || l.ExpiresMS != 12345 {
+		t.Fatalf("recovered lease wrong: %+v", l)
+	}
+
+	// Compact keeps the outstanding lease and prunes resolved ones.
+	if err := j2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := j3.PendingLeases(); len(got) != 1 || got[0].Worker != "w1" {
+		t.Fatalf("post-compact leases = %+v", got)
+	}
+}

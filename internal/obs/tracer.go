@@ -156,6 +156,79 @@ func (t *Tracer) Snapshot() Trace {
 	return out
 }
 
+// Graft splices a remote trace under parent: every span of sub is
+// re-recorded on t with a freshly allocated local ID, sub's internal
+// parent/child edges preserved via an ID remap, root spans re-parented to
+// parent (top-level if parent is nil), and all timestamps shifted so sub's
+// earliest span start aligns with parent's start — remote clocks and the
+// local epoch never agree, so only sub's internal relative timing is
+// trusted. attrs are appended to each grafted root span (typically the
+// worker identity). Spans past the buffer bound are counted as dropped,
+// and sub's own dropped count carries over. Returns the number of spans
+// grafted. This is how a coordinator stitches per-shard worker traces into
+// the job trace served by /v1/jobs/{id}/trace.
+func (t *Tracer) Graft(parent *Span, sub Trace, attrs ...Attr) int {
+	if t == nil || len(sub.Spans) == 0 {
+		if t != nil && sub.Dropped > 0 {
+			t.mu.Lock()
+			t.dropped += sub.Dropped
+			t.mu.Unlock()
+		}
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped += sub.Dropped
+
+	minStart := sub.Spans[0].StartNS
+	for _, sd := range sub.Spans[1:] {
+		if sd.StartNS < minStart {
+			minStart = sd.StartNS
+		}
+	}
+	anchor := t.sinceEpochLocked()
+	parentID := uint64(0)
+	if parent != nil {
+		parentID = parent.id
+		anchor = parent.startNS
+	}
+	shift := anchor - minStart
+
+	remap := make(map[uint64]uint64, len(sub.Spans))
+	grafted := 0
+	for _, sd := range sub.Spans {
+		if len(t.spans) >= t.max {
+			t.dropped++
+			continue
+		}
+		t.nextID++
+		remap[sd.ID] = t.nextID
+		s := &Span{
+			tr:      t,
+			id:      t.nextID,
+			name:    sd.Name,
+			startNS: sd.StartNS + shift,
+			endNS:   sd.EndNS + shift,
+		}
+		if pid, ok := remap[sd.Parent]; ok && sd.Parent != 0 {
+			s.parent = pid
+		} else {
+			// Root of the remote trace (or an orphan whose parent was
+			// dropped remotely): hang it off the graft point.
+			s.parent = parentID
+			if len(attrs) > 0 {
+				s.attrs = append(s.attrs, attrs...)
+			}
+		}
+		if len(sd.Attrs) > 0 {
+			s.attrs = append(s.attrs, sd.Attrs...)
+		}
+		t.spans = append(t.spans, s)
+		grafted++
+	}
+	return grafted
+}
+
 // Span is one timed, named, attributed interval in a trace. A Span is owned
 // by the goroutine that started it; End and SetAttr synchronise through the
 // tracer lock, so snapshots taken concurrently observe consistent state.

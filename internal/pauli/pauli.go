@@ -125,8 +125,24 @@ type MCResult struct {
 // can enable the cross-shard standard-error convergence guard (on the
 // failure count).
 func MonteCarloCtx(ctx context.Context, res *cyclesim.Result, cfg Config, opt simrun.Options) (MCResult, error) {
+	cfg, run, merge, err := MonteCarloCore(res, cfg)
+	if err != nil {
+		return MCResult{}, err
+	}
+	success, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt, run, merge)
+	if gerr != nil {
+		return MCResult{}, gerr
+	}
+	return MCResultFrom(success, status), nil
+}
+
+// MonteCarloCore validates and normalizes the Pauli-event MC configuration
+// and returns (normalized cfg, per-shard sampler, in-order merge) — the
+// pieces a distributed executor needs to run an arbitrary shard window of
+// this model and fold it bit-identically to a local run.
+func MonteCarloCore(res *cyclesim.Result, cfg Config) (Config, simrun.ShardFunc[int], func(*int, int), error) {
 	if res == nil {
-		return MCResult{}, simerr.Invalidf("pauli: nil cyclesim result")
+		return cfg, nil, nil, simerr.Invalidf("pauli: nil cyclesim result")
 	}
 	if cfg.Shots <= 0 {
 		cfg.Shots = 4000
@@ -141,42 +157,44 @@ func MonteCarloCtx(ctx context.Context, res *cyclesim.Result, cfg Config, opt si
 	for q := 0; q < len(res.QubitBusy); q++ {
 		idleIDs += int(res.IdleTime(q) / period)
 	}
-	success, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
-		func(t *simrun.ShardTask) (int, int, error) {
-			succ := 0
-			done := 0
-			for s := 0; t.Continue(s); s++ {
-				done++
-				ok := true
-				for _, op := range res.Ops {
-					if p := cfg.Rates.GateError(op.Instr); p > 0 && t.RNG.Float64() < p {
+	run := func(t *simrun.ShardTask) (int, int, error) {
+		succ := 0
+		done := 0
+		for s := 0; t.Continue(s); s++ {
+			done++
+			ok := true
+			for _, op := range res.Ops {
+				if p := cfg.Rates.GateError(op.Instr); p > 0 && t.RNG.Float64() < p {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := 0; i < idleIDs; i++ {
+					if t.RNG.Float64() < pp {
 						ok = false
 						break
 					}
 				}
-				if ok {
-					for i := 0; i < idleIDs; i++ {
-						if t.RNG.Float64() < pp {
-							ok = false
-							break
-						}
-					}
-				}
-				if ok {
-					succ++
-				}
 			}
-			return succ, done - succ, nil
-		},
-		func(dst *int, src int) { *dst += src })
-	if gerr != nil {
-		return MCResult{}, gerr
+			if ok {
+				succ++
+			}
+		}
+		return succ, done - succ, nil
 	}
+	return cfg, run, func(dst *int, src int) { *dst += src }, nil
+}
+
+// MCResultFrom assembles the Pauli-event MC result from a folded success
+// count and the run's status — shared by the local path and the
+// distributed merge so both produce identical result bytes.
+func MCResultFrom(success int, status simrun.Status) MCResult {
 	out := MCResult{Successes: success, Status: status}
 	if status.Completed > 0 {
 		out.Fidelity = float64(success) / float64(status.Completed)
 	}
-	return out, nil
+	return out
 }
 
 func clamp(p float64) float64 {

@@ -172,10 +172,17 @@ func MultiRoundError(c Chain, t Timing, cfg MultiRoundConfig) MultiRoundResult {
 	return res
 }
 
-// MultiRoundErrorCtx is the context-aware MultiRoundError: cancellation
-// stops the shot loop at the next check interval and returns the partial,
-// Truncated-flagged statistics over the completed shots.
-func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundConfig, opt simrun.Options) (MultiRoundResult, error) {
+// MultiRoundTally is the multi-round MC's per-shard accumulator. Fields
+// are exported so the accumulator JSON round-trips bit-exactly through
+// checkpoint/resume (internal/checkpoint) and the distributed shard-result
+// wire format (internal/dist).
+type MultiRoundTally struct{ Errs, TotalRounds, DecidedBy3 int }
+
+// MultiRoundCore validates and normalizes the multi-round MC configuration
+// and returns (normalized cfg, per-shard sampler, in-order merge) — the
+// pieces a distributed executor needs to run an arbitrary shard window of
+// this model and fold it bit-identically to a local run.
+func MultiRoundCore(c Chain, t Timing, cfg MultiRoundConfig) (MultiRoundConfig, simrun.ShardFunc[MultiRoundTally], func(*MultiRoundTally, MultiRoundTally), error) {
 	if cfg.Shots <= 0 {
 		cfg.Shots = 400000
 	}
@@ -183,77 +190,77 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 		cfg.MaxRounds = t.MaxRounds
 	}
 	if cfg.MaxRounds <= 0 || t.RoundSamples <= 0 {
-		return MultiRoundResult{}, simerr.Invalidf("readout: timing needs positive MaxRounds and RoundSamples (got %d, %d)",
+		return cfg, nil, nil, simerr.Invalidf("readout: timing needs positive MaxRounds and RoundSamples (got %d, %d)",
 			cfg.MaxRounds, t.RoundSamples)
 	}
 	if math.IsNaN(cfg.Range) || cfg.Range < 0 {
-		return MultiRoundResult{}, simerr.Invalidf("readout: decision range %v must be >= 0", cfg.Range)
+		return cfg, nil, nil, simerr.Invalidf("readout: decision range %v must be >= 0", cfg.Range)
 	}
 	q := c.perSampleCorrectProb()
 	m := float64(t.RoundSamples)
 	mu := m * (2*q - 1)
 	sigma := 2 * math.Sqrt(m*q*(1-q))
 
-	// Fields are exported so the accumulator JSON round-trips bit-exactly
-	// through checkpoint/resume (internal/checkpoint).
-	type tallies struct{ Errs, TotalRounds, DecidedBy3 int }
-	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt,
-		func(task *simrun.ShardTask) (tallies, int, error) {
-			var tl tallies
-			for s := 0; task.Continue(s); s++ {
-				// Decay time in units of rounds (only matters for prepared
-				// |1>, half of shots; we model the symmetric average by
-				// applying to all shots with half weight via alternating
-				// preparation — keyed to the GLOBAL shot index so the
-				// preparation sequence is shard-layout invariant).
-				prepared1 := task.GlobalShot(s)%2 == 1
-				decayRound := math.Inf(1)
-				if prepared1 && task.RNG.Float64() < c.DecayProb {
-					decayRound = task.RNG.Float64() * float64(t.MaxRounds)
+	run := func(task *simrun.ShardTask) (MultiRoundTally, int, error) {
+		var tl MultiRoundTally
+		for s := 0; task.Continue(s); s++ {
+			// Decay time in units of rounds (only matters for prepared
+			// |1>, half of shots; we model the symmetric average by
+			// applying to all shots with half weight via alternating
+			// preparation — keyed to the GLOBAL shot index so the
+			// preparation sequence is shard-layout invariant).
+			prepared1 := task.GlobalShot(s)%2 == 1
+			decayRound := math.Inf(1)
+			if prepared1 && task.RNG.Float64() < c.DecayProb {
+				decayRound = task.RNG.Float64() * float64(t.MaxRounds)
+			}
+			var diff float64
+			rounds := 0
+			decided := false
+			var wrong bool
+			for r := 0; r < cfg.MaxRounds; r++ {
+				rmu := mu
+				// After decay the signal flips sign for a prepared |1>.
+				if float64(r) >= decayRound {
+					rmu = -mu
+				} else if float64(r+1) > decayRound && float64(r) < decayRound {
+					f := decayRound - float64(r)
+					rmu = mu * (2*f - 1)
 				}
-				var diff float64
-				rounds := 0
-				decided := false
-				var wrong bool
-				for r := 0; r < cfg.MaxRounds; r++ {
-					rmu := mu
-					// After decay the signal flips sign for a prepared |1>.
-					if float64(r) >= decayRound {
-						rmu = -mu
-					} else if float64(r+1) > decayRound && float64(r) < decayRound {
-						f := decayRound - float64(r)
-						rmu = mu * (2*f - 1)
-					}
-					diff += rmu + sigma*task.RNG.NormFloat64()
-					rounds = r + 1
-					if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
-						wrong = diff < 0
-						decided = true
-						break
-					}
-				}
-				if !decided {
+				diff += rmu + sigma*task.RNG.NormFloat64()
+				rounds = r + 1
+				if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
 					wrong = diff < 0
-					rounds = cfg.MaxRounds
-				}
-				if wrong {
-					tl.Errs++
-				}
-				tl.TotalRounds += rounds
-				if rounds <= 3 {
-					tl.DecidedBy3++
+					decided = true
+					break
 				}
 			}
-			return tl, tl.Errs, nil
-		},
-		func(dst *tallies, src tallies) {
-			dst.Errs += src.Errs
-			dst.TotalRounds += src.TotalRounds
-			dst.DecidedBy3 += src.DecidedBy3
-		})
-	if gerr != nil {
-		return MultiRoundResult{}, gerr
+			if !decided {
+				wrong = diff < 0
+				rounds = cfg.MaxRounds
+			}
+			if wrong {
+				tl.Errs++
+			}
+			tl.TotalRounds += rounds
+			if rounds <= 3 {
+				tl.DecidedBy3++
+			}
+		}
+		return tl, tl.Errs, nil
 	}
+	merge := func(dst *MultiRoundTally, src MultiRoundTally) {
+		dst.Errs += src.Errs
+		dst.TotalRounds += src.TotalRounds
+		dst.DecidedBy3 += src.DecidedBy3
+	}
+	return cfg, run, merge, nil
+}
+
+// MultiRoundResultFrom assembles the multi-round result from a folded
+// tally and the run's status — shared by the local path and the
+// distributed merge so both produce identical result bytes.
+func MultiRoundResultFrom(t Timing, sum MultiRoundTally, status simrun.Status) MultiRoundResult {
 	res := MultiRoundResult{Status: status}
 	if status.Completed > 0 {
 		n := float64(status.Completed)
@@ -267,7 +274,22 @@ func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundCo
 			res.Speedup = 1 - res.MeanTime/full
 		}
 	}
-	return res, nil
+	return res
+}
+
+// MultiRoundErrorCtx is the context-aware MultiRoundError: cancellation
+// stops the shot loop at the next check interval and returns the partial,
+// Truncated-flagged statistics over the completed shots.
+func MultiRoundErrorCtx(ctx context.Context, c Chain, t Timing, cfg MultiRoundConfig, opt simrun.Options) (MultiRoundResult, error) {
+	cfg, run, merge, err := MultiRoundCore(c, t, cfg)
+	if err != nil {
+		return MultiRoundResult{}, err
+	}
+	sum, status, gerr := simrun.RunSharded(ctx, cfg.Shots, cfg.Seed, opt, run, merge)
+	if gerr != nil {
+		return MultiRoundResult{}, gerr
+	}
+	return MultiRoundResultFrom(t, sum, status), nil
 }
 
 // phi is the standard normal CDF.

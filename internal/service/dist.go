@@ -1,0 +1,350 @@
+// Fleet-coordinator wiring: per-kind dist execution cores, the
+// /v1/dist/* worker endpoints, and the coordinator's metrics bridge.
+//
+// The same normalization + core construction runs on the coordinator (to
+// fold and finish) and on every worker (to execute shard windows), so the
+// merged result of a distributed run is byte-identical to the standalone
+// path — see internal/dist's determinism contract.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"qisim/internal/compile"
+	"qisim/internal/cyclesim"
+	"qisim/internal/dist"
+	"qisim/internal/jobs"
+	"qisim/internal/metrics"
+	"qisim/internal/pauli"
+	"qisim/internal/readout"
+	"qisim/internal/rescache"
+	"qisim/internal/simerr"
+	"qisim/internal/simrun"
+	"qisim/internal/surface"
+)
+
+// DistConfig turns the server into a fleet coordinator: Monte-Carlo jobs
+// are split into leased work units across registered workers (with retry,
+// work stealing, health-probe eviction and local-fallback degradation),
+// and the /v1/dist/{register,claim,renew,report} endpoints are served.
+// Workers run `qisimd -role worker -coordinator-url <this server>`.
+type DistConfig struct {
+	Enabled bool
+	// LeaseTTL is the per-lease heartbeat deadline (default 15s).
+	LeaseTTL time.Duration
+	// UnitShards is the work-unit granularity in shards (default 4).
+	UnitShards int
+	// MaxAttempts bounds remote grants per unit before the unit degrades
+	// to the coordinator's local lane (default 4).
+	MaxAttempts int
+	// SweepInterval / ProbeInterval pace expiry sweeps and worker health
+	// probes (defaults LeaseTTL/4 and LeaseTTL).
+	SweepInterval time.Duration
+	ProbeInterval time.Duration
+	// ProbeFailLimit evicts a worker after this many consecutive failed
+	// probes (default 3).
+	ProbeFailLimit int
+}
+
+// distReportBodyLimit bounds a unit-result upload (per-shard states plus
+// an optional worker trace — far below this in practice).
+const distReportBodyLimit = 4 << 20
+
+// initDist builds the coordinator, bridges its hooks into the metrics
+// registry, and wires the shared result cache, journal and unit directory.
+func (s *Server) initDist(cfg Config) {
+	leases := s.reg.CounterVec("qisimd_dist_leases_total",
+		"Lease events by type (granted, renewed, expired, done, adopted).", "event")
+	retries := s.reg.Counter("qisimd_dist_unit_retries_total",
+		"Work units requeued with backoff after losing every lease.")
+	steals := s.reg.Counter("qisimd_dist_steals_total",
+		"Straggler units hedge-dispatched to a second worker (first report wins).")
+	evicts := s.reg.Counter("qisimd_dist_workers_evicted_total",
+		"Workers evicted after consecutive health-probe failures.")
+	readmits := s.reg.Counter("qisimd_dist_workers_readmitted_total",
+		"Evicted workers re-admitted after a successful probe, claim or report.")
+	localUnits := s.reg.Counter("qisimd_dist_local_units_total",
+		"Work units executed on the coordinator's local lane (degraded or fleet down).")
+	s.mDistUnitSeconds = s.reg.HistogramVec("qisimd_dist_unit_seconds",
+		"Work-unit wall clock from grant to accepted report, per worker.",
+		metrics.DefaultLatencyBuckets(), "worker")
+
+	unitDir := ""
+	if cfg.DataDir != "" {
+		unitDir = filepath.Join(cfg.DataDir, "units")
+	}
+	s.dist = dist.NewCoordinator(dist.Config{
+		LeaseTTL:       cfg.Dist.LeaseTTL,
+		UnitShards:     cfg.Dist.UnitShards,
+		MaxAttempts:    cfg.Dist.MaxAttempts,
+		SweepInterval:  cfg.Dist.SweepInterval,
+		ProbeInterval:  cfg.Dist.ProbeInterval,
+		ProbeFailLimit: cfg.Dist.ProbeFailLimit,
+		Probe:          dist.ProbeHTTP(nil, 0),
+		UnitDir:        unitDir,
+		Journal:        s.journal,
+		Cache:          s.cache,
+		Logger:         cfg.Logger,
+		Hooks: dist.Hooks{
+			Lease:   func(event string) { leases.With(event).Inc() },
+			Retry:   func() { retries.Inc() },
+			Steal:   func() { steals.Inc() },
+			Evict:   func() { evicts.Inc() },
+			Readmit: func() { readmits.Inc() },
+			Local:   func() { localUnits.Inc() },
+			UnitDone: func(worker string, seconds float64) {
+				s.mDistUnitSeconds.With(worker).Observe(seconds)
+			},
+		},
+	})
+	s.reg.CounterFunc("qisimd_dist_units_done_total",
+		"Work units accepted into the fold.",
+		func() float64 { return float64(s.dist.Stats().UnitsDone) })
+	s.reg.CounterFunc("qisimd_dist_dup_reports_total",
+		"Duplicate unit uploads dropped by the idempotent report path.",
+		func() float64 { return float64(s.dist.Stats().DupReports) })
+	s.reg.CounterFunc("qisimd_dist_unit_cache_hits_total",
+		"Work units answered from the shared result tier before dispatch.",
+		func() float64 { return float64(s.dist.Stats().CacheHits) })
+	s.reg.CounterFunc("qisimd_dist_unit_file_reloads_total",
+		"Work units reloaded from the unit directory after a coordinator restart.",
+		func() float64 { return float64(s.dist.Stats().FileReloads) })
+}
+
+// Dist exposes the fleet coordinator (nil unless DistConfig.Enabled).
+func (s *Server) Dist() *dist.Coordinator { return s.dist }
+
+// ---- /v1/dist/* worker endpoints ----
+
+func (s *Server) handleDistRegister(w http.ResponseWriter, r *http.Request) {
+	var info dist.WorkerInfo
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&info); err != nil {
+		s.writeError(w, simerr.Invalidf("service: bad register body: %v", err))
+		return
+	}
+	if err := s.dist.Register(r.Context(), info); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type distClaimRequest struct {
+	Worker string `json:"worker"`
+}
+
+func (s *Server) handleDistClaim(w http.ResponseWriter, r *http.Request) {
+	var req distClaimRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		s.writeError(w, simerr.Invalidf("service: claim needs a worker id"))
+		return
+	}
+	if s.mgr.Draining() {
+		// A draining coordinator grants nothing; Retry-After tells the
+		// fleet how long to back off before asking again.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "coordinator draining"})
+		return
+	}
+	grant, err := s.dist.Claim(r.Context(), req.Worker)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+type distRenewRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+}
+
+func (s *Server) handleDistRenew(w http.ResponseWriter, r *http.Request) {
+	var req distRenewRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+		s.writeError(w, simerr.Invalidf("service: renew needs worker, key and range"))
+		return
+	}
+	err := s.dist.Renew(r.Context(), req.Worker, req.Key, req.Start, req.End)
+	switch {
+	case errors.Is(err, dist.ErrGone):
+		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
+	case err != nil:
+		s.writeError(w, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Server) handleDistReport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, distReportBodyLimit))
+	if err != nil {
+		s.writeError(w, err) // MaxBytesError → 413
+		return
+	}
+	if err := s.dist.Report(r.Context(), r.Header.Get("X-QIsim-Worker"), body); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- per-kind execution cores ----
+//
+// Each core pairs the kind's shard sampler with a Finish that assembles
+// the exact result envelope the standalone path marshals, so folded
+// distributed results and local results cannot drift by a byte.
+
+// BuildCore is the worker-side dist.CoreBuilder: it rebuilds a job kind's
+// execution core from the raw normalized params carried in a lease grant.
+func BuildCore(kind string, params json.RawMessage) (dist.Core, error) {
+	switch jobs.Kind(kind) {
+	case jobs.KindSurfaceMC:
+		pp, err := normalizeSurfaceMC(params)
+		if err != nil {
+			return nil, err
+		}
+		key, keyed, err := requestKey(jobs.KindSurfaceMC, pp, pp.Seed, pp.ShardSize)
+		if err != nil {
+			return nil, err
+		}
+		return surfaceCore(pp, key, keyed)
+	case jobs.KindPauliMC:
+		pp, rates, ex, err := normalizePauliMC(params)
+		if err != nil {
+			return nil, err
+		}
+		key, keyed, err := requestKey(jobs.KindPauliMC, pp, pp.Seed, pp.ShardSize)
+		if err != nil {
+			return nil, err
+		}
+		return pauliCore(pp, rates, ex, key, keyed)
+	case jobs.KindReadoutMC:
+		pp, err := normalizeReadoutMC(params)
+		if err != nil {
+			return nil, err
+		}
+		key, keyed, err := requestKey(jobs.KindReadoutMC, pp, pp.Seed, pp.ShardSize)
+		if err != nil {
+			return nil, err
+		}
+		return readoutCore(pp, key, keyed)
+	default:
+		return nil, simerr.Invalidf("service: kind %q is not distributable", kind)
+	}
+}
+
+func surfacePlan(pp surfaceMCParams) dist.Plan {
+	return dist.Plan{Shots: pp.Shots, Seed: pp.Seed, ShardSize: pp.ShardSize,
+		TargetRelStdErr: pp.RelSE}
+}
+
+func surfaceCore(pp surfaceMCParams, key rescache.Key, keyed map[string]any) (dist.Core, error) {
+	run, merge, err := surface.PhenomenologicalCore(pp.Distance, *pp.P, *pp.Q, pp.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewCore(dist.CoreSpec[int]{
+		Run:   run,
+		Merge: merge,
+		Finish: func(failures int, st simrun.Status) ([]byte, error) {
+			res := surface.DecoderResultFrom(failures, st)
+			out := struct {
+				surface.DecoderResult
+				Rate float64 `json:"logical_error_rate"`
+			}{res, res.Rate()}
+			return marshalEnvelope(jobs.KindSurfaceMC, key, keyed, pp.Seed, pp.ShardSize, out)
+		},
+		Options: simrun.Options{Workers: pp.Workers},
+	}), nil
+}
+
+func pauliPlan(pp pauliMCParams) dist.Plan {
+	return dist.Plan{Shots: pp.Shots, Seed: pp.Seed, ShardSize: pp.ShardSize,
+		TargetRelStdErr: pp.RelSE}
+}
+
+func pauliCore(pp pauliMCParams, rates pauli.ErrorRates, ex *compile.Executable,
+	key rescache.Key, keyed map[string]any) (dist.Core, error) {
+	simCfg := cyclesim.CMOSConfig()
+	if pp.Arch == "sfq" {
+		simCfg = cyclesim.SFQConfig(1)
+	}
+	simRes, err := cyclesim.Run(ex, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pauli.DefaultConfig(rates)
+	pcfg.Shots = pp.Shots
+	pcfg.Seed = pp.Seed
+	pcfg.DecoherencePeriod = pp.PeriodNS * 1e-9
+	_, run, merge, err := pauli.MonteCarloCore(simRes, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewCore(dist.CoreSpec[int]{
+		Run:   run,
+		Merge: merge,
+		Finish: func(success int, st simrun.Status) ([]byte, error) {
+			mc := pauli.MCResultFrom(success, st)
+			out := struct {
+				pauli.MCResult
+				ESP        float64 `json:"esp"`
+				MakespanNS float64 `json:"makespan_ns"`
+			}{mc, pauli.ESP(simRes, pcfg), simRes.TotalTime * 1e9}
+			return marshalEnvelope(jobs.KindPauliMC, key, keyed, pp.Seed, pp.ShardSize, out)
+		},
+		Options: simrun.Options{Workers: pp.Workers},
+	}), nil
+}
+
+func readoutPlan(pp readoutMCParams) dist.Plan {
+	return dist.Plan{Shots: pp.Shots, Seed: pp.Seed, ShardSize: pp.ShardSize,
+		TargetRelStdErr: pp.RelSE}
+}
+
+func readoutCore(pp readoutMCParams, key rescache.Key, keyed map[string]any) (dist.Core, error) {
+	chain, timing := readout.DefaultChain(), readout.DefaultTiming()
+	cfg := readout.MultiRoundConfig{
+		Range: *pp.Range, MaxRounds: pp.MaxRounds, Shots: pp.Shots, Seed: pp.Seed,
+	}
+	_, run, merge, err := readout.MultiRoundCore(chain, timing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewCore(dist.CoreSpec[readout.MultiRoundTally]{
+		Run:   run,
+		Merge: merge,
+		Finish: func(sum readout.MultiRoundTally, st simrun.Status) ([]byte, error) {
+			res := readout.MultiRoundResultFrom(timing, sum, st)
+			return marshalEnvelope(jobs.KindReadoutMC, key, keyed, pp.Seed, pp.ShardSize, res)
+		},
+		Options: simrun.Options{Workers: pp.Workers},
+	}), nil
+}
+
+// startDist launches the coordinator's sweep/probe loops (idempotent).
+func (s *Server) startDist() {
+	if s.dist == nil || s.distCancel != nil {
+		return
+	}
+	base := s.baseCtx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	s.distCancel = cancel
+	s.dist.Start(ctx)
+}

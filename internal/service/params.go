@@ -17,12 +17,15 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"strings"
+	"time"
 
 	"qisim/internal/checkpoint"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
+	"qisim/internal/dist"
 	"qisim/internal/jobs"
 	"qisim/internal/microarch"
 	"qisim/internal/obs"
@@ -41,6 +44,21 @@ import (
 type jobRequest struct {
 	Kind   string          `json:"kind"`
 	Params json.RawMessage `json:"params"`
+	// TimeoutMS, when positive, bounds this run's wall clock. The deadline
+	// rides the job context, so on a coordinator it propagates into every
+	// lease grant and fleet workers stop at the same wall-clock fence.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// withTimeout bounds a runner's wall clock. Hitting the deadline truncates
+// the run at the last committed shard exactly like a cancellation — the
+// engine's Stop* status machinery reports the reason.
+func withTimeout(run jobs.Runner, d time.Duration) jobs.Runner {
+	return func(ctx context.Context, progress func(completed, requested int)) ([]byte, simrun.Status, error) {
+		tctx, cancel := context.WithTimeout(ctx, d)
+		defer cancel()
+		return run(tctx, progress)
+	}
 }
 
 // buildEnv carries the server-side execution environment into the per-kind
@@ -55,6 +73,33 @@ type buildEnv struct {
 	// onResume fires when a runner actually resumed from a snapshot instead
 	// of starting cold.
 	onResume func()
+	// dist, when set, routes Monte-Carlo runs through the fleet coordinator;
+	// ErrNoWorkers degrades gracefully to the in-process path below.
+	dist *dist.Coordinator
+	// onDegraded fires when a coordinator-routed run falls back to the
+	// local path because the fleet has zero live workers.
+	onDegraded func()
+}
+
+// runDist dispatches one MC run across the worker fleet. The bool reports
+// whether the dist lane produced (or definitively failed) the run; false
+// means "no live workers — take the standalone path" (counted as a
+// degraded run). The merged bytes are byte-identical to the standalone
+// path by the dist fold-replay contract.
+func (env buildEnv) runDist(ctx context.Context, kind jobs.Kind, key rescache.Key,
+	core dist.Core, plan dist.Plan, params any) ([]byte, simrun.Status, bool, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, simrun.Status{}, true, simerr.Invalidf("service: marshal dist params: %v", err)
+	}
+	body, st, err := env.dist.Execute(ctx, string(kind), string(key), raw, core, plan)
+	if errors.Is(err, dist.ErrNoWorkers) {
+		if env.onDegraded != nil {
+			env.onDegraded()
+		}
+		return nil, simrun.Status{}, false, nil
+	}
+	return body, st, true, err
 }
 
 // attachCheckpoint wires crash-safe checkpointing into a runner's engine
@@ -205,10 +250,13 @@ type surfaceMCParams struct {
 	Workers   int      `json:"workers,omitempty"`
 }
 
-func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+// normalizeSurfaceMC decodes and defaults surface.mc params. The same
+// normalization runs on the submitting server and on fleet workers
+// rebuilding a core from a grant, so both sides agree on the geometry.
+func normalizeSurfaceMC(raw json.RawMessage) (surfaceMCParams, error) {
 	var p surfaceMCParams
 	if err := decodeParams(raw, &p); err != nil {
-		return "", "", nil, err
+		return p, err
 	}
 	// Defaults mirror `qisim mc` (zero seed means "the default seed").
 	if p.Distance == 0 {
@@ -232,12 +280,30 @@ func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 	if p.ShardSize == 0 {
 		p.ShardSize = simrun.DefaultShardSize
 	}
+	return p, nil
+}
+
+func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	p, err := normalizeSurfaceMC(raw)
+	if err != nil {
+		return "", "", nil, err
+	}
 	key, keyed, err := requestKey(jobs.KindSurfaceMC, p, p.Seed, p.ShardSize)
 	if err != nil {
 		return "", "", nil, err
 	}
 	pp := p // captured normalized copy
 	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		if env.dist != nil {
+			core, err := surfaceCore(pp, key, keyed)
+			if err != nil {
+				return nil, simrun.Status{}, err
+			}
+			body, st, handled, err := env.runDist(ctx, jobs.KindSurfaceMC, key, core, surfacePlan(pp), pp)
+			if handled {
+				return body, st, err
+			}
+		}
 		opt := simrun.Options{Workers: pp.Workers, ShardSize: pp.ShardSize,
 			TargetRelStdErr: pp.RelSE, Progress: progress}
 		sv, err := env.attachCheckpoint(ctx, &opt, checkpoint.Meta{
@@ -277,13 +343,17 @@ type pauliMCParams struct {
 	Workers   int     `json:"workers,omitempty"`
 }
 
-func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+// normalizePauliMC decodes and defaults pauli.mc params, resolves the
+// machine's error rates and compiles the program — malformed requests
+// surface here as typed configuration errors (before a queue slot is
+// spent server-side, before any execution worker-side).
+func normalizePauliMC(raw json.RawMessage) (pauliMCParams, pauli.ErrorRates, *compile.Executable, error) {
 	var p pauliMCParams
 	if err := decodeParams(raw, &p); err != nil {
-		return "", "", nil, err
+		return p, pauli.ErrorRates{}, nil, err
 	}
 	if p.QASM == "" {
-		return "", "", nil, simerr.Invalidf("service: pauli.mc needs a qasm program")
+		return p, pauli.ErrorRates{}, nil, simerr.Invalidf("service: pauli.mc needs a qasm program")
 	}
 	if p.Machine == "" {
 		p.Machine = "ibm_mumbai"
@@ -292,7 +362,7 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 		p.Arch = "cmos"
 	}
 	if p.Arch != "cmos" && p.Arch != "sfq" {
-		return "", "", nil, simerr.Invalidf("service: arch must be cmos or sfq, got %q", p.Arch)
+		return p, pauli.ErrorRates{}, nil, simerr.Invalidf("service: arch must be cmos or sfq, got %q", p.Arch)
 	}
 	if p.Shots == 0 {
 		p.Shots = 4000
@@ -304,7 +374,7 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 		p.PeriodNS = 100
 	}
 	if p.PeriodNS < 0 {
-		return "", "", nil, simerr.Invalidf("service: period_ns must be positive, got %v", p.PeriodNS)
+		return p, pauli.ErrorRates{}, nil, simerr.Invalidf("service: period_ns must be positive, got %v", p.PeriodNS)
 	}
 	if p.ShardSize == 0 {
 		p.ShardSize = simrun.DefaultShardSize
@@ -318,15 +388,21 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 		}
 	}
 	if !found {
-		return "", "", nil, simerr.Invalidf("service: unknown machine %q", p.Machine)
+		return p, pauli.ErrorRates{}, nil, simerr.Invalidf("service: unknown machine %q", p.Machine)
 	}
-	// Parse and compile at submission time so malformed programs surface as
-	// typed HTTP errors (7 → 501) before a queue slot is spent.
 	prog, err := qasm.Parse(p.QASM)
 	if err != nil {
-		return "", "", nil, err
+		return p, pauli.ErrorRates{}, nil, err
 	}
 	ex, err := compileProgram(prog)
+	if err != nil {
+		return p, pauli.ErrorRates{}, nil, err
+	}
+	return p, rates, ex, nil
+}
+
+func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	p, rates, ex, err := normalizePauliMC(raw)
 	if err != nil {
 		return "", "", nil, err
 	}
@@ -336,6 +412,16 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 	}
 	pp := p
 	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		if env.dist != nil {
+			core, err := pauliCore(pp, rates, ex, key, keyed)
+			if err != nil {
+				return nil, simrun.Status{}, err
+			}
+			body, st, handled, err := env.runDist(ctx, jobs.KindPauliMC, key, core, pauliPlan(pp), pp)
+			if handled {
+				return body, st, err
+			}
+		}
 		cfg := cyclesim.CMOSConfig()
 		if pp.Arch == "sfq" {
 			cfg = cyclesim.SFQConfig(1)
@@ -385,10 +471,11 @@ type readoutMCParams struct {
 	Workers   int      `json:"workers,omitempty"`
 }
 
-func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+// normalizeReadoutMC decodes and defaults readout.mc params.
+func normalizeReadoutMC(raw json.RawMessage) (readoutMCParams, error) {
 	var p readoutMCParams
 	if err := decodeParams(raw, &p); err != nil {
-		return "", "", nil, err
+		return p, err
 	}
 	def := readout.DefaultMultiRoundConfig()
 	if p.Range == nil {
@@ -406,12 +493,30 @@ func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 	if p.ShardSize == 0 {
 		p.ShardSize = simrun.DefaultShardSize
 	}
+	return p, nil
+}
+
+func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runner, error) {
+	p, err := normalizeReadoutMC(raw)
+	if err != nil {
+		return "", "", nil, err
+	}
 	key, keyed, err := requestKey(jobs.KindReadoutMC, p, p.Seed, p.ShardSize)
 	if err != nil {
 		return "", "", nil, err
 	}
 	pp := p
 	run := func(ctx context.Context, progress func(int, int)) ([]byte, simrun.Status, error) {
+		if env.dist != nil {
+			core, err := readoutCore(pp, key, keyed)
+			if err != nil {
+				return nil, simrun.Status{}, err
+			}
+			body, st, handled, err := env.runDist(ctx, jobs.KindReadoutMC, key, core, readoutPlan(pp), pp)
+			if handled {
+				return body, st, err
+			}
+		}
 		cfg := readout.MultiRoundConfig{
 			Range: *pp.Range, MaxRounds: pp.MaxRounds, Shots: pp.Shots, Seed: pp.Seed,
 		}

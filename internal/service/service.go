@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qisim/internal/dist"
 	"qisim/internal/jobs"
 	"qisim/internal/metrics"
 	"qisim/internal/obs"
@@ -81,6 +82,10 @@ type Config struct {
 	// /v1/jobs/{id}/trace and the qisimd_stage_seconds histograms);
 	// negative disables job tracing entirely.
 	TraceMaxSpans int
+	// Dist, when Enabled, turns this server into a fleet coordinator: MC
+	// jobs are dispatched across registered workers with leases, retries,
+	// work stealing and graceful local fallback (see dist.go).
+	Dist DistConfig
 }
 
 // DefaultMaxBodyBytes bounds POST bodies when Config.MaxBodyBytes is unset.
@@ -121,6 +126,13 @@ type Server struct {
 	mStageSeconds *metrics.HistogramVec // per-stage span durations, from traces
 	mShardSeconds *metrics.Histogram    // per-shard span durations
 	mQueueWait    *metrics.Histogram    // queue.wait span durations
+
+	// Fleet-coordinator state (nil / zero unless Config.Dist.Enabled).
+	dist             *dist.Coordinator
+	distCancel       context.CancelFunc
+	baseCtx          context.Context
+	mDegraded        *metrics.Counter
+	mDistUnitSeconds *metrics.HistogramVec
 }
 
 // New builds a Server (workers not yet running — call Start; with DataDir,
@@ -148,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		reg:          metrics.New(),
 		queueDepth:   cfg.QueueDepth,
 		maxBodyBytes: cfg.MaxBodyBytes,
+		baseCtx:      cfg.BaseContext,
 		log:          obs.OrDiscard(cfg.Logger),
 	}
 	if cfg.DataDir != "" {
@@ -198,6 +211,11 @@ func New(cfg Config) (*Server, error) {
 	s.mQueueWait = s.reg.Histogram("qisimd_queue_wait_seconds",
 		"Time jobs spent queued before a worker picked them up.",
 		metrics.DefaultLatencyBuckets())
+	s.mDegraded = s.reg.Counter("qisimd_degraded_runs_total",
+		"Coordinator-routed runs that fell back to fully local execution (zero live workers).")
+	if cfg.Dist.Enabled {
+		s.initDist(cfg)
+	}
 
 	s.mgr = jobs.NewManager(jobs.Config{
 		Workers:       cfg.Workers,
@@ -263,12 +281,22 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.dist != nil {
+		mux.HandleFunc("POST /v1/dist/register", s.handleDistRegister)
+		mux.HandleFunc("POST /v1/dist/claim", s.handleDistClaim)
+		mux.HandleFunc("POST /v1/dist/renew", s.handleDistRenew)
+		mux.HandleFunc("POST /v1/dist/report", s.handleDistReport)
+	}
 	s.mux = mux
 	return s, nil
 }
 
-// Start launches the worker pool. Idempotent.
-func (s *Server) Start() { s.mgr.Start() }
+// Start launches the worker pool (and, as a coordinator, the lease-sweep
+// and health-probe loops). Idempotent.
+func (s *Server) Start() {
+	s.mgr.Start()
+	s.startDist()
+}
 
 // observeTrace folds one finished job's trace into the stage-latency
 // histograms: every span contributes to qisimd_stage_seconds{stage=<name>},
@@ -294,9 +322,11 @@ func (s *Server) observeTrace(id string) {
 // env is the execution environment handed to the per-kind job builders.
 func (s *Server) env() buildEnv {
 	return buildEnv{
-		ckptDir:  s.ckptDir,
-		onSaves:  func(n int) { s.mCkptSaved.Add(float64(n)) },
-		onResume: func() { s.mResumed.Inc() },
+		ckptDir:    s.ckptDir,
+		onSaves:    func(n int) { s.mCkptSaved.Add(float64(n)) },
+		onResume:   func() { s.mResumed.Inc() },
+		dist:       s.dist,
+		onDegraded: func() { s.mDegraded.Inc() },
 	}
 }
 
@@ -353,6 +383,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // journal's append handle closes once the pool has committed every final
 // record.
 func (s *Server) Drain(ctx context.Context) error {
+	if s.distCancel != nil {
+		s.distCancel() // stop the coordinator's sweep/probe loops
+	}
 	err := s.mgr.Drain(ctx)
 	if err == nil && s.journal != nil {
 		s.journal.Close() //nolint:errcheck
@@ -405,11 +438,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if req.TimeoutMS > 0 {
+		// Per-request deadline: flows through the job context into the
+		// engine, and — on a coordinator — into every lease grant, so
+		// fleet workers inherit it end to end.
+		run = withTimeout(run, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
 	snap, outcome, err := s.mgr.Submit(kind, key, req.Params, run)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
 			s.mRejected.With("queue-full").Inc()
+			// Tell well-behaved clients (including fleet workers' shared
+			// backoff helper) when to come back instead of hammering.
+			w.Header().Set("Retry-After", "1")
 		case s.mgr.Draining():
 			s.mRejected.With("draining").Inc()
 		default:

@@ -1,0 +1,182 @@
+package simrun
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qisim/internal/obs"
+	"qisim/internal/simerr"
+)
+
+// PlanShards returns the number of shards a budget partitions into at the
+// given shard size — the shard geometry distributed executors must agree on
+// before splitting a run into windows.
+func PlanShards(budget, size int) int {
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	return (budget + size - 1) / size
+}
+
+// PlanShots returns the total shots covered by the first k shards of a
+// budget partitioned at size — the committed-prefix shot count a
+// distributed merge reports for a prefix of k shards.
+func PlanShots(budget, size, k int) int {
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	return shardShots(budget, size, k)
+}
+
+// RunWindow executes shards [start, end) of the shard plan for (shots,
+// seed, opt.ShardSize) — the same plan RunSharded executes in full — and
+// emits each shard's result in strictly ascending shard index order. It is
+// the worker-side primitive of distributed execution: a coordinator that
+// folds the emitted per-shard results of adjacent windows in global shard
+// order reproduces RunSharded's accumulator fold bit-exactly, because each
+// shard's result depends only on (seed, shard index) and the fold sequence
+// is identical.
+//
+// Unlike RunSharded there is no convergence guard and no checkpointing
+// here: a window is a dumb slice of work; stop decisions belong to the
+// coordinator, which sees the global committed prefix. opt.Workers
+// parallelises within the window (in-order emit preserved); cancellation
+// surfaces as a typed ErrInterrupted — a window is all-or-nothing, the
+// caller reports nothing for an interrupted window and the lease expiry
+// path re-runs it elsewhere.
+func RunWindow[R any](ctx context.Context, shots int, seed int64, opt Options,
+	start, end int, run ShardFunc[R], emit func(sh Shard, res R, events int) error) error {
+
+	if err := opt.Validate(shots); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.CheckEvery == 0 {
+		opt.CheckEvery = 256
+	}
+	if opt.ShardSize == 0 {
+		opt.ShardSize = DefaultShardSize
+	}
+	budget := shots
+	if opt.MaxShots > 0 && opt.MaxShots < budget {
+		budget = opt.MaxShots
+	}
+	shards := shardPlan(budget, opt.ShardSize, seed)
+	if start < 0 || end > len(shards) || start > end {
+		return simerr.Invalidf("simrun: window [%d,%d) outside the %d-shard plan", start, end, len(shards))
+	}
+	if start == end {
+		return nil
+	}
+
+	ctx, winSpan := obs.StartSpan(ctx, "mc.window",
+		obs.Int("start", start), obs.Int("end", end), obs.Int("shard_size", opt.ShardSize))
+	defer winSpan.End()
+
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > end-start {
+		workers = end - start
+	}
+
+	recs := make([]shardRecord[R], end-start)
+	var (
+		mu       sync.Mutex
+		frontier = start
+		emitErr  error
+	)
+	next := int64(start)
+
+	// flush advances the contiguous emitted prefix in ascending shard order.
+	// Called with mu held; an emit error latches and stops further emission.
+	flush := func() {
+		for frontier < end && recs[frontier-start].done && emitErr == nil {
+			r := &recs[frontier-start]
+			if err := emit(shards[frontier], r.res, r.events); err != nil {
+				emitErr = err
+				return
+			}
+			*r = shardRecord[R]{done: true} // release the shard's result
+			frontier++
+		}
+	}
+
+	worker := func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= end {
+				return
+			}
+			mu.Lock()
+			stop := emitErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			shardCtx, shardSpan := obs.StartSpan(ctx, "shard",
+				obs.Int("shard", i), obs.Int("shots", shards[i].N))
+			t := &ShardTask{
+				Shard: shards[i],
+				RNG:   rand.New(rand.NewSource(shards[i].Seed)),
+				ctx:   shardCtx,
+				every: opt.CheckEvery,
+			}
+			res, events, err := run(t)
+			if t.interrupted {
+				shardSpan.SetAttr(obs.Bool("interrupted", true))
+			} else if err == nil && events >= 0 {
+				shardSpan.SetAttr(obs.Int("events", events))
+			}
+			shardSpan.End()
+			mu.Lock()
+			if err != nil {
+				recs[i-start].err = err
+			} else if !t.interrupted {
+				recs[i-start] = shardRecord[R]{res: res, events: events, done: true}
+				flush()
+			}
+			mu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range recs {
+		if recs[i].err != nil {
+			return recs[i].err
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if frontier < end {
+		// Cancellation cut the window short: all-or-nothing, typed.
+		winSpan.SetAttr(obs.Int("emitted", frontier-start))
+		return simerr.Interruptedf("simrun: window [%d,%d) interrupted after %d shards (%v)",
+			start, end, frontier-start, ctx.Err())
+	}
+	winSpan.SetAttr(obs.Int("emitted", end-start))
+	return nil
+}

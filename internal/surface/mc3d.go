@@ -30,6 +30,82 @@ func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int
 	return res
 }
 
+// PhenomenologicalCore validates the phenomenological-MC parameters and
+// returns the per-shard sampler plus its in-order merge — the pieces a
+// distributed executor needs to run an arbitrary shard window of this
+// model and fold it bit-identically to a local run. The returned ShardFunc
+// closes over read-only decoder state and is safe for concurrent shards.
+func PhenomenologicalCore(d int, p, q float64, rounds int) (simrun.ShardFunc[int], func(*int, int), error) {
+	if err := checkMCParams(d, p, q); err != nil {
+		return nil, nil, err
+	}
+	if rounds < 1 {
+		return nil, nil, simerr.Invalidf("surface: rounds must be >= 1, got %d", rounds)
+	}
+	patch := NewPatch(d)
+	m := newMatcher(patch) // read-only after construction: shared across shards
+	nd := patch.DataQubits()
+	nz := len(m.zAncillas)
+
+	run := func(t *simrun.ShardTask) (int, int, error) {
+		errBuf := make([]bool, nd)
+		prevMeas := make([]bool, nz)
+		curTrue := make([]bool, nz)
+		f := 0
+		for s := 0; t.Continue(s); s++ {
+			for i := range errBuf {
+				errBuf[i] = false
+			}
+			for i := range prevMeas {
+				prevMeas[i] = false
+			}
+			var events []spacetimeNode
+
+			for r := 0; r < rounds; r++ {
+				// New data errors this round.
+				for qb := 0; qb < nd; qb++ {
+					if t.RNG.Float64() < p {
+						errBuf[qb] = !errBuf[qb]
+					}
+				}
+				truth := m.syndrome(errBuf)
+				copy(curTrue, truth)
+				for z := 0; z < nz; z++ {
+					meas := curTrue[z]
+					if t.RNG.Float64() < q {
+						meas = !meas
+					}
+					if meas != prevMeas[z] {
+						events = append(events, spacetimeNode{z: z, t: r})
+					}
+					prevMeas[z] = meas
+				}
+			}
+			// Final perfect round.
+			truth := m.syndrome(errBuf)
+			for z := 0; z < nz; z++ {
+				if truth[z] != prevMeas[z] {
+					events = append(events, spacetimeNode{z: z, t: rounds})
+				}
+			}
+
+			m.decodeSpacetime(errBuf, events)
+			if m.logicalFlip(errBuf) {
+				f++
+			}
+		}
+		return f, f, nil
+	}
+	return run, func(dst *int, src int) { *dst += src }, nil
+}
+
+// DecoderResultFrom assembles the phenomenological-MC result from a folded
+// failure count and the run's status — shared by the local path and the
+// distributed merge so both produce identical result bytes.
+func DecoderResultFrom(failures int, status simrun.Status) DecoderResult {
+	return DecoderResult{Shots: status.Completed, Failures: failures, Status: status}
+}
+
 // MonteCarloPhenomenologicalCtx is the context-aware phenomenological MC,
 // executed on the sharded parallel engine: each shard of shots runs on its
 // own deterministic RNG stream and the shard results merge in shard order,
@@ -38,72 +114,15 @@ func MonteCarloPhenomenological(d int, p, q float64, rounds, shots int, seed int
 // partial, Truncated-flagged estimate; opt can enable the cross-shard
 // standard-error convergence guard.
 func MonteCarloPhenomenologicalCtx(ctx context.Context, d int, p, q float64, rounds, shots int, seed int64, opt simrun.Options) (DecoderResult, error) {
-	if err := checkMCParams(d, p, q); err != nil {
+	run, merge, err := PhenomenologicalCore(d, p, q, rounds)
+	if err != nil {
 		return DecoderResult{}, err
 	}
-	if rounds < 1 {
-		return DecoderResult{}, simerr.Invalidf("surface: rounds must be >= 1, got %d", rounds)
-	}
-	patch := NewPatch(d)
-	m := newMatcher(patch) // read-only after construction: shared across shards
-	nd := patch.DataQubits()
-	nz := len(m.zAncillas)
-
-	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
-		func(t *simrun.ShardTask) (int, int, error) {
-			errBuf := make([]bool, nd)
-			prevMeas := make([]bool, nz)
-			curTrue := make([]bool, nz)
-			f := 0
-			for s := 0; t.Continue(s); s++ {
-				for i := range errBuf {
-					errBuf[i] = false
-				}
-				for i := range prevMeas {
-					prevMeas[i] = false
-				}
-				var events []spacetimeNode
-
-				for r := 0; r < rounds; r++ {
-					// New data errors this round.
-					for qb := 0; qb < nd; qb++ {
-						if t.RNG.Float64() < p {
-							errBuf[qb] = !errBuf[qb]
-						}
-					}
-					truth := m.syndrome(errBuf)
-					copy(curTrue, truth)
-					for z := 0; z < nz; z++ {
-						meas := curTrue[z]
-						if t.RNG.Float64() < q {
-							meas = !meas
-						}
-						if meas != prevMeas[z] {
-							events = append(events, spacetimeNode{z: z, t: r})
-						}
-						prevMeas[z] = meas
-					}
-				}
-				// Final perfect round.
-				truth := m.syndrome(errBuf)
-				for z := 0; z < nz; z++ {
-					if truth[z] != prevMeas[z] {
-						events = append(events, spacetimeNode{z: z, t: rounds})
-					}
-				}
-
-				m.decodeSpacetime(errBuf, events)
-				if m.logicalFlip(errBuf) {
-					f++
-				}
-			}
-			return f, f, nil
-		},
-		func(dst *int, src int) { *dst += src })
+	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt, run, merge)
 	if gerr != nil {
 		return DecoderResult{}, gerr
 	}
-	return DecoderResult{Shots: status.Completed, Failures: failures, Status: status}, nil
+	return DecoderResultFrom(failures, status), nil
 }
 
 // stDist is the space-time decoding metric: spatial Chebyshev distance plus

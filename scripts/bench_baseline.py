@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output on stdin into BENCH_baseline.json.
+
+Each `BenchmarkName-P  N  T ns/op [extra unit]...` line becomes one record;
+everything else (pkg headers, PASS/ok lines) is passed over. The output is
+sorted by (package, name) so regeneration diffs cleanly.
+"""
+import json
+import sys
+
+records = []
+pkg = ""
+for line in sys.stdin:
+    line = line.rstrip("\n")
+    if line.startswith("pkg: "):
+        pkg = line[len("pkg: "):].strip()
+        continue
+    if not line.startswith("Benchmark"):
+        continue
+    fields = line.split()
+    if len(fields) < 4 or "ns/op" not in fields:
+        continue
+    name = fields[0]
+    try:
+        iterations = int(fields[1])
+    except (IndexError, ValueError):
+        continue
+    metrics = {}
+    rest = fields[2:]
+    for value, unit in zip(rest[0::2], rest[1::2]):
+        try:
+            metrics[unit] = float(value)
+        except ValueError:
+            continue
+    records.append({
+        "package": pkg,
+        "name": name,
+        "iterations": iterations,
+        "metrics": metrics,
+    })
+
+records.sort(key=lambda r: (r["package"], r["name"]))
+json.dump({"benchmarks": records}, sys.stdout, indent=2, sort_keys=True)
+sys.stdout.write("\n")
