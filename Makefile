@@ -8,7 +8,13 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist bench-baseline fuzz serve trace-demo verify clean
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist bench-baseline bench-compare fuzz serve trace-demo verify clean help
+
+# Benchmark sampling knobs shared by bench-baseline and bench-compare:
+# time-based benchtime with repetition, so each snapshot carries min/mean
+# statistics instead of one noisy single-iteration sample.
+BENCHTIME  ?= 100ms
+BENCHCOUNT ?= 3
 
 all: build
 
@@ -65,11 +71,20 @@ race-dist:
 	$(GO) test -race -count=2 -run 'Dist|Fleet|Probe|Degraded|FaultSuite/dist' ./internal/service ./internal/faultinject
 	$(GO) test -race -count=2 -run 'ChaosKillMatrix' .
 
-# Regenerate BENCH_baseline.json: one sample of every benchmark in the repo,
-# recorded so a future change can diff dispatch overhead against the
-# baseline. Commit the refreshed file together with the change that moved it.
+# Regenerate BENCH_baseline.json: $(BENCHCOUNT) timed samples of every
+# benchmark in the repo, aggregated to per-unit min/mean/max, recorded so a
+# future change can diff hot-path cost against the baseline. Commit the
+# refreshed file together with the change that moved it.
 bench-baseline:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | python3 scripts/bench_baseline.py > BENCH_baseline.json
+	$(GO) test -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -run '^$$' ./... | python3 scripts/bench_baseline.py > BENCH_baseline.json
+
+# Run the benchmarks now and diff against the committed BENCH_baseline.json.
+# Exits non-zero when any benchmark regresses beyond its FAIL threshold
+# (see scripts/bench_compare.py for the per-benchmark bands); small drift
+# warns without failing. This is the perf gate CI runs on every change.
+bench-compare:
+	$(GO) test -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -run '^$$' ./... | python3 scripts/bench_baseline.py > /tmp/bench_current.json
+	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_current.json
 
 # Record a span trace of a parallel Monte-Carlo decoder run and leave the
 # Chrome trace_event JSON next to the repo. Open it in chrome://tracing or
@@ -93,3 +108,15 @@ verify: vet build race fuzz
 
 clean:
 	$(GO) clean ./...
+
+help:
+	@echo "Common targets:"
+	@echo "  build           compile everything with version stamping"
+	@echo "  test            run the full test suite"
+	@echo "  verify          the CI gate: vet + build + race + fuzz"
+	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist)"
+	@echo "  bench-baseline  re-record BENCH_baseline.json ($(BENCHCOUNT)x $(BENCHTIME) samples)"
+	@echo "  bench-compare   run benchmarks and diff against BENCH_baseline.json;"
+	@echo "                  exits non-zero on a regression beyond threshold"
+	@echo "  trace-demo      record a Chrome trace of a parallel decoder run"
+	@echo "  serve           run the qisimd analysis service on :8080"

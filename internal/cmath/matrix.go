@@ -117,7 +117,18 @@ func Mul(a, b *Matrix) *Matrix {
 	return c
 }
 
-// MulInto computes dst = a·b, reusing dst's storage. dst must not alias a or b.
+// mulBlockJ is the column-tile width of the blocked MulInto kernel: 64
+// complex128 values keep one tile of a b-row (1 KiB) plus the matching
+// dst-row tile resident in L1 while the k-loop streams over them. Blocking
+// is over i and j only — each dst element still accumulates its k-terms in
+// ascending order, so the blocked kernel is bit-identical to the naive
+// triple loop (see kernel_equiv_test.go).
+const mulBlockJ = 64
+
+// MulInto computes dst = a·b, reusing dst's storage. dst must not alias a or
+// b. The kernel is cache-blocked over output columns; the floating-point
+// accumulation order per element (ascending k) is the same as the naive
+// product, so results are bit-identical to Mul for any blocking.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("cmath: MulInto shape mismatch")
@@ -125,16 +136,23 @@ func MulInto(dst, a, b *Matrix) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		crow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	bc := b.Cols
+	for jj := 0; jj < bc; jj += mulBlockJ {
+		jhi := jj + mulBlockJ
+		if jhi > bc {
+			jhi = bc
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			crow := dst.Data[i*bc+jj : i*bc+jhi]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*bc+jj : k*bc+jhi]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
 	}
@@ -256,21 +274,142 @@ func Expm(m *Matrix) *Matrix {
 	return result
 }
 
+// ApplyKron computes (a⊗b)·v without materializing the Kronecker product.
+// len(v) must equal a.Cols*b.Cols; the result has length a.Rows*b.Rows.
+// Each output element accumulates its column terms in the same ascending
+// order as Kron(a, b).ApplyTo(v), so the result is bit-identical to the
+// materialized product (zero rows of a are skipped, which only drops exact
+// +0 contributions).
+func ApplyKron(a, b *Matrix, v []complex128) []complex128 {
+	out := make([]complex128, a.Rows*b.Rows)
+	ApplyKronInto(out, a, b, v)
+	return out
+}
+
+// ApplyKronInto is ApplyKron writing into dst, which must have length
+// a.Rows*b.Rows and must not alias v.
+func ApplyKronInto(dst []complex128, a, b *Matrix, v []complex128) {
+	if len(v) != a.Cols*b.Cols {
+		panic("cmath: ApplyKron input length mismatch")
+	}
+	if len(dst) != a.Rows*b.Rows {
+		panic("cmath: ApplyKron output length mismatch")
+	}
+	bc := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k := 0; k < b.Rows; k++ {
+			brow := b.Data[k*bc : (k+1)*bc]
+			var s complex128
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				vseg := v[j*bc : (j+1)*bc]
+				for l, bv := range brow {
+					// (av*bv)*v — same product grouping as the
+					// materialized Kron entry times v.
+					s += av * bv * vseg[l]
+				}
+			}
+			dst[i*b.Rows+k] = s
+		}
+	}
+}
+
+// ExpmWorkspace holds the scratch matrices Expm needs so repeated
+// exponentials of same-sized matrices (time-stepped Hamiltonian evolution)
+// allocate nothing after the first call. The zero value is ready to use.
+type ExpmWorkspace struct {
+	scaled, result, term, tmp *Matrix
+}
+
+func (w *ExpmWorkspace) ensure(n int) {
+	if w.scaled == nil || w.scaled.Rows != n {
+		w.scaled = NewMatrix(n, n)
+		w.result = NewMatrix(n, n)
+		w.term = NewMatrix(n, n)
+		w.tmp = NewMatrix(n, n)
+	}
+}
+
+// ExpmInto computes dst = exp(m) using the workspace's scratch buffers. The
+// operation sequence replays Expm exactly, so the result is bit-identical to
+// the allocating path. dst may alias m; it must not be a workspace buffer.
+func (w *ExpmWorkspace) ExpmInto(dst, m *Matrix) {
+	if !m.IsSquare() {
+		panic("cmath: Expm of non-square matrix")
+	}
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic("cmath: ExpmInto shape mismatch")
+	}
+	n := m.Rows
+	w.ensure(n)
+
+	norm := m.OneNorm()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	inv := complex(1/math.Pow(2, float64(s)), 0)
+	for i, v := range m.Data {
+		w.scaled.Data[i] = inv * v
+	}
+
+	result, term, tmp := w.result, w.term, w.tmp
+	setIdentity(result)
+	setIdentity(term)
+	for k := 1; k <= 18; k++ {
+		MulInto(tmp, term, w.scaled)
+		term, tmp = tmp, term
+		invK := complex(1/float64(k), 0)
+		for i := range term.Data {
+			term.Data[i] *= invK
+		}
+		for i := range result.Data {
+			result.Data[i] += term.Data[i]
+		}
+	}
+	sq := tmp
+	for i := 0; i < s; i++ {
+		MulInto(sq, result, result)
+		result, sq = sq, result
+	}
+	copy(dst.Data, result.Data)
+}
+
+func setIdentity(m *Matrix) {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
+}
+
 // ApplyTo computes m·v for a vector v.
 func (m *Matrix) ApplyTo(v []complex128) []complex128 {
+	return m.ApplyToInto(make([]complex128, m.Rows), v)
+}
+
+// ApplyToInto computes m·v into dst (len m.Rows) and returns dst, with the
+// same accumulation order as ApplyTo. dst must not alias v.
+func (m *Matrix) ApplyToInto(dst, v []complex128) []complex128 {
 	if m.Cols != len(v) {
 		panic("cmath: ApplyTo length mismatch")
 	}
-	out := make([]complex128, m.Rows)
+	if len(dst) != m.Rows {
+		panic("cmath: ApplyToInto destination length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s complex128
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // IsUnitary reports whether m†m ≈ I within tol (Frobenius norm of deviation).

@@ -104,19 +104,29 @@ func CMOS1QError(cfg CMOS1QConfig) CMOS1QResult {
 
 	ideal := idealRotation(cfg.Theta, cfg.Axis)
 
+	// One transmon + one evolution workspace serve every calibration probe:
+	// the golden-section tune-up below re-runs simulate ~150 times, so the
+	// per-sample Hamiltonians and propagator scratch are built in place.
+	// The returned matrix is owned by the workspace and valid until the next
+	// simulate call.
+	d := ham.NewDrivenTransmon(3, 0, alpha, rabi)
+	var ws ham.EvolveWorkspace
+	hs := ws.HamiltonianBuffer(n, 3)
+	uBuf := cmath.NewMatrix(3, 3)
 	simulate := func(main, quad []float64, scale, detune float64) *cmath.Matrix {
-		d := ham.NewDrivenTransmon(3, detune, alpha, rabi*scale)
-		hs := make([]*cmath.Matrix, n)
+		d.DetuningRad = detune
+		d.RabiRad = rabi * scale
 		for k := 0; k < n; k++ {
 			// Axis 'x': envelope on I, DRAG on Q. Axis 'y': the gate phase
 			// shifts by π/2, i.e. envelope on Q and -DRAG on I.
 			if cfg.Axis == 'y' {
-				hs[k] = d.Hamiltonian(-quad[k], main[k])
+				d.HamiltonianInto(hs[k], -quad[k], main[k])
 			} else {
-				hs[k] = d.Hamiltonian(main[k], quad[k])
+				d.HamiltonianInto(hs[k], main[k], quad[k])
 			}
 		}
-		return ham.EvolveSamples(hs, ts)
+		ws.EvolveSamplesInto(uBuf, hs, ts)
+		return uBuf
 	}
 
 	// Score on the computational subspace: the |2> level's free phase is
@@ -144,7 +154,7 @@ func CMOS1QError(cfg CMOS1QConfig) CMOS1QResult {
 	// Coherent (noiseless but quantised) pulse.
 	qi := pulse.Quantize(cleanI, cfg.Bits)
 	qq := pulse.Quantize(drag, cfg.Bits)
-	uCoh := simulate(qi, qq, scale, detune)
+	uCoh := simulate(qi, qq, scale, detune).Clone()
 	res := CMOS1QResult{CoherentError: score(uCoh)}
 	v := uCoh.ApplyTo(cmath.BasisVec(3, 0))
 	res.Leakage = real(v[2])*real(v[2]) + imag(v[2])*imag(v[2])

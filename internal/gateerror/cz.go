@@ -97,16 +97,21 @@ func CZError(cfg CZConfig) CZResult {
 	ts := cfg.GateTime / float64(n)
 
 	ideal := ham.IdealCZ()
+	// The calibration loops below re-run evolve ~100 times on the same 9×9
+	// system, so the per-sample Hamiltonians and propagator scratch live in
+	// one workspace and are rebuilt in place per call.
+	var ws ham.EvolveWorkspace
+	hs := ws.HamiltonianBuffer(n, 9)
+	u9 := cmath.NewMatrix(9, 9)
 	evolve := func(samples []float64, scale float64) *cmath.Matrix {
-		hs := make([]*cmath.Matrix, n)
 		for k := 0; k < n; k++ {
 			// Envelope interpolates from idle detuning to the (scaled)
 			// resonance point.
 			delta := idle + (resonance*scale-idle)*samples[k]
-			hs[k] = sys.Hamiltonian(delta)
+			sys.HamiltonianInto(hs[k], delta)
 		}
-		u := ham.EvolveSamples(hs, ts)
-		u4 := cmath.QubitSubspace2(u, 3)
+		ws.EvolveSamplesInto(u9, hs, ts)
+		u4 := cmath.QubitSubspace2(u9, 3)
 		return ham.StripSingleQubitPhases(u4)
 	}
 	score := func(u4 *cmath.Matrix) float64 { return cmath.GateError(ideal, u4) }

@@ -88,17 +88,25 @@ type SFQ1QResult struct {
 // frame, i.e. the net frame rotation over the stream is removed.
 func ComposeBitstream(train pulse.SFQTrain, fclk, fq, tilt float64) *cmath.Matrix {
 	phasePerTick := 2 * math.Pi * fq / fclk
+	// The two gate matrices are constant over the stream; building them once
+	// and ping-ponging two product buffers keeps the optimizer's inner loop
+	// (hundreds of ticks × thousands of score calls) allocation-free.
+	ry := cmath.Ry(tilt)
+	rz := cmath.Rz(phasePerTick)
 	u := cmath.Identity(2)
+	tmp := cmath.NewMatrix(2, 2)
 	for _, p := range train {
 		if p {
-			u = cmath.Mul(cmath.Ry(tilt), u)
+			cmath.MulInto(tmp, ry, u)
+			u, tmp = tmp, u
 		}
-		u = cmath.Mul(cmath.Rz(phasePerTick), u)
+		cmath.MulInto(tmp, rz, u)
+		u, tmp = tmp, u
 	}
 	// Undo the frame precession accumulated over the whole stream.
 	total := phasePerTick * float64(len(train))
-	u = cmath.Mul(cmath.Rz(-total), u)
-	return u
+	cmath.MulInto(tmp, cmath.Rz(-total), u)
+	return tmp
 }
 
 // ComposeBitstream3 evolves the same pulse train on a 3-level transmon: the
@@ -123,11 +131,14 @@ func ComposeBitstream3(train pulse.SFQTrain, fclk, fq, anharmHz, tilt float64) *
 	kick := cmath.Expm(cmath.Scale(complex(0, -tilt/2), y))
 
 	u := cmath.Identity(3)
+	tmp := cmath.NewMatrix(3, 3)
 	for _, p := range train {
 		if p {
-			u = cmath.Mul(kick, u)
+			cmath.MulInto(tmp, kick, u)
+			u, tmp = tmp, u
 		}
-		u = cmath.Mul(free, u)
+		cmath.MulInto(tmp, free, u)
+		u, tmp = tmp, u
 	}
 	// Undo the qubit frame rotation on |1> (and 2x on |2>).
 	total := phasePerTick * float64(len(train))
@@ -135,7 +146,8 @@ func ComposeBitstream3(train pulse.SFQTrain, fclk, fq, anharmHz, tilt float64) *
 	undo.Set(0, 0, 1)
 	undo.Set(1, 1, cexpi(total))
 	undo.Set(2, 2, cexpi(2*total))
-	return cmath.Mul(undo, u)
+	cmath.MulInto(tmp, undo, u)
+	return tmp
 }
 
 func cexpi(theta float64) complex128 {

@@ -59,6 +59,66 @@ func EvolveSamples(hs []*cmath.Matrix, ts float64) *cmath.Matrix {
 	return u
 }
 
+// EvolveWorkspace holds the scratch matrices repeated sample-evolutions
+// need, so calibration searches (which re-run EvolveSamples hundreds of
+// times on same-sized systems) allocate nothing after warm-up. The zero
+// value is ready to use. The operation sequence of EvolveSamplesInto
+// replays EvolveSamples exactly, so results are bit-identical.
+type EvolveWorkspace struct {
+	gen, uk, u, tmp *cmath.Matrix
+	hs              []*cmath.Matrix
+	expw            cmath.ExpmWorkspace
+}
+
+func (w *EvolveWorkspace) ensure(n int) {
+	if w.gen == nil || w.gen.Rows != n {
+		w.gen = cmath.NewMatrix(n, n)
+		w.uk = cmath.NewMatrix(n, n)
+		w.u = cmath.NewMatrix(n, n)
+		w.tmp = cmath.NewMatrix(n, n)
+	}
+}
+
+// HamiltonianBuffer returns n reusable dim×dim sample slots owned by the
+// workspace, for callers that rebuild per-sample Hamiltonians in place with
+// the *Into variants each evolution.
+func (w *EvolveWorkspace) HamiltonianBuffer(n, dim int) []*cmath.Matrix {
+	if len(w.hs) != n || (n > 0 && w.hs[0].Rows != dim) {
+		w.hs = make([]*cmath.Matrix, n)
+		for i := range w.hs {
+			w.hs[i] = cmath.NewMatrix(dim, dim)
+		}
+	}
+	return w.hs
+}
+
+// EvolveSamplesInto computes the same propagator as EvolveSamples into dst,
+// reusing the workspace's scratch. dst must not be one of the hs samples.
+func (w *EvolveWorkspace) EvolveSamplesInto(dst *cmath.Matrix, hs []*cmath.Matrix, ts float64) {
+	if len(hs) == 0 {
+		panic("ham: EvolveSamples requires at least one sample")
+	}
+	n := hs[0].Rows
+	w.ensure(n)
+	u, tmp := w.u, w.tmp
+	for i := range u.Data {
+		u.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		u.Data[i*n+i] = 1
+	}
+	s := complex(0, -ts)
+	for _, hk := range hs {
+		for i, v := range hk.Data {
+			w.gen.Data[i] = s * v
+		}
+		w.expw.ExpmInto(w.uk, w.gen)
+		cmath.MulInto(tmp, w.uk, u)
+		u, tmp = tmp, u
+	}
+	copy(dst.Data, u.Data)
+}
+
 // DrivenTransmon models one transmon driven through its charge line, in the
 // frame rotating at the drive frequency.
 type DrivenTransmon struct {
@@ -95,6 +155,16 @@ func NewDrivenTransmon(levels int, detuningRad, anharmRad, rabiRad float64) *Dri
 //	H = Δ·n + (α/2)·n(n-1) + (Ω/2)·(I·(a+a†) + Q·i(a†-a))
 func (d *DrivenTransmon) Hamiltonian(i, q float64) *cmath.Matrix {
 	h := cmath.NewMatrix(d.Levels, d.Levels)
+	d.HamiltonianInto(h, i, q)
+	return h
+}
+
+// HamiltonianInto writes Hamiltonian(i, q) into h, which must be
+// Levels×Levels. Results are bit-identical to Hamiltonian.
+func (d *DrivenTransmon) HamiltonianInto(h *cmath.Matrix, i, q float64) {
+	for idx := range h.Data {
+		h.Data[idx] = 0
+	}
 	for k := 0; k < d.Levels; k++ {
 		fk := float64(k)
 		diag := d.DetuningRad*fk + d.AnharmonicityRad/2*fk*(fk-1)
@@ -102,7 +172,6 @@ func (d *DrivenTransmon) Hamiltonian(i, q float64) *cmath.Matrix {
 	}
 	cmath.AddInPlace(h, complex(d.RabiRad*i/2, 0), d.x)
 	cmath.AddInPlace(h, complex(d.RabiRad*q/2, 0), d.y)
-	return h
 }
 
 // RabiForRotation returns the peak Rabi rate (rad/s) that makes a pulse with
@@ -179,6 +248,13 @@ func (c *CoupledTransmons) Hamiltonian(delta float64) *cmath.Matrix {
 	h := c.hStatic.Clone()
 	cmath.AddInPlace(h, complex(delta, 0), c.n1)
 	return h
+}
+
+// HamiltonianInto writes Hamiltonian(delta) into h, which must match
+// hStatic's shape. Results are bit-identical to Hamiltonian.
+func (c *CoupledTransmons) HamiltonianInto(h *cmath.Matrix, delta float64) {
+	copy(h.Data, c.hStatic.Data)
+	cmath.AddInPlace(h, complex(delta, 0), c.n1)
 }
 
 // IdealCZ returns the target two-qubit unitary in the computational basis,

@@ -134,13 +134,14 @@ func TrajectoryAverageFidelityCtx(ctx context.Context, c KrausChannel, shots int
 	sum, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
 		func(t *simrun.ShardTask) (float64, int, error) {
 			var partial float64
+			kpsi := make([]complex128, c.Ops[0].Rows) // per-shard K·ψ scratch
 			for s := 0; t.Continue(s); s++ {
 				psi := states[t.GlobalShot(s)%len(states)]
 				// Outcome probabilities p_k = ⟨ψ|K†K|ψ⟩.
 				r := t.RNG.Float64()
 				var acc float64
 				for _, k := range c.Ops {
-					kpsi := k.ApplyTo(psi)
+					k.ApplyToInto(kpsi, psi)
 					p := 0.0
 					for _, a := range kpsi {
 						p += real(a)*real(a) + imag(a)*imag(a)

@@ -157,14 +157,25 @@ func MonteCarloCore(res *cyclesim.Result, cfg Config) (Config, simrun.ShardFunc[
 	for q := 0; q < len(res.QubitBusy); q++ {
 		idleIDs += int(res.IdleTime(q) / period)
 	}
+	// Pre-resolve the per-op error probabilities, keeping only the p > 0
+	// entries in op order. The shot loop only ever draws where p > 0, so
+	// iterating the compacted table consumes the exact same draw sequence as
+	// re-deriving p per op — the result is bit-identical, without the
+	// per-shot × per-op GateError dispatch.
+	pTable := make([]float64, 0, len(res.Ops))
+	for _, op := range res.Ops {
+		if p := cfg.Rates.GateError(op.Instr); p > 0 {
+			pTable = append(pTable, p)
+		}
+	}
 	run := func(t *simrun.ShardTask) (int, int, error) {
 		succ := 0
 		done := 0
 		for s := 0; t.Continue(s); s++ {
 			done++
 			ok := true
-			for _, op := range res.Ops {
-				if p := cfg.Rates.GateError(op.Instr); p > 0 && t.RNG.Float64() < p {
+			for _, p := range pTable {
+				if t.RNG.Float64() < p {
 					ok = false
 					break
 				}

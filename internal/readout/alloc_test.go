@@ -1,0 +1,34 @@
+package readout
+
+import (
+	"testing"
+
+	"qisim/internal/simrun"
+)
+
+// TestMultiRoundShotLoopAllocs pins the steady-state allocation count of a
+// whole batched multi-round trajectory shard — 256 shots of sequential
+// decision rounds — at zero. All per-shot state (the round-increment
+// constants, the decay window, the diff accumulator) lives in locals, so any
+// future allocation inside the shot loop is a regression this catches.
+func TestMultiRoundShotLoopAllocs(t *testing.T) {
+	c, tm := DefaultChain(), DefaultTiming()
+	cfg := DefaultMultiRoundConfig()
+	cfg.Shots = 256
+	_, run, _, err := MultiRoundCore(c, tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := simrun.NewShardTask(nil, simrun.Shard{Index: 0, Start: 0, N: 256, Seed: 7}, 0)
+	if _, _, err := run(task); err != nil { // warm any one-time lazies
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := run(task); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("batched multi-round shard allocates %.1f objects per 256-shot step; the shot loop must stay allocation-free", allocs)
+	}
+}

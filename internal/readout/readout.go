@@ -218,21 +218,37 @@ func MultiRoundCore(c Chain, t Timing, cfg MultiRoundConfig) (MultiRoundConfig, 
 			rounds := 0
 			decided := false
 			var wrong bool
-			for r := 0; r < cfg.MaxRounds; r++ {
-				rmu := mu
-				// After decay the signal flips sign for a prepared |1>.
-				if float64(r) >= decayRound {
-					rmu = -mu
-				} else if float64(r+1) > decayRound && float64(r) < decayRound {
-					f := decayRound - float64(r)
-					rmu = mu * (2*f - 1)
+			if math.IsInf(decayRound, 1) {
+				// No decay this shot (the overwhelmingly common case): the
+				// per-round mean is always +mu, so skip the decay-window
+				// comparisons. One NormFloat64 per executed round with the
+				// same stop rule — the draw sequence is unchanged.
+				for r := 0; r < cfg.MaxRounds; r++ {
+					diff += mu + sigma*task.RNG.NormFloat64()
+					rounds = r + 1
+					if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
+						wrong = diff < 0
+						decided = true
+						break
+					}
 				}
-				diff += rmu + sigma*task.RNG.NormFloat64()
-				rounds = r + 1
-				if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
-					wrong = diff < 0
-					decided = true
-					break
+			} else {
+				for r := 0; r < cfg.MaxRounds; r++ {
+					rmu := mu
+					// After decay the signal flips sign for a prepared |1>.
+					if float64(r) >= decayRound {
+						rmu = -mu
+					} else if float64(r+1) > decayRound && float64(r) < decayRound {
+						f := decayRound - float64(r)
+						rmu = mu * (2*f - 1)
+					}
+					diff += rmu + sigma*task.RNG.NormFloat64()
+					rounds = r + 1
+					if math.Abs(diff) > cfg.Range || r == cfg.MaxRounds-1 {
+						wrong = diff < 0
+						decided = true
+						break
+					}
 				}
 			}
 			if !decided {

@@ -98,17 +98,20 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 	}
 
 	// Discriminating axis: unit vector from α0 to α1; line through midpoint.
+	// The projection is inlined in the sample loop via ax/ay.
 	axis := (s1 - s0) / complex(sep, 0)
 	mid := (s1 + s0) / 2
-	project := func(alpha complex128) float64 {
-		d := alpha - mid
-		return real(d)*real(axis) + imag(d)*imag(axis)
-	}
+	ax, ay := real(axis), imag(axis)
 
 	sigma := cfg.NoiseSigma
 	if sigma <= 0 {
 		sigma = sep / chain.SNRPerSample
 	}
+	// Per-shot constants hoisted out of the shot loop. negHalfKappa keeps
+	// the original -κ/2 · Δk · dt multiplication order so the decay factor
+	// rounds identically.
+	pDecay := chain.DecayProb * float64(total) / float64(nSamp)
+	negHalfKappa := -r.KappaRad / 2
 
 	// The precomputed trajectories and the projection closure are read-only
 	// across shards; each shard draws noise from its private RNG stream and
@@ -130,7 +133,7 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 				// afterwards the cavity relaxes toward the |0> pointer with
 				// rate κ/2.
 				decayAt := math.Inf(1)
-				if prepared1 && task.RNG.Float64() < chain.DecayProb*float64(total)/float64(nSamp) {
+				if prepared1 && task.RNG.Float64() < pDecay {
 					decayAt = float64(nRing) + task.RNG.Float64()*float64(nSamp)
 				}
 				var count, sumProj float64
@@ -139,7 +142,7 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 					mean := traj[k]
 					if fk := float64(k); fk > decayAt {
 						// exponential pull toward the |0> trajectory
-						lam := math.Exp(-r.KappaRad / 2 * (fk - decayAt) * dt)
+						lam := math.Exp(negHalfKappa * (fk - decayAt) * dt)
 						mean = traj1[k]*complex(lam, 0) + traj0[k]*complex(1-lam, 0)
 					}
 					ns := sigma
@@ -147,7 +150,8 @@ func TrajectoryMCCtx(ctx context.Context, cfg TrajectoryConfig, chain Chain, opt
 						ns *= chain.OutlierFactor
 					}
 					sample := mean + complex(ns*task.RNG.NormFloat64(), ns*task.RNG.NormFloat64())
-					p := project(sample)
+					d := sample - mid
+					p := real(d)*ax + imag(d)*ay
 					if p > 0 {
 						count++
 					}

@@ -1,0 +1,42 @@
+package simrun
+
+import (
+	"context"
+	"testing"
+)
+
+// TestShardMergePathAllocs pins the marginal allocation cost of dispatching
+// and merging one shard, so the rngPool/taskPool wins (a ~5 KiB Go-1 RNG
+// state plus the task header per shard before pooling) cannot quietly erode
+// in later PRs. The pin measures the *difference* between a 9-shard and a
+// 1-shard run, which isolates per-shard cost from the engine's fixed
+// per-run overhead and keeps the test robust to unrelated setup changes.
+func TestShardMergePathAllocs(t *testing.T) {
+	run := func(task *ShardTask) (int, int, error) {
+		c := 0
+		for i := 0; task.Continue(i); i++ {
+			if task.RNG.Float64() < 0.5 {
+				c++
+			}
+		}
+		return c, c, nil
+	}
+	merge := func(dst *int, src int) { *dst += src }
+	exec := func(shards int) {
+		_, _, err := RunSharded(context.Background(), shards*64, 1,
+			Options{Workers: 1, ShardSize: 64}, run, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec(9) // warm the pools and any one-time lazies
+
+	a1 := testing.AllocsPerRun(50, func() { exec(1) })
+	a9 := testing.AllocsPerRun(50, func() { exec(9) })
+	perShard := (a9 - a1) / 8
+	// Steady state leaves only the span-attribute slices the dispatch path
+	// builds per shard; the RNG and task come from the pools.
+	if perShard > 4 {
+		t.Fatalf("merge path allocates %.1f objects per shard (1-shard run: %.1f, 9-shard run: %.1f); the shard RNG/task pooling has regressed", perShard, a1, a9)
+	}
+}

@@ -87,6 +87,34 @@ type ShardTask struct {
 	interrupted bool
 }
 
+// rngPool recycles the ~5 KiB Go-1 source state behind each shard's private
+// stream. Rand.Seed fully reinitializes the source and resets the Rand's
+// cached read state, so a pooled, re-seeded Rand emits a bitstream identical
+// to a fresh rand.New(rand.NewSource(seed)) — shard results are unchanged.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(1)) }}
+
+// taskPool recycles ShardTask headers; tasks must not escape the ShardFunc
+// invocation (see ShardTask), so the engine can reclaim them immediately.
+var taskPool = sync.Pool{New: func() any { return new(ShardTask) }}
+
+// NewShardTask builds a standalone shard task for tests and benchmarks that
+// drive a ShardFunc outside the engine. A checkEvery <= 0 defaults to the
+// engine's 256-shot cancellation poll interval.
+func NewShardTask(ctx context.Context, sh Shard, checkEvery int) *ShardTask {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if checkEvery <= 0 {
+		checkEvery = 256
+	}
+	return &ShardTask{
+		Shard: sh,
+		RNG:   rand.New(rand.NewSource(sh.Seed)),
+		ctx:   ctx,
+		every: checkEvery,
+	}
+}
+
 // Continue reports whether local shot i (0-based) should run: false once the
 // shard's N shots are done or — polled every CheckEvery shots — the context
 // is cancelled. An interrupted shard is discarded wholesale by the engine
@@ -354,14 +382,21 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 			// polling is unchanged whether tracing is on or off.
 			shardCtx, shardSpan := obs.StartSpan(ctx, "shard",
 				obs.Int("shard", i), obs.Int("shots", shards[i].N))
-			t := &ShardTask{
+			rng := rngPool.Get().(*rand.Rand)
+			seedShardRNG(rng, shards[i].Seed)
+			t := taskPool.Get().(*ShardTask)
+			*t = ShardTask{
 				Shard: shards[i],
-				RNG:   rand.New(rand.NewSource(shards[i].Seed)),
+				RNG:   rng,
 				ctx:   shardCtx,
 				every: opt.CheckEvery,
 			}
 			res, events, err := run(t)
-			if t.interrupted {
+			interrupted := t.interrupted
+			*t = ShardTask{}
+			taskPool.Put(t)
+			rngPool.Put(rng)
+			if interrupted {
 				shardSpan.SetAttr(obs.Bool("interrupted", true))
 			} else if err == nil && events >= 0 {
 				shardSpan.SetAttr(obs.Int("events", events))
@@ -370,7 +405,7 @@ func RunSharded[R any](ctx context.Context, shots int, seed int64, opt Options,
 			mu.Lock()
 			if err != nil {
 				recs[i].err = err
-			} else if !t.interrupted {
+			} else if !interrupted {
 				recs[i] = shardRecord[R]{res: res, events: events, done: true}
 				commit()
 			}

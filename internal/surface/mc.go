@@ -41,6 +41,37 @@ type matcher struct {
 	// to the top/bottom boundary), or -1.
 	boundaryQubit []int
 	boundaryDist  []int
+
+	// Precomputed decode tables, built once per patch so the per-shot hot
+	// path never touches a map or recomputes a distance:
+	//   adj/adjQ    — neighbours of z in ascending id order + shared qubit,
+	//   distT       — Chebyshev distance between Z-ancilla pairs (nz×nz),
+	//   nextZ/nextQ — the greedy next hop (and its flip qubit) on a
+	//                 shortest path cur→target, replayed from pathFlip's
+	//                 argmin over the sorted neighbour order (nz×nz),
+	//   bStepZ/bStepQ — boundaryFlip's walk step from each ancilla: the
+	//                 flip qubit plus the next ancilla (-1 = walk ends).
+	adj, adjQ      [][]int
+	distT          []int32
+	nextZ, nextQ   []int32
+	bStepZ, bStepQ []int32
+}
+
+// decodeScratch is the per-shard reusable state of the decoder: the flipped
+// syndrome list, the bitmask-DP tables, and the greedy matcher's used set.
+type decodeScratch struct {
+	syn     []bool
+	flipped []int
+	cost    []int32
+	choice  []int32
+	used    []bool
+}
+
+func (m *matcher) newScratch() *decodeScratch {
+	return &decodeScratch{
+		syn:  make([]bool, len(m.zAncillas)),
+		used: make([]bool, len(m.zAncillas)),
+	}
 }
 
 func newMatcher(p *Patch) *matcher {
@@ -93,7 +124,83 @@ func newMatcher(p *Patch) *matcher {
 			_ = z
 		}
 	}
+	m.buildTables()
 	return m
+}
+
+// buildTables precomputes the decode lookup tables from the shared-qubit
+// map, so the per-shot path never iterates a map or recomputes a distance.
+// Neighbour ties resolve in ascending ancilla-id order — a fixed choice
+// among equally short corrections, which differ from each other only by
+// stabilizer loops and therefore leave every decoded outcome unchanged.
+func (m *matcher) buildTables() {
+	nz := len(m.zAncillas)
+	m.adj = make([][]int, nz)
+	m.adjQ = make([][]int, nz)
+	for key, q := range m.shared {
+		m.adj[key[0]] = append(m.adj[key[0]], key[1])
+		m.adjQ[key[0]] = append(m.adjQ[key[0]], q)
+		m.adj[key[1]] = append(m.adj[key[1]], key[0])
+		m.adjQ[key[1]] = append(m.adjQ[key[1]], q)
+	}
+	for z := 0; z < nz; z++ {
+		adj, adjQ := m.adj[z], m.adjQ[z]
+		for i := 1; i < len(adj); i++ {
+			for j := i; j > 0 && adj[j] < adj[j-1]; j-- {
+				adj[j], adj[j-1] = adj[j-1], adj[j]
+				adjQ[j], adjQ[j-1] = adjQ[j-1], adjQ[j]
+			}
+		}
+	}
+	m.distT = make([]int32, nz*nz)
+	for a := 0; a < nz; a++ {
+		for b := 0; b < nz; b++ {
+			m.distT[a*nz+b] = int32(m.distFromCoords(a, b))
+		}
+	}
+	// Next hop of a shortest path cur→tgt: the first strictly closer
+	// neighbour in ascending order, exactly the greedy step pathFlip takes.
+	m.nextZ = make([]int32, nz*nz)
+	m.nextQ = make([]int32, nz*nz)
+	for cur := 0; cur < nz; cur++ {
+		for tgt := 0; tgt < nz; tgt++ {
+			m.nextZ[cur*nz+tgt], m.nextQ[cur*nz+tgt] = -1, -1
+			if cur == tgt {
+				continue
+			}
+			best, bq, bd := -1, -1, 1<<30
+			for idx, nb := range m.adj[cur] {
+				if dd := int(m.distT[nb*nz+tgt]); dd < bd {
+					bd, best, bq = dd, nb, m.adjQ[cur][idx]
+				}
+			}
+			if best != -1 {
+				m.nextZ[cur*nz+tgt], m.nextQ[cur*nz+tgt] = int32(best), int32(bq)
+			}
+		}
+	}
+	// Boundary walk step per ancilla: terminal flip (bStepZ = -1) or one
+	// hop toward the nearest boundary, mirroring boundaryFlip's branches.
+	m.bStepZ = make([]int32, nz)
+	m.bStepQ = make([]int32, nz)
+	for cur := 0; cur < nz; cur++ {
+		if q := m.boundaryQubit[cur]; q != -1 && m.boundaryDist[cur] <= 1 {
+			m.bStepQ[cur], m.bStepZ[cur] = int32(q), -1
+			continue
+		}
+		best, bq, bd := -1, -1, m.boundaryDist[cur]
+		for idx, nb := range m.adj[cur] {
+			if dd := m.boundaryDist[nb]; dd < bd {
+				bd, best, bq = dd, nb, m.adjQ[cur][idx]
+			}
+		}
+		if best == -1 {
+			// No strictly closer neighbour: flip own boundary qubit if any.
+			m.bStepQ[cur], m.bStepZ[cur] = int32(m.boundaryQubit[cur]), -1
+			continue
+		}
+		m.bStepQ[cur], m.bStepZ[cur] = int32(bq), int32(best)
+	}
 }
 
 func min(a, b int) int {
@@ -111,8 +218,14 @@ func max(a, b int) int {
 }
 
 // dist is the decoding metric between two Z-ancillas: Chebyshev distance on
-// the ancilla sub-lattice (diagonal steps are single shared-qubit hops).
+// the ancilla sub-lattice (diagonal steps are single shared-qubit hops),
+// served from the precomputed table.
 func (m *matcher) dist(z1, z2 int) int {
+	return int(m.distT[z1*len(m.zAncillas)+z2])
+}
+
+// distFromCoords computes dist from ancilla coordinates (table build only).
+func (m *matcher) distFromCoords(z1, z2 int) int {
 	a1, a2 := m.p.Ancillas[m.zAncillas[z1]], m.p.Ancillas[m.zAncillas[z2]]
 	dr := abs(a1.R2-a2.R2) / 2
 	dc := abs(a1.C2-a2.C2) / 2
@@ -126,64 +239,32 @@ func abs(x int) int {
 	return x
 }
 
-// neighbours returns the Z-ancillas one shared-qubit hop from z.
-func (m *matcher) neighbours(z int) []int {
-	var out []int
-	for key := range m.shared {
-		if key[0] == z {
-			out = append(out, key[1])
-		} else if key[1] == z {
-			out = append(out, key[0])
-		}
-	}
-	return out
-}
-
-// pathFlip flips the data qubits on a shortest ancilla-graph path z1→z2.
+// pathFlip flips the data qubits on a shortest ancilla-graph path z1→z2,
+// walking the precomputed next-hop table.
 func (m *matcher) pathFlip(err []bool, z1, z2 int) {
-	cur := z1
-	for cur != z2 {
-		best, bd := -1, 1<<30
-		for _, nb := range m.neighbours(cur) {
-			if d := m.dist(nb, z2); d < bd {
-				bd, best = d, nb
-			}
-		}
-		if best == -1 {
+	nz := len(m.zAncillas)
+	for cur := z1; cur != z2; {
+		q := m.nextQ[cur*nz+z2]
+		if q < 0 {
 			return // disconnected (cannot happen on a valid patch)
 		}
-		key := [2]int{min(cur, best), max(cur, best)}
-		q := m.shared[key]
 		err[q] = !err[q]
-		cur = best
+		cur = int(m.nextZ[cur*nz+z2])
 	}
 }
 
-// boundaryFlip flips data qubits from ancilla z to the nearest X boundary.
+// boundaryFlip flips data qubits from ancilla z to the nearest X boundary,
+// walking the precomputed boundary-step table.
 func (m *matcher) boundaryFlip(err []bool, z int) {
-	cur := z
-	for {
-		if q := m.boundaryQubit[cur]; q != -1 && m.boundaryDist[cur] <= 1 {
+	for cur := z; ; {
+		q, nxt := m.bStepQ[cur], m.bStepZ[cur]
+		if q >= 0 {
 			err[q] = !err[q]
+		}
+		if nxt < 0 {
 			return
 		}
-		// Step toward the nearest boundary through the ancilla graph.
-		best, bd := -1, m.boundaryDist[cur]
-		for _, nb := range m.neighbours(cur) {
-			if d := m.boundaryDist[nb]; d < bd {
-				bd, best = d, nb
-			}
-		}
-		if best == -1 {
-			// No strictly closer neighbour: use own boundary qubit if any.
-			if q := m.boundaryQubit[cur]; q != -1 {
-				err[q] = !err[q]
-			}
-			return
-		}
-		key := [2]int{min(cur, best), max(cur, best)}
-		err[m.shared[key]] = !err[m.shared[key]]
-		cur = best
+		cur = int(nxt)
 	}
 }
 
@@ -192,29 +273,55 @@ func (m *matcher) boundaryFlip(err []bool, z int) {
 // bitmask DP for up to 16 flipped syndromes (ample below threshold), greedy
 // beyond — and applies the corrections in place.
 func (m *matcher) decode(err []bool, syndrome []bool) {
-	var flipped []int
+	m.decodeWith(m.newScratch(), err, syndrome)
+}
+
+// decodeWith is decode against reusable per-shard scratch. The 1- and
+// 2-syndrome cases — the bulk of shots below threshold — replay the DP's
+// decision directly: one flipped syndrome always matches the boundary, and
+// a pair matches internally only when strictly cheaper than two boundary
+// paths (the DP evaluates the boundary move first, so ties keep it).
+func (m *matcher) decodeWith(sc *decodeScratch, err []bool, syndrome []bool) {
+	flipped := sc.flipped[:0]
 	for z, s := range syndrome {
 		if s {
 			flipped = append(flipped, z)
 		}
 	}
-	n := len(flipped)
-	if n == 0 {
-		return
+	sc.flipped = flipped
+	switch n := len(flipped); {
+	case n == 0:
+	case n == 1:
+		m.boundaryFlip(err, flipped[0])
+	case n == 2:
+		if m.dist(flipped[0], flipped[1]) < m.boundaryDist[flipped[0]]+m.boundaryDist[flipped[1]] {
+			m.pathFlip(err, flipped[0], flipped[1])
+		} else {
+			m.boundaryFlip(err, flipped[0])
+			m.boundaryFlip(err, flipped[1])
+		}
+	case n <= 16:
+		m.decodeExactWith(sc, err, flipped)
+	default:
+		m.decodeGreedyWith(sc, err, flipped)
 	}
-	if n <= 16 {
-		m.decodeExact(err, flipped)
-		return
-	}
-	m.decodeGreedy(err, flipped)
 }
 
 func (m *matcher) decodeExact(err []bool, flipped []int) {
+	m.decodeExactWith(m.newScratch(), err, flipped)
+}
+
+func (m *matcher) decodeExactWith(sc *decodeScratch, err []bool, flipped []int) {
 	n := len(flipped)
 	const inf = 1 << 29
 	full := 1 << n
-	cost := make([]int32, full)
-	choice := make([]int32, full) // encoded move: i*64+j (j==63 → boundary)
+	if cap(sc.cost) < full {
+		sc.cost = make([]int32, full)
+		sc.choice = make([]int32, full) // encoded move: i*64+j (j==63 → boundary)
+	}
+	cost := sc.cost[:full]
+	choice := sc.choice[:full]
+	cost[0] = 0
 	for s := 1; s < full; s++ {
 		cost[s] = inf
 	}
@@ -255,7 +362,14 @@ func (m *matcher) decodeExact(err []bool, flipped []int) {
 }
 
 func (m *matcher) decodeGreedy(err []bool, flipped []int) {
-	used := make(map[int]bool)
+	m.decodeGreedyWith(m.newScratch(), err, flipped)
+}
+
+func (m *matcher) decodeGreedyWith(sc *decodeScratch, err []bool, flipped []int) {
+	used := sc.used
+	for _, z := range flipped {
+		used[z] = false
+	}
 	for {
 		bestCost := 1 << 30
 		bi, bj := -1, -1 // bj == -2 means boundary
@@ -290,7 +404,14 @@ func (m *matcher) decodeGreedy(err []bool, flipped []int) {
 
 // syndrome computes the Z-stabilizer syndrome of an X-error pattern.
 func (m *matcher) syndrome(err []bool) []bool {
-	s := make([]bool, len(m.zAncillas))
+	return m.syndromeInto(make([]bool, len(m.zAncillas)), err)
+}
+
+// syndromeInto computes the syndrome into s (len(zAncillas)) and returns it.
+func (m *matcher) syndromeInto(s []bool, err []bool) []bool {
+	for i := range s {
+		s[i] = false
+	}
 	for q, e := range err {
 		if !e {
 			continue
@@ -356,7 +477,10 @@ func MonteCarloLogicalErrorCtx(ctx context.Context, d int, p float64, shots int,
 	nd := patch.DataQubits()
 	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
 		func(t *simrun.ShardTask) (int, int, error) {
+			// All per-shot state (error buffer, syndrome, decoder tables)
+			// is hoisted here: the shot loop itself allocates nothing.
 			errBuf := make([]bool, nd)
+			sc := m.newScratch()
 			f := 0
 			for i := 0; t.Continue(i); i++ {
 				anyErr := false
@@ -367,8 +491,8 @@ func MonteCarloLogicalErrorCtx(ctx context.Context, d int, p float64, shots int,
 				if !anyErr {
 					continue
 				}
-				syn := m.syndrome(errBuf)
-				m.decode(errBuf, syn)
+				m.syndromeInto(sc.syn, errBuf)
+				m.decodeWith(sc, errBuf, sc.syn)
 				// After correction the syndrome must be clear; any remaining
 				// flip is logical.
 				if m.logicalFlip(errBuf) {

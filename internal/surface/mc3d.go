@@ -48,9 +48,14 @@ func PhenomenologicalCore(d int, p, q float64, rounds int) (simrun.ShardFunc[int
 	nz := len(m.zAncillas)
 
 	run := func(t *simrun.ShardTask) (int, int, error) {
+		// All per-shot state is hoisted and reused across the shot loop; the
+		// loop body performs the same draws and flips in the same order as
+		// the allocating version, so results are bit-identical.
 		errBuf := make([]bool, nd)
 		prevMeas := make([]bool, nz)
 		curTrue := make([]bool, nz)
+		events := make([]spacetimeNode, 0, 4*nz)
+		sc := m.newScratch()
 		f := 0
 		for s := 0; t.Continue(s); s++ {
 			for i := range errBuf {
@@ -59,7 +64,7 @@ func PhenomenologicalCore(d int, p, q float64, rounds int) (simrun.ShardFunc[int
 			for i := range prevMeas {
 				prevMeas[i] = false
 			}
-			var events []spacetimeNode
+			events = events[:0]
 
 			for r := 0; r < rounds; r++ {
 				// New data errors this round.
@@ -68,8 +73,7 @@ func PhenomenologicalCore(d int, p, q float64, rounds int) (simrun.ShardFunc[int
 						errBuf[qb] = !errBuf[qb]
 					}
 				}
-				truth := m.syndrome(errBuf)
-				copy(curTrue, truth)
+				m.syndromeInto(curTrue, errBuf)
 				for z := 0; z < nz; z++ {
 					meas := curTrue[z]
 					if t.RNG.Float64() < q {
@@ -82,14 +86,14 @@ func PhenomenologicalCore(d int, p, q float64, rounds int) (simrun.ShardFunc[int
 				}
 			}
 			// Final perfect round.
-			truth := m.syndrome(errBuf)
+			m.syndromeInto(curTrue, errBuf)
 			for z := 0; z < nz; z++ {
-				if truth[z] != prevMeas[z] {
+				if curTrue[z] != prevMeas[z] {
 					events = append(events, spacetimeNode{z: z, t: rounds})
 				}
 			}
 
-			m.decodeSpacetime(errBuf, events)
+			m.decodeSpacetimeWith(sc, errBuf, events)
 			if m.logicalFlip(errBuf) {
 				f++
 			}
@@ -145,23 +149,32 @@ func (m *matcher) stBoundary(a spacetimeNode) int {
 // beyond) and applies the SPATIAL components of the matched paths as data
 // corrections.
 func (m *matcher) decodeSpacetime(err []bool, events []spacetimeNode) {
+	m.decodeSpacetimeWith(m.newScratch(), err, events)
+}
+
+func (m *matcher) decodeSpacetimeWith(sc *decodeScratch, err []bool, events []spacetimeNode) {
 	n := len(events)
 	if n == 0 {
 		return
 	}
 	if n <= 14 {
-		m.stExact(err, events)
+		m.stExactWith(sc, err, events)
 		return
 	}
-	m.stGreedy(err, events)
+	m.stGreedyWith(sc, err, events)
 }
 
-func (m *matcher) stExact(err []bool, ev []spacetimeNode) {
+func (m *matcher) stExactWith(sc *decodeScratch, err []bool, ev []spacetimeNode) {
 	n := len(ev)
 	const inf = 1 << 29
 	full := 1 << n
-	cost := make([]int32, full)
-	choice := make([]int32, full)
+	if cap(sc.cost) < full {
+		sc.cost = make([]int32, full)
+		sc.choice = make([]int32, full)
+	}
+	cost := sc.cost[:full]
+	choice := sc.choice[:full]
+	cost[0] = 0
 	for s := 1; s < full; s++ {
 		cost[s] = inf
 	}
@@ -198,8 +211,14 @@ func (m *matcher) stExact(err []bool, ev []spacetimeNode) {
 	}
 }
 
-func (m *matcher) stGreedy(err []bool, ev []spacetimeNode) {
-	used := make([]bool, len(ev))
+func (m *matcher) stGreedyWith(sc *decodeScratch, err []bool, ev []spacetimeNode) {
+	if len(sc.used) < len(ev) {
+		sc.used = make([]bool, len(ev))
+	}
+	used := sc.used[:len(ev)]
+	for i := range used {
+		used[i] = false
+	}
 	for {
 		best := 1 << 30
 		bi, bj := -1, -1

@@ -49,6 +49,10 @@ func (u *unionFind) union(a, b int) {
 // clusters are then peeled: defects pair up inside the cluster, with one
 // defect routed to the boundary in odd boundary-touching clusters.
 func (m *matcher) decodeUnionFind(err []bool, syndrome []bool) {
+	m.decodeUnionFindWith(m.newScratch(), err, syndrome)
+}
+
+func (m *matcher) decodeUnionFindWith(sc *decodeScratch, err []bool, syndrome []bool) {
 	var defects []int
 	for z, s := range syndrome {
 		if s {
@@ -110,9 +114,9 @@ func (m *matcher) decodeUnionFind(err []bool, syndrome []bool) {
 		// bound the matching problem, which is what makes union-find fast
 		// while staying near matching accuracy.
 		if len(members) <= 16 {
-			m.decodeExact(err, members)
+			m.decodeExactWith(sc, err, members)
 		} else {
-			m.decodeGreedy(err, members)
+			m.decodeGreedyWith(sc, err, members)
 		}
 	}
 }
@@ -142,6 +146,7 @@ func MonteCarloUnionFindCtx(ctx context.Context, d int, p float64, shots int, se
 	failures, status, gerr := simrun.RunSharded(ctx, shots, seed, opt,
 		func(t *simrun.ShardTask) (int, int, error) {
 			errBuf := make([]bool, nd)
+			sc := m.newScratch()
 			f := 0
 			for i := 0; t.Continue(i); i++ {
 				anyErr := false
@@ -152,7 +157,7 @@ func MonteCarloUnionFindCtx(ctx context.Context, d int, p float64, shots int, se
 				if !anyErr {
 					continue
 				}
-				m.decodeUnionFind(errBuf, m.syndrome(errBuf))
+				m.decodeUnionFindWith(sc, errBuf, m.syndromeInto(sc.syn, errBuf))
 				if m.logicalFlip(errBuf) {
 					f++
 				}

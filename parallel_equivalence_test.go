@@ -11,6 +11,9 @@ package qisim_test
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -231,5 +234,88 @@ func TestConvergenceGuardEquivalence(t *testing.T) {
 		if par != serial {
 			t.Errorf("workers=%d guarded run diverges:\nserial:   %+v\nparallel: %+v", w, serial, par)
 		}
+	}
+}
+
+// ---- golden bit-equality pins ----
+//
+// The digests below are SHA-256 hashes of the canonical JSON encoding of
+// each Monte-Carlo result, captured BEFORE the hot-path speed campaign
+// (PR 7) touched any kernel. Every optimization to the MC paths must keep
+// these bytes identical: a single changed bit in any estimate fails the
+// pin. The workloads intentionally mirror the equivalence suite above
+// (small shard size, many shards) so the pins also cover the merge path.
+
+func goldenDigest(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenBitEquality(t *testing.T) {
+	ctx := context.Background()
+	opt := simrun.Options{ShardSize: 100}
+
+	prog, err := workloads.Generate("ghz", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := compile.Compile(prog, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := cyclesim.Run(ex, cyclesim.CMOSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := pauli.DefaultConfig(pauli.ErrorRates{OneQ: 2.5e-4, TwoQ: 1.2e-2, Readout: 2.0e-2, T1: 100e-6, T2: 95e-6})
+	pcfg.Shots, pcfg.Seed = 3000, 9
+
+	mrCfg := readout.DefaultMultiRoundConfig()
+	mrCfg.Shots = 10000
+	tCfg := readout.DefaultTrajectoryConfig()
+	tCfg.Shots = 600
+
+	cases := []struct {
+		name string
+		run  func() (any, error)
+		want string
+	}{
+		{"surface-mwpm", func() (any, error) {
+			return surface.MonteCarloLogicalErrorCtx(ctx, 5, 0.01, 3000, 17, opt)
+		}, "351aa8d89fb361847efc061f7da9f9005fec2d502dd71ff4fc813b52d4a7479c"},
+		{"surface-phenomenological", func() (any, error) {
+			return surface.MonteCarloPhenomenologicalCtx(ctx, 5, 0.01, 0.01, 5, 1500, 17, opt)
+		}, "08a0f2971a3b4a1c43784fdd26a9fca5181e3a1a74ca452d69f064db3d6a0c7c"},
+		{"pauli-mc", func() (any, error) {
+			return pauli.MonteCarloCtx(ctx, cyc, pcfg, opt)
+		}, "d2db0d64efbf71f247dc3abcdf2fade989f75f901c11eb2e9eec922911fb4946"},
+		{"pauli-trajectory", func() (any, error) {
+			return pauli.TrajectoryAverageFidelityCtx(ctx, pauli.DecoherenceChannel(100e-9, 280e-6, 175e-6), 2000, 9, opt)
+		}, "dfd74da99910212fa4b2cc383e620846b86c21b95c0dab48573b9624dc6253ec"},
+		{"readout-multiround", func() (any, error) {
+			return readout.MultiRoundErrorCtx(ctx, readout.DefaultChain(), readout.DefaultTiming(), mrCfg, opt)
+		}, "aff331f33aa8135f47dd7709616abd9f56da82f67c3756e37785c0a3101f7984"},
+		{"readout-trajectory", func() (any, error) {
+			return readout.TrajectoryMCCtx(ctx, tCfg, readout.DefaultChain(), simrun.Options{ShardSize: 50})
+		}, "dddd8a99fc62cc9efb08915337c22e1d91dbd0eca10bddffcb017bb782cfe303"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenDigest(t, res)
+			if c.want == "" {
+				t.Errorf("golden digest not pinned yet; computed %s", got)
+			} else if got != c.want {
+				t.Errorf("result bytes diverged from the pre-optimization golden:\n got %s\nwant %s", got, c.want)
+			}
+		})
 	}
 }
