@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist bench-baseline bench-compare fuzz serve trace-demo verify clean help
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist race-dse bench-baseline bench-compare fuzz serve trace-demo verify clean help
 
 # Benchmark sampling knobs shared by bench-baseline and bench-compare:
 # time-based benchtime with repetition, so each snapshot carries min/mean
@@ -71,6 +71,18 @@ race-dist:
 	$(GO) test -race -count=2 -run 'Dist|Fleet|Probe|Degraded|FaultSuite/dist' ./internal/service ./internal/faultinject
 	$(GO) test -race -count=2 -run 'ChaosKillMatrix' .
 
+# Focused race pass over the design-space-exploration layer: grid expansion
+# + Pareto-fold properties, the sweep engine's committed-prefix determinism,
+# parent/child orchestration in the jobs manager (tenant quotas, cancel
+# cascades, journaled re-adoption), the dse.sweep service endpoints + SSE
+# frontier stream, the DSE fault-injection scenarios, and the root
+# end-to-end acceptance suite, run twice so goroutine scheduling varies.
+race-dse:
+	$(GO) test -race -count=2 ./internal/dse
+	$(GO) test -race -count=2 -run 'DSE|Sweep|Tenant|Cancel|Orchestrator|List|Event|Journal' ./internal/service ./internal/jobs
+	$(GO) test -race -count=2 -run 'FaultSuite/(canceled-parent|dominated-point|sweep-coordinator)' ./internal/faultinject
+	$(GO) test -race -count=2 -run 'TestDSE' .
+
 # Regenerate BENCH_baseline.json: $(BENCHCOUNT) timed samples of every
 # benchmark in the repo, aggregated to per-unit min/mean/max, recorded so a
 # future change can diff hot-path cost against the baseline. Commit the
@@ -114,7 +126,7 @@ help:
 	@echo "  build           compile everything with version stamping"
 	@echo "  test            run the full test suite"
 	@echo "  verify          the CI gate: vet + build + race + fuzz"
-	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist)"
+	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist/dse)"
 	@echo "  bench-baseline  re-record BENCH_baseline.json ($(BENCHCOUNT)x $(BENCHTIME) samples)"
 	@echo "  bench-compare   run benchmarks and diff against BENCH_baseline.json;"
 	@echo "                  exits non-zero on a regression beyond threshold"

@@ -6,7 +6,7 @@
 //
 //	qisimd [-addr :8080] [-workers n] [-queue 64] [-cache-entries 256]
 //	       [-job-timeout d] [-drain-timeout 30s] [-data-dir dir]
-//	       [-pprof addr] [-log-level info] [-log-format text]
+//	       [-tenant-quota n] [-pprof addr] [-log-level info] [-log-format text]
 //	       [-role standalone|coordinator|worker] [-coordinator-url url]
 //	       [-worker-id id] [-advertise url] [-lease-ttl 15s] [-unit-shards 4]
 //
@@ -24,13 +24,23 @@
 //
 // API:
 //
-//	POST /v1/jobs            {"kind": "surface.mc", "params": {...}}
-//	GET  /v1/jobs/{id}       job state, live progress, result or typed error
-//	GET  /v1/jobs/{id}/trace finished job's span tree (?format=json|chrome|tree)
-//	GET  /v1/results/{key}   cached result body (byte-exact replay)
-//	GET  /metrics            Prometheus text exposition
-//	GET  /healthz            liveness: 200 serving / 503 draining
-//	GET  /readyz             readiness: 503 recovering / draining / saturated
+//	POST   /v1/jobs            {"kind": "surface.mc", "params": {...}}
+//	GET    /v1/jobs            list jobs (?kind=&state=&tenant=&parent=&limit=)
+//	GET    /v1/jobs/{id}       job state, live progress, result or typed error
+//	DELETE /v1/jobs/{id}       cancel a job (a dse.sweep cancels its children)
+//	GET    /v1/jobs/{id}/events SSE stream: state changes + partial frontiers
+//	GET    /v1/jobs/{id}/trace finished job's span tree (?format=json|chrome|tree)
+//	GET    /v1/results/{key}   cached result body (byte-exact replay)
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            liveness: 200 serving / 503 draining
+//	GET    /readyz             readiness: 503 recovering / draining / saturated
+//
+// Multi-tenancy: clients may stamp submissions with an X-QIsim-Tenant
+// header. -tenant-quota caps each tenant's concurrently in-flight
+// top-level jobs (children fanned out by a dse.sweep are exempt); a
+// submission over quota is refused with 429 and error class
+// "quota-exceeded". Tenants are attribution only — results stay
+// content-addressed, so identical work dedupes across tenants.
 //
 // Observability: every executed job records a bounded span trace (queue
 // wait, executor, per-shard, merge, checkpoint spans) served by the trace
@@ -82,6 +92,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	dataDir := flag.String("data-dir", "", "crash-safe state directory (job journal + MC checkpoints); empty = in-memory only")
+	tenantQuota := flag.Int("tenant-quota", 0, "max in-flight top-level jobs per tenant (0 = unlimited)")
 	maxBody := flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "largest accepted POST /v1/jobs body (413 beyond)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = off")
 	traceSpans := flag.Int("trace-max-spans", 0, "per-job span-buffer bound (0 = default, negative = disable job tracing)")
@@ -111,7 +122,8 @@ func main() {
 	opts := daemonOpts{
 		addr: *addr, workers: *workers, queue: *queue, cacheEntries: *cacheEntries,
 		jobTimeout: *jobTimeout, drainTimeout: *drainTimeout, dataDir: *dataDir,
-		maxBody: *maxBody, pprofAddr: *pprofAddr, traceSpans: *traceSpans,
+		tenantQuota: *tenantQuota,
+		maxBody:     *maxBody, pprofAddr: *pprofAddr, traceSpans: *traceSpans,
 		role: *role, coordinatorURL: *coordinatorURL, workerID: *workerID,
 		advertise: *advertise, leaseTTL: *leaseTTL, unitShards: *unitShards,
 	}
@@ -128,6 +140,7 @@ type daemonOpts struct {
 	cacheEntries             int
 	jobTimeout, drainTimeout time.Duration
 	dataDir                  string
+	tenantQuota              int
 	maxBody                  int64
 	pprofAddr                string
 	traceSpans               int
@@ -155,6 +168,7 @@ func run(logger *slog.Logger, o daemonOpts) error {
 		CacheEntries:  o.cacheEntries,
 		JobTimeout:    o.jobTimeout,
 		DataDir:       o.dataDir,
+		TenantQuota:   o.tenantQuota,
 		MaxBodyBytes:  o.maxBody,
 		Logger:        logger,
 		TraceMaxSpans: o.traceSpans,

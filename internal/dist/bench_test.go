@@ -40,7 +40,7 @@ func BenchmarkDistDispatch(b *testing.B) {
 				w.Run(ctx)
 			}()
 		}
-		if _, _, err := c.Execute(ctx, "toy", "bench", nil, toyCore(1), toyPlan); err != nil {
+		if _, _, err := c.Execute(ctx, "toy", "bench", nil, toyCore(1), toyPlan, nil); err != nil {
 			b.Fatal(err)
 		}
 		cancel()

@@ -174,8 +174,9 @@ type distJob struct {
 
 	fold          Fold
 	tally         simrun.Tally
-	frontierUnit  int // next unit awaiting fold
-	frontierShard int // next global shard awaiting fold
+	progress      func(completed, requested int) // nil = silent
+	frontierUnit  int                            // next unit awaiting fold
+	frontierShard int                            // next global shard awaiting fold
 	stopReason    string
 	finished      bool
 	result        []byte
@@ -602,6 +603,12 @@ func (c *Coordinator) advanceLocked(j *distJob) {
 	if j.finished || j.err != nil {
 		return
 	}
+	before := j.frontierShard
+	defer func() {
+		if j.progress != nil && j.frontierShard > before && j.err == nil {
+			j.progress(j.plan.PrefixShots(j.frontierShard), j.plan.Shots)
+		}
+	}()
 	for j.frontierUnit < len(j.units) && j.units[j.frontierUnit].state == unitDone {
 		u := j.units[j.frontierUnit]
 		for k := u.start; k < u.end; k++ {
@@ -824,10 +831,17 @@ func (c *Coordinator) Start(ctx context.Context) {
 // result is complete (or ctx truncates it). The merged result is
 // byte-identical to core.RunFull over the same plan.
 //
+// progress, when non-nil, observes the committed shard frontier after
+// every fold advance (completed shots out of the plan's requested shots) —
+// the same signal a standalone run feeds through simrun.Options.Progress,
+// so a distributed job's live progress looks identical to a local one's.
+// It is invoked under the coordinator lock: keep it cheap and never call
+// back into the coordinator.
+//
 // Degradation ladder: zero live workers at admission returns ErrNoWorkers
 // (the caller runs fully local); units that exhaust remote attempts — or
 // find the fleet empty mid-job — run on the local lane inside this call.
-func (c *Coordinator) Execute(ctx context.Context, kind, key string, params json.RawMessage, core Core, plan Plan) ([]byte, simrun.Status, error) {
+func (c *Coordinator) Execute(ctx context.Context, kind, key string, params json.RawMessage, core Core, plan Plan, progress func(completed, requested int)) ([]byte, simrun.Status, error) {
 	plan = plan.Normalized()
 	if plan.Shots <= 0 {
 		return nil, simrun.Status{}, simerr.Invalidf("dist: plan has no shots")
@@ -845,9 +859,10 @@ func (c *Coordinator) Execute(ctx context.Context, kind, key string, params json
 	}
 	j := &distJob{
 		kind: kind, key: key, params: params, plan: plan, core: core,
-		fold:   core.NewFold(),
-		tracer: obs.FromContext(ctx),
-		span:   obs.SpanFromContext(ctx),
+		fold:     core.NewFold(),
+		progress: progress,
+		tracer:   obs.FromContext(ctx),
+		span:     obs.SpanFromContext(ctx),
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		j.deadline, j.hasDeadline = dl, true

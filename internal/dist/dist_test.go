@@ -149,7 +149,7 @@ type execOutcome struct {
 func startExecute(c *Coordinator, ctx context.Context, key string, core Core, p Plan) chan execOutcome {
 	ch := make(chan execOutcome, 1)
 	go func() {
-		b, st, err := c.Execute(ctx, "toy", key, nil, core, p)
+		b, st, err := c.Execute(ctx, "toy", key, nil, core, p, nil)
 		ch <- execOutcome{b, st, err}
 	}()
 	return ch
@@ -221,7 +221,7 @@ func waitOutcome(t *testing.T, ch chan execOutcome) execOutcome {
 func TestExecuteNoWorkersIsTyped(t *testing.T) {
 	c := NewCoordinator(Config{})
 	core := toyCore(1)
-	_, _, err := c.Execute(context.Background(), "toy", "kx", nil, core, toyPlan)
+	_, _, err := c.Execute(context.Background(), "toy", "kx", nil, core, toyPlan, nil)
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("want ErrNoWorkers, got %v", err)
 	}
@@ -579,7 +579,7 @@ func TestInProcessWorkerFleet(t *testing.T) {
 				w.Run(ctx)
 			}()
 		}
-		body, st, err := c.Execute(ctx, "toy", "k1", nil, core, toyPlan)
+		body, st, err := c.Execute(ctx, "toy", "k1", nil, core, toyPlan, nil)
 		cancel()
 		wg.Wait()
 		if err != nil {
@@ -699,5 +699,68 @@ func TestMidJobFleetLossFallsBackLocal(t *testing.T) {
 	}
 	if st := c.Stats(); st.LocalUnits == 0 || st.Evictions != 1 {
 		t.Fatalf("local lane not exercised: %+v", st)
+	}
+}
+
+// TestExecuteProgressFrontier: the progress callback must track the
+// committed shard frontier — monotone, never past the fold, ending at the
+// full shot count on a completed run.
+func TestExecuteProgressFrontier(t *testing.T) {
+	core := toyCore(1)
+	c := NewCoordinator(Config{LeaseTTL: 5 * time.Second, UnitShards: 2})
+	c.Register(context.Background(), WorkerInfo{ID: "w1"})
+
+	var mu sync.Mutex
+	var completed []int
+	progress := func(done, requested int) {
+		if requested != toyPlan.Shots {
+			t.Errorf("progress requested = %d, want %d", requested, toyPlan.Shots)
+		}
+		mu.Lock()
+		completed = append(completed, done)
+		mu.Unlock()
+	}
+
+	ch := make(chan execOutcome, 1)
+	go func() {
+		b, st, err := c.Execute(context.Background(), "toy", "kp", nil, core, toyPlan, progress)
+		ch <- execOutcome{b, st, err}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var out execOutcome
+	done := false
+	for !done && time.Now().Before(deadline) {
+		for _, g := range drainClaims(t, c, "w1") {
+			report(t, c, core, "w1", g)
+		}
+		select {
+		case out = <-ch:
+			done = true
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !done {
+		t.Fatal("Execute did not finish")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(completed) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i := 1; i < len(completed); i++ {
+		if completed[i] < completed[i-1] {
+			t.Fatalf("progress regressed: %v", completed)
+		}
+	}
+	last := completed[len(completed)-1]
+	if last != toyPlan.Shots {
+		t.Fatalf("final progress = %d, want %d (all %v)", last, toyPlan.Shots, completed)
+	}
+	if out.status.Completed != toyPlan.Shots {
+		t.Fatalf("status %+v", out.status)
 	}
 }

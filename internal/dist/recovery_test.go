@@ -158,7 +158,7 @@ func TestSharedCacheAnswersUnitsBeforeDispatch(t *testing.T) {
 	// cache hits, no grants needed.
 	c2 := NewCoordinator(Config{Cache: cache, LeaseTTL: time.Minute, UnitShards: 4})
 	c2.Register(context.Background(), WorkerInfo{ID: "w1"})
-	body, st, err := c2.Execute(context.Background(), "toy", "kc", nil, core, toyPlan)
+	body, st, err := c2.Execute(context.Background(), "toy", "kc", nil, core, toyPlan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

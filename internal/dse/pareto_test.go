@@ -1,0 +1,199 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var testObjs = []Objective{
+	{Metric: "q", Goal: Max},
+	{Metric: "p", Goal: Min},
+	{Metric: "e", Goal: Min},
+}
+
+func TestDominates(t *testing.T) {
+	a := map[string]float64{"q": 10, "p": 1, "e": 0.1}
+	b := map[string]float64{"q": 5, "p": 2, "e": 0.1}
+	if !Dominates(testObjs, a, b) {
+		t.Error("a should dominate b")
+	}
+	if Dominates(testObjs, b, a) {
+		t.Error("b must not dominate a")
+	}
+	// Equal points: neither dominates.
+	if Dominates(testObjs, a, a) {
+		t.Error("a point must not dominate itself")
+	}
+	// Trade-off: better q, worse p — no dominance either way.
+	c := map[string]float64{"q": 20, "p": 5, "e": 0.1}
+	if Dominates(testObjs, a, c) || Dominates(testObjs, c, a) {
+		t.Error("trade-off points must be incomparable")
+	}
+	// Missing metric counts as worst.
+	d := map[string]float64{"q": 10, "p": 1}
+	if !Dominates(testObjs, a, d) {
+		t.Error("a should dominate d (missing metric is worst-case)")
+	}
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	a := map[string]float64{"q": 10, "p": 1, "e": 0.1}
+	weak := map[string]float64{"q": 5, "p": 2, "e": 0.1} // ties on e
+	if StrictlyDominates(testObjs, a, weak) {
+		t.Error("tie on one objective must defeat strict dominance")
+	}
+	strict := map[string]float64{"q": 5, "p": 2, "e": 0.2}
+	if !StrictlyDominates(testObjs, a, strict) {
+		t.Error("a should strictly dominate strict")
+	}
+}
+
+// naiveFrontier is the O(n²) reference: keep exactly the points not
+// dominated by any other point.
+func naiveFrontier(objs []Objective, cs []Candidate) []Candidate {
+	var out []Candidate
+	for i, c := range cs {
+		dominated := false
+		for j, d := range cs {
+			if i != j && Dominates(objs, d.Metrics, c.Metrics) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func frontierKey(cs []Candidate) string {
+	b, _ := json.Marshal(cs)
+	return string(b)
+}
+
+// TestFrontierMatchesNaiveReference folds random point clouds through the
+// incremental frontier and checks the surviving set against the quadratic
+// reference, across sizes, dimensionalities and duplicate densities.
+func TestFrontierMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 200; trial++ {
+		nObjs := 1 + rng.Intn(4)
+		objs := make([]Objective, nObjs)
+		for i := range objs {
+			g := Max
+			if rng.Intn(2) == 0 {
+				g = Min
+			}
+			objs[i] = Objective{Metric: fmt.Sprintf("m%d", i), Goal: g}
+		}
+		n := 1 + rng.Intn(60)
+		// Small value alphabet so exact ties and duplicates are common.
+		vals := []float64{0, 1, 2, 3}
+		cs := make([]Candidate, n)
+		for i := range cs {
+			m := map[string]float64{}
+			for _, o := range objs {
+				m[o.Metric] = vals[rng.Intn(len(vals))]
+			}
+			cs[i] = Candidate{Index: i, Metrics: m}
+		}
+		f := NewFrontier(objs)
+		for _, c := range cs {
+			f.Add(c)
+		}
+		got := f.Snapshot().Points
+		want := naiveFrontier(objs, cs)
+		if frontierKey(got) != frontierKey(want) {
+			t.Fatalf("trial %d (%d objs, %d pts): frontier mismatch\n got %s\nwant %s",
+				trial, nObjs, n, frontierKey(got), frontierKey(want))
+		}
+	}
+}
+
+// TestFrontierFoldOrderIndependent shuffles the fold order and checks the
+// surviving set never changes — the property the sweep's byte-identity
+// contract leans on.
+func TestFrontierFoldOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		cs := make([]Candidate, n)
+		for i := range cs {
+			cs[i] = Candidate{Index: i, Metrics: map[string]float64{
+				"q": float64(rng.Intn(5)),
+				"p": float64(rng.Intn(5)),
+				"e": float64(rng.Intn(5)),
+			}}
+		}
+		fold := func(order []int) string {
+			f := NewFrontier(testObjs)
+			for _, i := range order {
+				f.Add(cs[i])
+			}
+			return frontierKey(f.Snapshot().Points)
+		}
+		base := make([]int, n)
+		for i := range base {
+			base[i] = i
+		}
+		ref := fold(base)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			rng.Shuffle(n, func(i, j int) { base[i], base[j] = base[j], base[i] })
+			if got := fold(base); got != ref {
+				t.Fatalf("trial %d: fold order changed the frontier\n got %s\nwant %s", trial, got, ref)
+			}
+		}
+	}
+}
+
+func TestPruneBoundSafety(t *testing.T) {
+	f := NewFrontier(testObjs)
+	f.Add(Candidate{Index: 0, Metrics: map[string]float64{"q": 10, "p": 1, "e": 0.1}})
+	// Bound strictly worse on all objectives: prunable.
+	if !f.PruneBound(map[string]float64{"q": 5, "p": 2, "e": 0.2}) {
+		t.Error("strictly dominated bound should prune")
+	}
+	// Bound that ties on one objective: NOT prunable (the real point could
+	// tie the member and equal points are kept on the frontier).
+	if f.PruneBound(map[string]float64{"q": 10, "p": 2, "e": 0.2}) {
+		t.Error("bound tying a member on q must not prune")
+	}
+	// Bound better on one objective: not prunable.
+	if f.PruneBound(map[string]float64{"q": 20, "p": 2, "e": 0.2}) {
+		t.Error("bound beating the member on q must not prune")
+	}
+}
+
+func TestCheckObjectives(t *testing.T) {
+	if err := CheckObjectives(nil); err == nil {
+		t.Error("empty objectives: expected error")
+	}
+	if err := CheckObjectives([]Objective{{Metric: "a", Goal: "maximize"}}); err == nil {
+		t.Error("bad goal: expected error")
+	}
+	if err := CheckObjectives([]Objective{{Metric: "a", Goal: Max}, {Metric: "a", Goal: Min}}); err == nil {
+		t.Error("duplicate metric: expected error")
+	}
+	if err := CheckObjectives(testObjs); err != nil {
+		t.Errorf("valid objectives rejected: %v", err)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	f := NewFrontier(testObjs)
+	f.Add(Candidate{Index: 3, Metrics: map[string]float64{"q": 1, "p": 1, "e": 1}})
+	s := f.Snapshot()
+	f.Add(Candidate{Index: 1, Metrics: map[string]float64{"q": 9, "p": 0.1, "e": 0.1}})
+	if len(s.Points) != 1 || s.Points[0].Index != 3 {
+		t.Errorf("snapshot mutated by later Add: %+v", s.Points)
+	}
+	if !reflect.DeepEqual(s.Objectives, testObjs) {
+		t.Errorf("snapshot objectives = %+v", s.Objectives)
+	}
+}

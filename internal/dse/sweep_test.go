@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qisim/internal/simerr"
+)
+
+// synthetic objective surface: q rises with x, p rises with x², e falls
+// with y — so the frontier is a genuine trade-off curve.
+func synthEval(ctx context.Context, pts []Point) ([]map[string]float64, error) {
+	out := make([]map[string]float64, len(pts))
+	for i, p := range pts {
+		x := p.Coords["x"].(float64)
+		y := p.Coords["y"].(float64)
+		out[i] = map[string]float64{
+			"q": x * 10,
+			"p": x * x,
+			"e": 1 / (1 + y),
+		}
+	}
+	return out, nil
+}
+
+func synthGrid() Grid {
+	return Grid{Axes: []Axis{
+		{Name: "x", Range: &Range{From: 1, To: 10, Step: 1}},
+		{Name: "y", Range: &Range{From: 0, To: 4, Step: 1}},
+	}}
+}
+
+func outcomeKey(t *testing.T, o Outcome) string {
+	t.Helper()
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRunSweepCoversGrid(t *testing.T) {
+	o, err := RunSweep(context.Background(), synthGrid(), testObjs, Policy{Wave: 7}, nil, synthEval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GridSize != 50 || o.Evaluated != 50 || o.Pruned != 0 {
+		t.Errorf("outcome = %+v, want 50 evaluated", o)
+	}
+	if o.Waves != 8 { // ceil(50/7)
+		t.Errorf("waves = %d, want 8", o.Waves)
+	}
+	if len(o.Frontier.Points) == 0 {
+		t.Error("empty frontier")
+	}
+}
+
+// TestRunSweepPruningPreservesFrontier is the load-bearing safety property:
+// with a correct optimistic bound, the pruned sweep's frontier is identical
+// to the unpruned one (and the prune counter actually fires).
+func TestRunSweepPruningPreservesFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(60)
+		metricsByIdx := make([]map[string]float64, n)
+		for i := range metricsByIdx {
+			metricsByIdx[i] = map[string]float64{
+				"q": float64(rng.Intn(8)),
+				"p": float64(rng.Intn(8)),
+				"e": float64(rng.Intn(8)),
+			}
+		}
+		g := Grid{Axes: []Axis{{Name: "i", Range: &Range{From: 0, To: float64(n - 1), Step: 1}}}}
+		eval := func(ctx context.Context, pts []Point) ([]map[string]float64, error) {
+			out := make([]map[string]float64, len(pts))
+			for i, p := range pts {
+				out[i] = metricsByIdx[p.Index]
+			}
+			return out, nil
+		}
+		// A correct optimistic bound: each metric nudged toward its goal.
+		bound := func(p Point) map[string]float64 {
+			m := metricsByIdx[p.Index]
+			return map[string]float64{"q": m["q"] + 0.5, "p": m["p"] - 0.5, "e": m["e"] - 0.5}
+		}
+		plain, err := RunSweep(context.Background(), g, testObjs, Policy{Wave: 8}, nil, eval, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := RunSweep(context.Background(), g, testObjs, Policy{Wave: 8, Prune: true}, bound, eval, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(plain.Frontier)
+		b, _ := json.Marshal(pruned.Frontier)
+		if string(a) != string(b) {
+			t.Fatalf("trial %d: pruning changed the frontier\n plain %s\npruned %s", trial, a, b)
+		}
+		if pruned.Evaluated+pruned.Pruned != n {
+			t.Errorf("trial %d: evaluated %d + pruned %d != %d", trial, pruned.Evaluated, pruned.Pruned, n)
+		}
+	}
+}
+
+func TestRunSweepPruneActuallyFires(t *testing.T) {
+	// First wave contains the global optimum, so later dominated points
+	// must be skipped.
+	g := Grid{Axes: []Axis{{Name: "i", Range: &Range{From: 0, To: 63, Step: 1}}}}
+	eval := func(ctx context.Context, pts []Point) ([]map[string]float64, error) {
+		out := make([]map[string]float64, len(pts))
+		for i, p := range pts {
+			if p.Index == 0 {
+				out[i] = map[string]float64{"q": 100, "p": 0, "e": 0}
+			} else {
+				out[i] = map[string]float64{"q": 1, "p": 10, "e": 10}
+			}
+		}
+		return out, nil
+	}
+	bound := func(p Point) map[string]float64 {
+		if p.Index == 0 {
+			return map[string]float64{"q": 100, "p": 0, "e": 0}
+		}
+		return map[string]float64{"q": 2, "p": 9, "e": 9}
+	}
+	o, err := RunSweep(context.Background(), g, testObjs, Policy{Wave: 8, Prune: true}, bound, eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Pruned != 56 { // waves 2..8 entirely pruned
+		t.Errorf("pruned = %d, want 56", o.Pruned)
+	}
+	if len(o.Frontier.Points) != 1 || o.Frontier.Points[0].Index != 0 {
+		t.Errorf("frontier = %+v, want just point 0", o.Frontier.Points)
+	}
+}
+
+func TestRunSweepWaveProgress(t *testing.T) {
+	var waves []Progress
+	_, err := RunSweep(context.Background(), synthGrid(), testObjs, Policy{Wave: 13}, nil, synthEval,
+		func(p Progress) { waves = append(waves, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 4 {
+		t.Fatalf("got %d wave reports, want 4", len(waves))
+	}
+	for i, w := range waves {
+		if w.Wave != i+1 || w.Waves != 4 || w.Total != 50 {
+			t.Errorf("wave %d report = %+v", i, w)
+		}
+		if len(w.Frontier.Points) == 0 {
+			t.Errorf("wave %d: empty partial frontier", i)
+		}
+	}
+	if waves[3].Evaluated != 50 {
+		t.Errorf("final evaluated = %d, want 50", waves[3].Evaluated)
+	}
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	eval := func(c context.Context, pts []Point) ([]map[string]float64, error) {
+		evals++
+		if evals == 2 {
+			cancel() // cancel after the second wave commits
+		}
+		return synthEval(c, pts)
+	}
+	o, err := RunSweep(ctx, synthGrid(), testObjs, Policy{Wave: 10}, nil, eval, nil)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, simerr.ErrInterrupted) {
+		t.Errorf("error class = %v, want interrupted", simerr.Class(err))
+	}
+	if o.Evaluated != 20 {
+		t.Errorf("evaluated = %d, want the two committed waves (20)", o.Evaluated)
+	}
+	if len(o.Frontier.Points) == 0 {
+		t.Error("truncated outcome lost its committed frontier")
+	}
+}
+
+// TestRunSweepDeterministicOutcome pins that two identical sweeps produce
+// byte-identical serialised outcomes, including with pruning on.
+func TestRunSweepDeterministicOutcome(t *testing.T) {
+	bound := func(p Point) map[string]float64 {
+		x := p.Coords["x"].(float64)
+		return map[string]float64{"q": x*10 + 1, "p": x*x - 1, "e": 0}
+	}
+	run := func() string {
+		o, err := RunSweep(context.Background(), synthGrid(), testObjs, Policy{Wave: 9, Prune: true}, bound, synthEval, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcomeKey(t, o)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical sweeps diverged:\n%s\n%s", a, b)
+	}
+}

@@ -30,7 +30,7 @@ func IDs() []string {
 		"fig8", "fig10", "table1", "fig11", "table2",
 		"fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "table3",
-		"section7.3", "ablations", "features",
+		"section7.3", "ablations", "features", "dse",
 	}
 }
 
@@ -80,6 +80,12 @@ func Run(id string) (string, error) {
 		return Section73(), nil
 	case "features":
 		return Features(), nil
+	case "dse":
+		r, err := DSE()
+		if err != nil {
+			return "", err
+		}
+		return r.Report, nil
 	default:
 		return "", fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}

@@ -130,3 +130,28 @@ func TestRunAllContainsEverySection(t *testing.T) {
 		}
 	}
 }
+
+func TestDSEExperiment(t *testing.T) {
+	r1, err := DSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outcome.GridSize != 48 || r1.Outcome.Evaluated+r1.Outcome.Pruned != 48 {
+		t.Fatalf("outcome %+v", r1.Outcome)
+	}
+	if len(r1.Outcome.Frontier.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// The Fig. 17 conclusion: ERSFQ-opt8 leads the frontier.
+	if got, _ := r1.Outcome.Frontier.Points[0].Params["design"].(string); got != "ERSFQ-opt8" {
+		t.Fatalf("frontier leader %q, want ERSFQ-opt8", got)
+	}
+	// Deterministic: a second run serialises byte-identically.
+	r2, err := DSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Canonical) != string(r2.Canonical) {
+		t.Fatalf("canonical outcome differs across runs:\n%s\n%s", r1.Canonical, r2.Canonical)
+	}
+}

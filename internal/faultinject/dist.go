@@ -111,7 +111,7 @@ type distOutcome struct {
 func startDistExecute(c *dist.Coordinator, ctx context.Context, key string, core dist.Core, p dist.Plan) chan distOutcome {
 	ch := make(chan distOutcome, 1)
 	go func() {
-		b, st, err := c.Execute(ctx, "toy", key, nil, core, p)
+		b, st, err := c.Execute(ctx, "toy", key, nil, core, p, nil)
 		ch <- distOutcome{b, st, err}
 	}()
 	return ch

@@ -1,15 +1,16 @@
-// Package jobs is qisimd's asynchronous execution layer: a bounded
-// in-memory queue feeding a worker pool that drives the context-aware
-// simulation entry points (internal/simrun's ...Ctx variants) and lands
-// completed results in the content-addressed cache (internal/rescache).
+// Package jobs is qisimd's asynchronous execution layer: bounded per-tenant
+// queues feeding a worker pool that drives the context-aware simulation
+// entry points (internal/simrun's ...Ctx variants) and lands completed
+// results in the content-addressed cache (internal/rescache).
 //
 // The flow mirrors the CLI contract one level up the stack:
 //
 //   - every job runs under a per-job context derived from the manager's
 //     base context (plus an optional per-job deadline);
-//   - cancellation — a drain, a deadline — surfaces through the existing
-//     partial-result path: the job finishes "done" with a Truncated-flagged
-//     status and a best-so-far body, never a hang or a lost run;
+//   - cancellation — a drain, a deadline, an explicit Cancel — surfaces
+//     through the existing partial-result path: the job finishes "done" with
+//     a Truncated-flagged status and a best-so-far body, never a hang or a
+//     lost run;
 //   - hard failures carry their simerr class, which the HTTP layer maps to
 //     status codes exactly as the CLIs map them to exit codes 3–7.
 //
@@ -19,6 +20,24 @@
 // Deterministic sharding makes this sound — the cached bytes are bit-exactly
 // what a recomputation would produce. Truncated partials are deliberately
 // NEVER cached (they are the one non-deterministic outcome).
+//
+// Multi-tenancy and fan-out (the DSE layer, see internal/dse):
+//
+//   - submissions carry an optional tenant; queued work is scheduled fair
+//     round-robin BETWEEN tenants (one job per tenant per pass), so a bulk
+//     sweep from one tenant cannot starve another's single analysis;
+//   - Config.TenantQuota bounds each tenant's in-flight top-level jobs
+//     (ErrQuotaExceeded, HTTP 429 with a distinct body);
+//   - a job may name a parent: the parent's snapshot aggregates child
+//     states, Cancel(parent) cascades to children no other live parent or
+//     external submission still needs, and the WAL records the linkage so
+//     recovery re-adopts a half-finished sweep under its resubmitted parent;
+//   - orchestrator jobs (SubmitOptions.Orchestrator) run on their own
+//     goroutine instead of a pool slot, so a parent that blocks waiting for
+//     its children can never deadlock the pool that must run them;
+//   - every job keeps a bounded event log (state transitions plus
+//     Publish()-ed custom events such as partial Pareto frontiers) that
+//     Subscribe streams live — the feed behind GET /v1/jobs/{id}/events.
 package jobs
 
 import (
@@ -41,18 +60,25 @@ import (
 // Kind names one of the service's job families.
 type Kind string
 
-// The five served analysis kinds.
+// The served analysis kinds.
 const (
 	KindScalabilityAnalyze Kind = "scalability.analyze"
 	KindScalabilitySweep   Kind = "scalability.sweep"
 	KindSurfaceMC          Kind = "surface.mc"
 	KindPauliMC            Kind = "pauli.mc"
 	KindReadoutMC          Kind = "readout.mc"
+	// KindDSESweep is the design-space exploration parent: it expands a
+	// parameter grid into KindDSEPoint children fanned out through this
+	// queue and folds their results into a streamed Pareto frontier.
+	KindDSESweep Kind = "dse.sweep"
+	// KindDSEPoint is one grid-point evaluation (a child of a dse.sweep,
+	// also submittable directly).
+	KindDSEPoint Kind = "dse.point"
 )
 
 // Kinds lists every served kind (stable order, for docs and validation).
 func Kinds() []Kind {
-	return []Kind{KindScalabilityAnalyze, KindScalabilitySweep, KindSurfaceMC, KindPauliMC, KindReadoutMC}
+	return []Kind{KindScalabilityAnalyze, KindScalabilitySweep, KindSurfaceMC, KindPauliMC, KindReadoutMC, KindDSESweep, KindDSEPoint}
 }
 
 // Valid reports whether k names a served kind.
@@ -91,6 +117,17 @@ type Progress struct {
 	Requested int `json:"requested"`
 }
 
+// ChildStats aggregates the states of a parent job's children. Children
+// evicted from the record window were finished, and only finished children
+// are evictable, so they are counted as done.
+type ChildStats struct {
+	Total   int `json:"total"`
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
 // Snapshot is an immutable copy of a job's state, safe to serialize.
 type Snapshot struct {
 	ID         string          `json:"id"`
@@ -98,6 +135,9 @@ type Snapshot struct {
 	Key        rescache.Key    `json:"key"`
 	State      State           `json:"state"`
 	Cached     bool            `json:"cached"`
+	Tenant     string          `json:"tenant,omitempty"`
+	Parent     string          `json:"parent,omitempty"`
+	Children   *ChildStats     `json:"children,omitempty"`
 	CreatedAt  time.Time       `json:"created_at"`
 	StartedAt  *time.Time      `json:"started_at,omitempty"`
 	FinishedAt *time.Time      `json:"finished_at,omitempty"`
@@ -152,6 +192,9 @@ func (o Outcome) String() string {
 var (
 	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
 	ErrQueueFull = errors.New("job queue full")
+	// ErrQuotaExceeded: the tenant already has TenantQuota top-level jobs
+	// in flight (HTTP 429 with a distinct quota-exceeded body).
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
 	// ErrDraining: the manager stopped accepting work (classed Interrupted,
 	// HTTP 503).
 	ErrDraining = simerr.Interruptedf("job manager draining")
@@ -161,7 +204,8 @@ var (
 type Config struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the queued-but-not-running backlog (default 64).
+	// QueueDepth bounds the queued-but-not-running backlog across all
+	// tenants (default 64).
 	QueueDepth int
 	// JobTimeout caps each job's wall clock (0 = none); expiry surfaces
 	// through the partial-result path like any deadline.
@@ -170,6 +214,14 @@ type Config struct {
 	// oldest finished records are evicted first. In-flight jobs are never
 	// evicted.
 	MaxRecords int
+	// TenantQuota bounds each tenant's in-flight TOP-LEVEL jobs — those
+	// submitted without a parent; a sweep's internal fan-out is accounted to
+	// its parent, not the quota. 0 = unlimited.
+	TenantQuota int
+	// MaxEventsPerJob bounds each job's retained event log (default 256).
+	// Subscribers lagging further than this may miss intermediate events;
+	// state events and the terminal close are never reordered.
+	MaxEventsPerJob int
 	// Cache receives completed (non-truncated) results and serves repeat
 	// submissions. Optional: nil disables caching.
 	Cache *rescache.Cache
@@ -197,6 +249,23 @@ type Config struct {
 	TraceMaxSpans int
 }
 
+// SubmitOptions extend a submission beyond kind/key/params.
+type SubmitOptions struct {
+	// Tenant attributes the job for fair scheduling and quotas ("" is the
+	// anonymous tenant, itself scheduled fairly against named ones).
+	Tenant string
+	// Parent links the job under an existing job ID: the parent's snapshot
+	// aggregates child states, cancellation cascades (see Cancel), and the
+	// WAL records the linkage for recovery re-adoption.
+	Parent string
+	// Orchestrator runs the job on a dedicated goroutine instead of a pool
+	// slot. Parents that submit children and block on them MUST set this:
+	// a parent occupying the only pool worker would deadlock its own
+	// fan-out. Orchestrator jobs skip the queue (no queue-depth charge) but
+	// still count toward the tenant quota and drain like any other job.
+	Orchestrator bool
+}
+
 // job is the manager-internal record. Mutable fields are guarded by the
 // manager mutex; the progress cells are atomics so the engine's Progress
 // hook never contends with HTTP polls.
@@ -207,15 +276,33 @@ type job struct {
 	cached  bool
 	created time.Time
 
+	tenant       string
+	parent       string   // first parent ID (display)
+	parents      []string // every parent attached via singleflight
+	children     []string // child IDs, submission order
+	externalRef  bool     // a parentless submission also wants this job
+	orchestrator bool
+	quotaCounted bool
+
 	run    Runner
 	params json.RawMessage // journaled request params (nil without a journal)
 	done   chan struct{}   // closed at finalization
+
+	ctx      context.Context // per-job cancellation root (nil for cached-born)
+	cancelFn context.CancelFunc
 
 	state             State
 	started, finished time.Time
 	status            *simrun.Status
 	errClass, errMsg  string
 	result            []byte
+
+	// Bounded event log + live subscriptions (see events.go).
+	events       []Event
+	eventSeq     int
+	subs         map[int]chan Event
+	subSeq       int
+	eventsClosed bool
 
 	// Tracing (nil/empty when Config.TraceMaxSpans == 0 or the job was
 	// served from cache). rootSpan covers submit→finalize, queueSpan the
@@ -229,7 +316,7 @@ type job struct {
 	progressDone, progressTotal atomic.Int64
 }
 
-// Manager owns the queue, the worker pool, the job records and the
+// Manager owns the queues, the worker pool, the job records and the
 // singleflight index.
 type Manager struct {
 	cfg    Config
@@ -238,11 +325,15 @@ type Manager struct {
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals workers when work arrives or drain begins
 	seq      int64
 	byID     map[string]*job
 	order    []*job // creation order, for record eviction
 	inflight map[rescache.Key]*job
-	queue    chan *job
+	queues   map[string][]*job // per-tenant FIFO of queued jobs
+	ring     []string          // round-robin order over tenants with queued work
+	queued   int               // total queued (not yet running) jobs
+	tenants  map[string]int    // in-flight top-level jobs per tenant (quota)
 	started  bool
 	draining bool
 
@@ -260,20 +351,26 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxRecords <= 0 {
 		cfg.MaxRecords = 1024
 	}
+	if cfg.MaxEventsPerJob <= 0 {
+		cfg.MaxEventsPerJob = DefaultMaxEventsPerJob
+	}
 	base := cfg.BaseContext
 	if base == nil {
 		base = context.Background()
 	}
 	ctx, cancel := context.WithCancel(base)
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		log:      obs.OrDiscard(cfg.Logger),
 		ctx:      ctx,
 		cancel:   cancel,
 		byID:     map[string]*job{},
 		inflight: map[rescache.Key]*job{},
-		queue:    make(chan *job, cfg.QueueDepth),
+		queues:   map[string][]*job{},
+		tenants:  map[string]int{},
 	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
 }
 
 // Start launches the worker pool. Idempotent.
@@ -286,31 +383,105 @@ func (m *Manager) Start() {
 	m.started = true
 	m.wg.Add(m.cfg.Workers)
 	for i := 0; i < m.cfg.Workers; i++ {
-		go func() {
-			defer m.wg.Done()
-			for j := range m.queue {
-				m.execute(j)
-			}
-		}()
+		go m.worker()
 	}
 }
 
-// Submit routes one request: cache hit → a job born done with the cached
-// bytes; key already in flight → the existing job (coalesced); otherwise a
-// new queued job. The cache probe and the singleflight insert happen under
-// one lock, so concurrent duplicates can never both enqueue.
+// worker pulls jobs round-robin across tenants until drain empties the
+// backlog (a drained backlog still executes — against the cancelled base
+// context — so every accepted job finalizes as a Truncated partial rather
+// than vanishing, matching the pre-tenant queue semantics).
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for m.queued == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if m.queued == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.nextLocked()
+		m.mu.Unlock()
+		m.execute(j)
+		m.mu.Lock()
+	}
+}
+
+// nextLocked pops the head of the next tenant's queue, rotating the ring so
+// each tenant with queued work gets one slot per pass.
+func (m *Manager) nextLocked() *job {
+	for len(m.ring) > 0 {
+		t := m.ring[0]
+		q := m.queues[t]
+		if len(q) == 0 {
+			m.ring = m.ring[1:]
+			delete(m.queues, t)
+			continue
+		}
+		j := q[0]
+		if len(q) == 1 {
+			m.ring = m.ring[1:]
+			delete(m.queues, t)
+		} else {
+			m.queues[t] = q[1:]
+			m.ring = append(m.ring[1:], t)
+		}
+		m.queued--
+		return j
+	}
+	return nil
+}
+
+// enqueueLocked appends j to its tenant's queue and wakes one worker.
+func (m *Manager) enqueueLocked(j *job) {
+	if len(m.queues[j.tenant]) == 0 {
+		m.ring = append(m.ring, j.tenant)
+	}
+	m.queues[j.tenant] = append(m.queues[j.tenant], j)
+	m.queued++
+	m.cond.Signal()
+}
+
+// Submit routes one request under default options: cache hit → a job born
+// done with the cached bytes; key already in flight → the existing job
+// (coalesced); otherwise a new queued job. See SubmitOpts.
+func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, run Runner) (Snapshot, Outcome, error) {
+	return m.SubmitOpts(kind, key, params, run, SubmitOptions{})
+}
+
+// SubmitOpts routes one request. The cache probe and the singleflight
+// insert happen under one lock, so concurrent duplicates can never both
+// enqueue.
 //
 // params is the raw request-params JSON retained in the journal (nil when no
 // journal is configured or the caller has no params) so the exact request
 // can be rebuilt and resubmitted after a restart. Cached and coalesced
 // submissions are not journaled — nothing new was enqueued.
-func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, run Runner) (Snapshot, Outcome, error) {
+func (m *Manager) SubmitOpts(kind Kind, key rescache.Key, params json.RawMessage, run Runner, o SubmitOptions) (Snapshot, Outcome, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return Snapshot{}, OutcomeQueued, ErrDraining
 	}
+	var parent *job
+	if o.Parent != "" {
+		p, ok := m.byID[o.Parent]
+		if !ok {
+			return Snapshot{}, OutcomeQueued, simerr.Invalidf("jobs: unknown parent job %q", o.Parent)
+		}
+		parent = p
+	}
 	if j, ok := m.inflight[key]; ok {
+		// Singleflight attach: record who else needs this job so a
+		// cascading cancel never kills work another parent (or a direct
+		// submission) is still waiting on.
+		if parent != nil {
+			m.linkLocked(parent, j)
+		} else {
+			j.externalRef = true
+		}
 		return m.snapshotLocked(j), OutcomeCoalesced, nil
 	}
 	if m.cfg.Cache != nil {
@@ -318,18 +489,41 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, ru
 			j := m.newJobLocked(kind, key)
 			now := time.Now()
 			j.cached = true
+			j.tenant = o.Tenant
 			j.state = StateDone
 			j.started, j.finished = now, now
 			j.result = body
+			if parent != nil {
+				m.linkLocked(parent, j)
+			}
+			m.publishStateLocked(j)
+			m.closeEventsLocked(j)
 			close(j.done)
 			m.log.Debug("job served from cache", "job", j.id, "kind", string(kind))
 			return m.snapshotLocked(j), OutcomeCached, nil
 		}
 	}
+	if parent == nil && m.cfg.TenantQuota > 0 && m.tenants[o.Tenant] >= m.cfg.TenantQuota {
+		return Snapshot{}, OutcomeQueued, fmt.Errorf("%w (tenant %q, quota %d)", ErrQuotaExceeded, o.Tenant, m.cfg.TenantQuota)
+	}
+	if !o.Orchestrator && m.queued >= m.cfg.QueueDepth {
+		return Snapshot{}, OutcomeQueued, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
 	j := m.newJobLocked(kind, key)
 	j.run = run
 	j.params = params
+	j.tenant = o.Tenant
+	j.orchestrator = o.Orchestrator
 	j.state = StateQueued
+	j.ctx, j.cancelFn = context.WithCancel(m.ctx)
+	if parent != nil {
+		m.linkLocked(parent, j)
+	} else {
+		if m.cfg.TenantQuota > 0 {
+			m.tenants[o.Tenant]++
+			j.quotaCounted = true
+		}
+	}
 	if m.cfg.TraceMaxSpans > 0 {
 		// The job's trace is born at acceptance: the root span covers the
 		// whole lifecycle and queue.wait measures time-to-worker.
@@ -337,27 +531,50 @@ func (m *Manager) Submit(kind Kind, key rescache.Key, params json.RawMessage, ru
 		j.rootSpan = j.tr.Start("job", nil, obs.String("kind", string(kind)))
 		j.queueSpan = j.tr.Start("queue.wait", j.rootSpan)
 	}
-	select {
-	case m.queue <- j:
-	default:
-		// Queue full: roll the record back and refuse.
-		delete(m.byID, j.id)
-		m.order = m.order[:len(m.order)-1]
-		return Snapshot{}, OutcomeQueued, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
-	}
 	m.inflight[key] = j
 	if m.cfg.Journal != nil {
 		// Best-effort WAL: a failed append degrades durability (counted on
-		// the journal), it does not refuse the submission.
+		// the journal), it does not refuse the submission. The parent is
+		// journaled by KEY, not ID — IDs are not stable across restarts.
+		parentKey := ""
+		if parent != nil {
+			parentKey = string(parent.key)
+		}
 		js := j.tr.Start("journal.append", j.rootSpan, obs.String("op", string(OpSubmit)))
-		if err := m.cfg.Journal.Append(OpSubmit, kind, key, params); err != nil {
+		if err := m.cfg.Journal.AppendSubmit(kind, key, params, o.Tenant, parentKey); err != nil {
 			m.log.Warn("journal append failed; durability degraded",
 				"job", j.id, "op", string(OpSubmit), "err", err)
 		}
 		js.End()
 	}
-	m.log.Info("job queued", "job", j.id, "kind", string(kind))
+	m.publishStateLocked(j)
+	if o.Orchestrator {
+		// Orchestrators get their own goroutine: they park in Wait for
+		// children the pool must be free to run.
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.execute(j)
+		}()
+	} else {
+		m.enqueueLocked(j)
+	}
+	m.log.Info("job queued", "job", j.id, "kind", string(kind), "tenant", o.Tenant, "parent", o.Parent)
 	return m.snapshotLocked(j), OutcomeQueued, nil
+}
+
+// linkLocked attaches j under parent (idempotent per pair).
+func (m *Manager) linkLocked(parent *job, j *job) {
+	for _, p := range j.parents {
+		if p == parent.id {
+			return
+		}
+	}
+	j.parents = append(j.parents, parent.id)
+	if j.parent == "" {
+		j.parent = parent.id
+	}
+	parent.children = append(parent.children, j.id)
 }
 
 // newJobLocked allocates a record; callers hold m.mu.
@@ -394,19 +611,23 @@ func (m *Manager) evictRecordsLocked() {
 	m.order = kept
 }
 
-// execute runs one job on a worker goroutine.
+// execute runs one job on a worker (or orchestrator) goroutine.
 func (m *Manager) execute(j *job) {
 	m.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
 	run := j.run
+	m.publishStateLocked(j)
 	m.mu.Unlock()
 	j.queueSpan.End() // queued → picked up by a worker
 	if m.cfg.Hooks.JobStarted != nil {
 		m.cfg.Hooks.JobStarted(j.kind)
 	}
 
-	ctx := m.ctx
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = m.ctx
+	}
 	cancel := context.CancelFunc(func() {})
 	if m.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
@@ -476,7 +697,17 @@ func (m *Manager) execute(j *job) {
 		snap := j.tr.Snapshot()
 		j.trace = &snap
 	}
+	if j.quotaCounted {
+		if m.tenants[j.tenant]--; m.tenants[j.tenant] <= 0 {
+			delete(m.tenants, j.tenant)
+		}
+	}
+	if j.cancelFn != nil {
+		j.cancelFn() // release the per-job context subtree
+	}
 	delete(m.inflight, j.key)
+	m.publishStateLocked(j)
+	m.closeEventsLocked(j)
 	close(j.done)
 	snapState, errClass, status := j.state, j.errClass, j.status
 	dur := j.finished.Sub(j.started)
@@ -501,6 +732,60 @@ func runSafely(run Runner, ctx context.Context, progress func(int, int)) (body [
 	return run(ctx, progress)
 }
 
+// Cancel cancels the job's context and cascades to descendants: a child is
+// cancelled only when every parent attached to it is itself in the
+// cancelled set and no parentless submission coalesced onto it — shared
+// children of an unaffected sweep keep running. Queued victims still
+// execute (immediately observing their dead context) and finalize as
+// Truncated partials — the uniform cancellation path. Cancelling a
+// finished job is a harmless no-op; unknown IDs return false.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	root, ok := m.byID[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	canceled := map[string]bool{root.id: true}
+	victims := []*job{root}
+	// Fixpoint over the child graph: a pass may unlock children whose last
+	// live parent was cancelled in the previous pass (diamond linkages).
+	for changed := true; changed; {
+		changed = false
+		for _, v := range victims {
+			for _, cid := range v.children {
+				c, ok := m.byID[cid]
+				if !ok || canceled[cid] || c.externalRef {
+					continue
+				}
+				all := true
+				for _, pid := range c.parents {
+					if !canceled[pid] {
+						all = false
+						break
+					}
+				}
+				if all {
+					canceled[cid] = true
+					victims = append(victims, c)
+					changed = true
+				}
+			}
+		}
+	}
+	fns := make([]context.CancelFunc, 0, len(victims))
+	for _, v := range victims {
+		if v.cancelFn != nil {
+			fns = append(fns, v.cancelFn)
+		}
+	}
+	m.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+	return true
+}
+
 // Get returns a snapshot of the job by ID.
 func (m *Manager) Get(id string) (Snapshot, bool) {
 	m.mu.Lock()
@@ -510,6 +795,43 @@ func (m *Manager) Get(id string) (Snapshot, bool) {
 		return Snapshot{}, false
 	}
 	return m.snapshotLocked(j), true
+}
+
+// Filter selects jobs for List; zero-valued fields match everything.
+type Filter struct {
+	Kind   Kind
+	State  State
+	Tenant string
+	Parent string
+}
+
+// List returns snapshots of the retained jobs matching f, newest first, at
+// most limit (limit <= 0 returns every match). Results are capped to the
+// record window (Config.MaxRecords); evicted history is gone.
+func (m *Manager) List(f Filter, limit int) []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []Snapshot{}
+	for i := len(m.order) - 1; i >= 0; i-- {
+		j := m.order[i]
+		if f.Kind != "" && j.kind != f.Kind {
+			continue
+		}
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		if f.Tenant != "" && j.tenant != f.Tenant {
+			continue
+		}
+		if f.Parent != "" && j.parent != f.Parent {
+			continue
+		}
+		out = append(out, m.snapshotLocked(j))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
 }
 
 // Trace returns the job's finished trace. The bool reports whether the job
@@ -557,6 +879,8 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		Key:       j.key,
 		State:     j.state,
 		Cached:    j.cached,
+		Tenant:    j.tenant,
+		Parent:    j.parent,
 		CreatedAt: j.created,
 		Progress: Progress{
 			Completed: int(j.progressDone.Load()),
@@ -564,6 +888,27 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		},
 		ErrorClass: j.errClass,
 		Error:      j.errMsg,
+	}
+	if len(j.children) > 0 {
+		cs := ChildStats{Total: len(j.children)}
+		for _, cid := range j.children {
+			c, ok := m.byID[cid]
+			if !ok {
+				cs.Done++ // evicted → was finished
+				continue
+			}
+			switch c.state {
+			case StateQueued:
+				cs.Queued++
+			case StateRunning:
+				cs.Running++
+			case StateFailed:
+				cs.Failed++
+			default:
+				cs.Done++
+			}
+		}
+		s.Children = &cs
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -585,14 +930,26 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 	return s
 }
 
-// QueueDepth returns the queued-but-not-running backlog.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+// QueueDepth returns the queued-but-not-running backlog across all tenants.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued
+}
 
 // InFlight returns the number of queued-or-running jobs.
 func (m *Manager) InFlight() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.inflight)
+}
+
+// TenantLoad returns the tenant's current in-flight top-level job count
+// (only tracked when Config.TenantQuota > 0).
+func (m *Manager) TenantLoad(tenant string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[tenant]
 }
 
 // Draining reports whether Drain has begun.
@@ -605,16 +962,19 @@ func (m *Manager) Draining() bool {
 // Drain stops the manager gracefully: new submissions are refused
 // (ErrDraining), every in-flight job context is cancelled — the running
 // simulations return through the existing partial-result path, flagged
-// Truncated — and the call blocks until the pool finishes committing those
-// partials (or ctx fires, returning ErrInterrupted). Idempotent.
+// Truncated — and the call blocks until the pool (and any orchestrator
+// goroutines) finish committing those partials (or ctx fires, returning
+// ErrInterrupted). Idempotent.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	first := !m.draining
 	m.draining = true
 	m.mu.Unlock()
 	if first {
-		m.cancel()     // in-flight jobs see cancellation → Truncated partials
-		close(m.queue) // workers exit after draining the (cancelled) backlog
+		m.cancel() // in-flight jobs see cancellation → Truncated partials
+		m.mu.Lock()
+		m.cond.Broadcast() // wake idle workers so they can exit
+		m.mu.Unlock()
 	}
 	finished := make(chan struct{})
 	go func() {

@@ -65,6 +65,13 @@ type journalEntry struct {
 	Kind   Kind            `json:"kind"`
 	Key    rescache.Key    `json:"key"`
 	Params json.RawMessage `json:"params,omitempty"`
+	// Tenant and Parent record the submission's scheduling attribution and
+	// parent linkage (OpSubmit only). Parent holds the parent job's KEY —
+	// job IDs are not stable across restarts — so recovery can tell a
+	// sweep's child from a top-level job and let the resubmitted parent
+	// re-adopt it instead of double-running the fan-out.
+	Tenant string `json:"tenant,omitempty"`
+	Parent string `json:"parent,omitempty"`
 	// Lease fields (OpLease/OpLeaseDone only).
 	Start     int       `json:"start,omitempty"`
 	End       int       `json:"end,omitempty"`
@@ -78,6 +85,12 @@ type PendingJob struct {
 	Kind   Kind
 	Key    rescache.Key
 	Params json.RawMessage
+	// Tenant is the submission's scheduling attribution ("" = anonymous).
+	Tenant string
+	// Parent is the parent job's key ("" for top-level jobs). A pending
+	// child whose parent is also pending is re-adopted by the resubmitted
+	// parent rather than resubmitted on its own.
+	Parent string
 	// Truncated records that a previous life already ran this job partway
 	// (drain/deadline) — a checkpoint likely exists to resume from.
 	Truncated bool
@@ -205,7 +218,7 @@ func (j *Journal) applyLocked(e journalEntry) {
 		if _, ok := j.pending[e.Key]; !ok {
 			j.order = append(j.order, e.Key)
 		}
-		j.pending[e.Key] = &PendingJob{Kind: e.Kind, Key: e.Key, Params: e.Params, At: e.At}
+		j.pending[e.Key] = &PendingJob{Kind: e.Kind, Key: e.Key, Params: e.Params, Tenant: e.Tenant, Parent: e.Parent, At: e.At}
 	case OpDone, OpFailed:
 		delete(j.pending, e.Key)
 		j.dropLeasesLocked(e.Key, -1, -1)
@@ -250,6 +263,17 @@ func (j *Journal) Append(op string, kind Kind, key rescache.Key, params json.Raw
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	e := journalEntry{Op: op, Kind: kind, Key: key, Params: params, At: time.Now().UTC()}
+	j.applyLocked(e)
+	return j.writeLocked(e)
+}
+
+// AppendSubmit durably records an accepted submission together with its
+// tenant attribution and parent linkage (parent is the parent job's key,
+// "" for top-level jobs). Same durability contract as Append.
+func (j *Journal) AppendSubmit(kind Kind, key rescache.Key, params json.RawMessage, tenant, parent string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := journalEntry{Op: OpSubmit, Kind: kind, Key: key, Params: params, Tenant: tenant, Parent: parent, At: time.Now().UTC()}
 	j.applyLocked(e)
 	return j.writeLocked(e)
 }
@@ -353,7 +377,7 @@ func (j *Journal) Compact() error {
 		if !ok {
 			continue
 		}
-		if err := write(journalEntry{Op: OpSubmit, Kind: p.Kind, Key: p.Key, Params: p.Params, At: p.At}); err != nil {
+		if err := write(journalEntry{Op: OpSubmit, Kind: p.Kind, Key: p.Key, Params: p.Params, Tenant: p.Tenant, Parent: p.Parent, At: p.At}); err != nil {
 			tmp.Close()
 			return simerr.Invalidf("journal: compact write: %v", err)
 		}

@@ -164,6 +164,35 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	f.add("", funcRenderer(fn))
 }
 
+// funcVecRenderer samples a callback returning one value per label value at
+// scrape time, emitting label series in sorted order.
+type funcVecRenderer struct {
+	label string
+	fn    func() map[string]float64
+}
+
+func (g funcVecRenderer) render(w io.Writer, name, labels string) {
+	vals := g.fn()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %s\n", name, mergeLabels(labels, g.label, k), formatFloat(vals[k]))
+	}
+}
+
+// GaugeFuncVec registers a gauge family with one dynamic label, sampled
+// from fn at scrape time — fn returns the current value per label value,
+// and keys absent from one scrape simply emit no series. The idiom for
+// live breakdowns whose label values aren't known up front, like resident
+// cache entries by job kind.
+func (r *Registry) GaugeFuncVec(name, help, label string, fn func() map[string]float64) {
+	f := r.family(name, help, "gauge")
+	f.add("", funcVecRenderer{label: label, fn: fn})
+}
+
 // CounterVec is a family of counters partitioned by a fixed label set.
 type CounterVec struct {
 	f      *family

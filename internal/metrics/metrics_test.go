@@ -166,3 +166,21 @@ func TestCounterIgnoresNegative(t *testing.T) {
 		t.Errorf("counter = %v, want 5", got)
 	}
 }
+
+func TestGaugeFuncVec(t *testing.T) {
+	r := New()
+	r.GaugeFuncVec("cache_by_kind", "Entries per kind.", "kind", func() map[string]float64 {
+		return map[string]float64{"surface.mc": 3, "dse.point": 12}
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP cache_by_kind Entries per kind.\n" +
+		"# TYPE cache_by_kind gauge\n" +
+		`cache_by_kind{kind="dse.point"} 12` + "\n" +
+		`cache_by_kind{kind="surface.mc"} 3` + "\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

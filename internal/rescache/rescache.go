@@ -197,6 +197,19 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// KindCounts returns the number of resident entries per kind — the
+// breakdown behind the qisimd_cache_entries_by_kind gauge. A sweep's
+// fan-out is visible here as a burst of dse.point entries.
+func (c *Cache) KindCounts() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int)
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out[el.Value.(*entry).kind]++
+	}
+	return out
+}
+
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()

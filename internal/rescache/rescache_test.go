@@ -170,3 +170,19 @@ func TestKeyVersionPinned(t *testing.T) {
 		t.Fatalf("KeyVersion = %d; if this bump is intentional, update the golden key test in internal/service too", KeyVersion)
 	}
 }
+
+func TestKindCounts(t *testing.T) {
+	c := New(10)
+	c.Put("k1", "dse.point", []byte("a"))
+	c.Put("k2", "dse.point", []byte("b"))
+	c.Put("k3", "surface.mc", []byte("c"))
+	got := c.KindCounts()
+	if got["dse.point"] != 2 || got["surface.mc"] != 1 || len(got) != 2 {
+		t.Fatalf("KindCounts = %v", got)
+	}
+	// Re-putting an existing key must not double-count.
+	c.Put("k1", "dse.point", []byte("a2"))
+	if got := c.KindCounts(); got["dse.point"] != 2 {
+		t.Fatalf("after re-put: %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package scalability
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qisim/internal/microarch"
+	"qisim/internal/wiring"
+)
+
+func TestAnalyzePointMatchesAnalyze(t *testing.T) {
+	// At extraGateError = 0 the point metrics must agree with the headline
+	// Analyze verdict for every named design.
+	opt := DefaultOptions()
+	for _, d := range microarch.AllDesigns() {
+		m, err := AnalyzePointChecked(d, 0, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		a := Analyze(d, opt)
+		if m[MetricLogicalError] != a.LogicalError {
+			t.Errorf("%s: logical_error %v != Analyze %v", d.Name, m[MetricLogicalError], a.LogicalError)
+		}
+		if m[MetricMaxQubits] != clampInf(a.MaxQubits) {
+			t.Errorf("%s: max_qubits %v != Analyze %v", d.Name, m[MetricMaxQubits], a.MaxQubits)
+		}
+		if m[MetricPower4K] != a.PerQubit[wiring.Stage4K] {
+			t.Errorf("%s: power_4k_w %v != Analyze %v", d.Name, m[MetricPower4K], a.PerQubit[wiring.Stage4K])
+		}
+	}
+}
+
+func TestPointBoundIsOptimistic(t *testing.T) {
+	// The bound must be at least as good as the actual metrics under the
+	// DSE goals (max qubits, min power, min error) for every design ×
+	// distance × extra-gate-error combination the sweeps exercise.
+	for _, d := range microarch.AllDesigns() {
+		for _, dist := range []int{3, 11, 23} {
+			for _, extra := range []float64{0, 1e-5, 1e-3} {
+				opt := DefaultOptions()
+				opt.Distance = dist
+				m, err := AnalyzePointChecked(d, extra, opt)
+				if err != nil {
+					t.Fatalf("%s d=%d extra=%v: %v", d.Name, dist, extra, err)
+				}
+				b := PointBound(d, extra, opt)
+				if b[MetricMaxQubits] < m[MetricMaxQubits] {
+					t.Errorf("%s d=%d extra=%v: bound max_qubits %v < actual %v", d.Name, dist, extra, b[MetricMaxQubits], m[MetricMaxQubits])
+				}
+				if b[MetricLogicalError] > m[MetricLogicalError] {
+					t.Errorf("%s d=%d extra=%v: bound logical_error %v > actual %v", d.Name, dist, extra, b[MetricLogicalError], m[MetricLogicalError])
+				}
+				if b[MetricPower4K] > m[MetricPower4K] {
+					t.Errorf("%s: bound power_4k_w %v > actual %v", d.Name, b[MetricPower4K], m[MetricPower4K])
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzePointExtraErrorHurts(t *testing.T) {
+	// More per-gate error can never improve the logical error rate.
+	d := microarch.ERSFQOpt8()
+	opt := DefaultOptions()
+	prev := -1.0
+	for _, extra := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} {
+		m, err := AnalyzePointChecked(d, extra, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m[MetricLogicalError] < prev {
+			t.Errorf("extra=%v: logical error %v fell below %v", extra, m[MetricLogicalError], prev)
+		}
+		prev = m[MetricLogicalError]
+	}
+}
+
+func TestAnalyzePointCheckedRejects(t *testing.T) {
+	d := microarch.CMOS4KBaseline()
+	opt := DefaultOptions()
+	if _, err := AnalyzePointChecked(d, -0.1, opt); err == nil {
+		t.Error("negative extra error: expected rejection")
+	}
+	if _, err := AnalyzePointChecked(d, 1.5, opt); err == nil {
+		t.Error("extra error > 1: expected rejection")
+	}
+	bad := opt
+	bad.Distance = 4
+	if _, err := AnalyzePointChecked(d, 0, bad); err == nil {
+		t.Error("even distance: expected rejection")
+	}
+}
+
+func TestAnalyzePointJSONSafe(t *testing.T) {
+	// Every metric must serialise (no Inf/NaN) so the frontier envelope is
+	// always valid JSON.
+	opt := DefaultOptions()
+	for _, d := range microarch.AllDesigns() {
+		m, err := AnalyzePointChecked(d, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := json.Marshal(m); err != nil {
+			t.Errorf("%s: metrics not JSON-serialisable: %v", d.Name, err)
+		}
+	}
+}

@@ -79,20 +79,31 @@ type buildEnv struct {
 	// onDegraded fires when a coordinator-routed run falls back to the
 	// local path because the fleet has zero live workers.
 	onDegraded func()
+	// mgr lets orchestrator runners (dse.sweep) fan children out through
+	// the job queue, wait on them and inspect their snapshots. Nil outside
+	// a server (worker-side core building never runs orchestrators).
+	mgr *jobs.Manager
+	// onChild observes each child submission's outcome so the service
+	// counts internally fanned-out jobs like HTTP submissions.
+	onChild func(kind jobs.Kind, outcome jobs.Outcome)
+	// publish streams a custom event on a job's event log (nil = no-op).
+	publish func(id, typ string, data any)
 }
 
 // runDist dispatches one MC run across the worker fleet. The bool reports
 // whether the dist lane produced (or definitively failed) the run; false
 // means "no live workers — take the standalone path" (counted as a
 // degraded run). The merged bytes are byte-identical to the standalone
-// path by the dist fold-replay contract.
+// path by the dist fold-replay contract. The job's progress callback is
+// fed from the coordinator's committed shard frontier, so fleet-routed
+// runs report live progress exactly like local ones.
 func (env buildEnv) runDist(ctx context.Context, kind jobs.Kind, key rescache.Key,
-	core dist.Core, plan dist.Plan, params any) ([]byte, simrun.Status, bool, error) {
+	core dist.Core, plan dist.Plan, params any, progress func(int, int)) ([]byte, simrun.Status, bool, error) {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return nil, simrun.Status{}, true, simerr.Invalidf("service: marshal dist params: %v", err)
 	}
-	body, st, err := env.dist.Execute(ctx, string(kind), string(key), raw, core, plan)
+	body, st, err := env.dist.Execute(ctx, string(kind), string(key), raw, core, plan, progress)
 	if errors.Is(err, dist.ErrNoWorkers) {
 		if env.onDegraded != nil {
 			env.onDegraded()
@@ -161,6 +172,10 @@ func buildJob(req jobRequest, env buildEnv) (jobs.Kind, rescache.Key, jobs.Runne
 		return buildReadoutMC(req.Params, env)
 	case jobs.KindScalabilityAnalyze:
 		return buildScalabilityAnalyze(req.Params)
+	case jobs.KindDSEPoint:
+		return buildDSEPoint(req.Params)
+	case jobs.KindDSESweep:
+		return buildDSESweep(req.Params, env)
 	default:
 		return buildScalabilitySweep(req.Params)
 	}
@@ -299,7 +314,7 @@ func buildSurfaceMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 			if err != nil {
 				return nil, simrun.Status{}, err
 			}
-			body, st, handled, err := env.runDist(ctx, jobs.KindSurfaceMC, key, core, surfacePlan(pp), pp)
+			body, st, handled, err := env.runDist(ctx, jobs.KindSurfaceMC, key, core, surfacePlan(pp), pp, progress)
 			if handled {
 				return body, st, err
 			}
@@ -417,7 +432,7 @@ func buildPauliMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key, j
 			if err != nil {
 				return nil, simrun.Status{}, err
 			}
-			body, st, handled, err := env.runDist(ctx, jobs.KindPauliMC, key, core, pauliPlan(pp), pp)
+			body, st, handled, err := env.runDist(ctx, jobs.KindPauliMC, key, core, pauliPlan(pp), pp, progress)
 			if handled {
 				return body, st, err
 			}
@@ -512,7 +527,7 @@ func buildReadoutMC(raw json.RawMessage, env buildEnv) (jobs.Kind, rescache.Key,
 			if err != nil {
 				return nil, simrun.Status{}, err
 			}
-			body, st, handled, err := env.runDist(ctx, jobs.KindReadoutMC, key, core, readoutPlan(pp), pp)
+			body, st, handled, err := env.runDist(ctx, jobs.KindReadoutMC, key, core, readoutPlan(pp), pp, progress)
 			if handled {
 				return body, st, err
 			}

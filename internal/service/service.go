@@ -5,13 +5,18 @@
 //
 // Routes (Go 1.22 method+wildcard mux):
 //
-//	POST /v1/jobs          submit a job   → 202 (queued/coalesced) or 200 (cached)
-//	GET  /v1/jobs/{id}     job snapshot   → state, live progress, result/error
-//	GET  /v1/results/{key} cached result  → the byte-exact stored body
-//	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          liveness: 200 while the process serves, 503 draining
-//	GET  /readyz           readiness: 503 while recovering the journal,
-//	                       draining, or with a saturated queue
+//	POST   /v1/jobs             submit a job   → 202 (queued/coalesced) or 200 (cached)
+//	GET    /v1/jobs             list retained jobs (?kind= ?state= ?tenant=
+//	                            ?parent= ?limit=; newest first, results stripped)
+//	GET    /v1/jobs/{id}        job snapshot   → state, live progress, result/error
+//	DELETE /v1/jobs/{id}        cancel the job (cascades to sweep children)
+//	GET    /v1/jobs/{id}/events SSE stream of the job's event log (state
+//	                            transitions plus per-wave "frontier" events)
+//	GET    /v1/results/{key}    cached result  → the byte-exact stored body
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness: 200 while the process serves, 503 draining
+//	GET    /readyz              readiness: 503 while recovering the journal,
+//	                            draining, or with a saturated queue
 //
 // Error mapping mirrors the CLI exit-code contract (simerr codes 3–7):
 //
@@ -86,6 +91,14 @@ type Config struct {
 	// jobs are dispatched across registered workers with leases, retries,
 	// work stealing and graceful local fallback (see dist.go).
 	Dist DistConfig
+	// TenantQuota bounds each tenant's in-flight top-level jobs (0 =
+	// unlimited). Exceeding it is a 429 with a distinct quota-exceeded
+	// body; a sweep's internal fan-out is accounted to its parent, not the
+	// quota.
+	TenantQuota int
+	// MaxEventsPerJob bounds each job's retained event log (the replay
+	// window of GET /v1/jobs/{id}/events). 0 = the jobs-layer default.
+	MaxEventsPerJob int
 }
 
 // DefaultMaxBodyBytes bounds POST bodies when Config.MaxBodyBytes is unset.
@@ -116,6 +129,7 @@ type Server struct {
 	mCacheMiss *metrics.Counter
 	mCoalesced *metrics.Counter
 	mRejected  *metrics.CounterVec // reason
+	mQuotaRej  *metrics.Counter    // tenant-quota 429s specifically
 	mShots     *metrics.Counter
 
 	mRecovered      *metrics.Counter // journaled jobs resubmitted at boot
@@ -191,7 +205,9 @@ func New(cfg Config) (*Server, error) {
 	s.mCoalesced = s.reg.Counter("qisimd_jobs_coalesced_total",
 		"Duplicate submissions attached to an already-in-flight job.")
 	s.mRejected = s.reg.CounterVec("qisimd_jobs_rejected_total",
-		"Refused submissions by reason (queue-full, draining, invalid, ...).", "reason")
+		"Refused submissions by reason (queue-full, quota-exceeded, draining, invalid, ...).", "reason")
+	s.mQuotaRej = s.reg.Counter("qisimd_quota_rejections_total",
+		"Submissions refused because the tenant hit its in-flight top-level job quota.")
 	s.mShots = s.reg.Counter("qisimd_shots_total",
 		"Monte-Carlo shots committed across all finished jobs.")
 	s.mRecovered = s.reg.Counter("qisimd_jobs_recovered_total",
@@ -218,15 +234,17 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.mgr = jobs.NewManager(jobs.Config{
-		Workers:       cfg.Workers,
-		QueueDepth:    cfg.QueueDepth,
-		JobTimeout:    cfg.JobTimeout,
-		MaxRecords:    cfg.MaxRecords,
-		Cache:         s.cache,
-		Journal:       s.journal,
-		BaseContext:   cfg.BaseContext,
-		Logger:        cfg.Logger,
-		TraceMaxSpans: traceMaxSpans,
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		JobTimeout:      cfg.JobTimeout,
+		MaxRecords:      cfg.MaxRecords,
+		TenantQuota:     cfg.TenantQuota,
+		MaxEventsPerJob: cfg.MaxEventsPerJob,
+		Cache:           s.cache,
+		Journal:         s.journal,
+		BaseContext:     cfg.BaseContext,
+		Logger:          cfg.Logger,
+		TraceMaxSpans:   traceMaxSpans,
 		Hooks: jobs.Hooks{
 			JobFinished: func(id string, kind jobs.Kind, state jobs.State, errClass string, st *simrun.Status, dur time.Duration) {
 				s.mFinished.With(string(kind), string(state)).Inc()
@@ -255,6 +273,16 @@ func New(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("qisimd_cache_entries",
 		"Resident result-cache entries.",
 		func() float64 { return float64(s.cache.Len()) })
+	s.reg.GaugeFuncVec("qisimd_cache_entries_by_kind",
+		"Resident result-cache entries broken down by job kind.",
+		"kind", func() map[string]float64 {
+			counts := s.cache.KindCounts()
+			out := make(map[string]float64, len(counts))
+			for k, n := range counts {
+				out[k] = float64(n)
+			}
+			return out
+		})
 	s.reg.GaugeFunc("qisimd_queue_depth",
 		"Jobs queued but not yet running.",
 		func() float64 { return float64(s.mgr.QueueDepth()) })
@@ -275,7 +303,10 @@ func New(cfg Config) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -327,6 +358,19 @@ func (s *Server) env() buildEnv {
 		onResume:   func() { s.mResumed.Inc() },
 		dist:       s.dist,
 		onDegraded: func() { s.mDegraded.Inc() },
+		mgr:        s.mgr,
+		onChild: func(kind jobs.Kind, outcome jobs.Outcome) {
+			s.mSubmitted.With(string(kind)).Inc()
+			switch outcome {
+			case jobs.OutcomeCached:
+				s.mCacheHits.Inc()
+			case jobs.OutcomeCoalesced:
+				s.mCoalesced.Inc()
+			default:
+				s.mCacheMiss.Inc()
+			}
+		},
+		publish: func(id, typ string, data any) { s.mgr.Publish(id, typ, data) }, //nolint:errcheck
 	}
 }
 
@@ -349,8 +393,20 @@ func (s *Server) Recover() (int, error) {
 		// Compaction failure degrades disk usage, not correctness.
 		s.mRecoveryFailed.Inc()
 	}
+	pendingKeys := make(map[string]bool, len(pending))
+	for _, p := range pending {
+		pendingKeys[string(p.Key)] = true
+	}
 	recovered := 0
 	for _, p := range pending {
+		if p.Parent != "" && pendingKeys[p.Parent] {
+			// A child whose parent sweep is itself pending: the resubmitted
+			// parent re-expands its grid and re-adopts the child under a
+			// fresh parent link (same key → the journal entry retires when
+			// the re-adopted run commits), so resubmitting it here would
+			// only detach it from the cancel cascade.
+			continue
+		}
 		kind, key, run, err := buildJob(jobRequest{Kind: string(p.Kind), Params: p.Params}, s.env())
 		if err != nil || key != p.Key {
 			// The journaled request no longer normalizes to the same key
@@ -360,7 +416,13 @@ func (s *Server) Recover() (int, error) {
 			s.mRecoveryFailed.Inc()
 			continue
 		}
-		if _, _, err := s.mgr.Submit(kind, key, p.Params, run); err != nil {
+		opts := jobs.SubmitOptions{
+			Tenant: p.Tenant,
+			// A recovered sweep parent must get its orchestrator goroutine
+			// back, or its fan-out could deadlock a small pool.
+			Orchestrator: kind == jobs.KindDSESweep,
+		}
+		if _, _, err := s.mgr.SubmitOpts(kind, key, p.Params, run, opts); err != nil {
 			s.mRecoveryFailed.Inc()
 			continue
 		}
@@ -444,9 +506,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// fleet workers inherit it end to end.
 		run = withTimeout(run, time.Duration(req.TimeoutMS)*time.Millisecond)
 	}
-	snap, outcome, err := s.mgr.Submit(kind, key, req.Params, run)
+	snap, outcome, err := s.mgr.SubmitOpts(kind, key, req.Params, run, jobs.SubmitOptions{
+		// The tenant header feeds fair round-robin scheduling and quotas;
+		// it is an attribution, not part of the cache key — identical
+		// requests from different tenants still dedupe.
+		Tenant: r.Header.Get("X-QIsim-Tenant"),
+		// A sweep parent blocks on its own fan-out, so it must never
+		// occupy a pool slot (see jobs.SubmitOptions.Orchestrator).
+		Orchestrator: kind == jobs.KindDSESweep,
+	})
 	if err != nil {
 		switch {
+		case errors.Is(err, jobs.ErrQuotaExceeded):
+			// Distinct from queue saturation: the queue may be empty — it is
+			// THIS tenant that is over budget, and only its own completions
+			// free the slot.
+			s.mRejected.With("quota-exceeded").Inc()
+			s.mQuotaRej.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Class: "quota-exceeded"})
+			return
 		case errors.Is(err, jobs.ErrQueueFull):
 			s.mRejected.With("queue-full").Inc()
 			// Tell well-behaved clients (including fleet workers' shared
@@ -576,7 +655,7 @@ func httpStatus(err error) int {
 		return http.StatusRequestEntityTooLarge // 413
 	}
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrQuotaExceeded):
 		return http.StatusTooManyRequests // 429
 	case errors.Is(err, simerr.ErrInterrupted):
 		return http.StatusServiceUnavailable // 503 (exit 3)
