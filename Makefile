@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist race-dse bench-baseline bench-compare fuzz serve trace-demo verify clean help
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist race-dse race-chaos bench-baseline bench-compare fuzz serve trace-demo verify clean help
 
 # Benchmark sampling knobs shared by bench-baseline and bench-compare:
 # time-based benchtime with repetition, so each snapshot carries min/mean
@@ -71,6 +71,17 @@ race-dist:
 	$(GO) test -race -count=2 -run 'Dist|Fleet|Probe|Degraded|FaultSuite/dist' ./internal/service ./internal/faultinject
 	$(GO) test -race -count=2 -run 'ChaosKillMatrix' .
 
+# Focused race pass over the chaos/Byzantine-defense layer: the seeded
+# fault-injection transport + middleware, the retry budget + backoff
+# boundary properties, the spot-check/quarantine/idempotency suites, the
+# chaos fault-injection scenarios, and the root network-equivalence matrix
+# (4 chaotic workers, byte-identical to standalone) plus the wire-level
+# quarantine test, run twice so goroutine scheduling varies.
+race-chaos:
+	$(GO) test -race -count=2 ./internal/chaos ./internal/backoff
+	$(GO) test -race -count=2 -run 'SpotCheck|Quarantine|Idempotency|Digest|Client|FaultSuite/chaos' ./internal/dist ./internal/faultinject
+	$(GO) test -race -count=2 -run 'ChaosNetworkEquivalence|ChaosCorruptWorkerQuarantined' .
+
 # Focused race pass over the design-space-exploration layer: grid expansion
 # + Pareto-fold properties, the sweep engine's committed-prefix determinism,
 # parent/child orchestration in the jobs manager (tenant quotas, cancel
@@ -126,7 +137,7 @@ help:
 	@echo "  build           compile everything with version stamping"
 	@echo "  test            run the full test suite"
 	@echo "  verify          the CI gate: vet + build + race + fuzz"
-	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist/dse)"
+	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist/dse/chaos)"
 	@echo "  bench-baseline  re-record BENCH_baseline.json ($(BENCHCOUNT)x $(BENCHTIME) samples)"
 	@echo "  bench-compare   run benchmarks and diff against BENCH_baseline.json;"
 	@echo "                  exits non-zero on a regression beyond threshold"

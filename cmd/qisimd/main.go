@@ -9,6 +9,7 @@
 //	       [-tenant-quota n] [-pprof addr] [-log-level info] [-log-format text]
 //	       [-role standalone|coordinator|worker] [-coordinator-url url]
 //	       [-worker-id id] [-advertise url] [-lease-ttl 15s] [-unit-shards 4]
+//	       [-spot-check 0.1] [-chaos-spec spec.json]
 //
 // Roles (see DESIGN.md "Distributed execution"):
 //
@@ -77,6 +78,7 @@ import (
 
 	"qisim/internal/buildinfo"
 	"qisim/internal/cmos"
+	"qisim/internal/chaos"
 	"qisim/internal/dist"
 	"qisim/internal/dsp"
 	"qisim/internal/obs"
@@ -104,6 +106,8 @@ func main() {
 	advertise := flag.String("advertise", "", "this worker's probeable base URL, e.g. http://10.0.0.5:8080 (empty = health probes skip it)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator per-lease heartbeat deadline (0 = 15s default)")
 	unitShards := flag.Int("unit-shards", 0, "coordinator work-unit granularity in shards (0 = default)")
+	spotCheck := flag.Float64("spot-check", 0, "coordinator fraction of reported units re-executed locally to audit workers (0 = off, e.g. 0.1)")
+	chaosSpec := flag.String("chaos-spec", "", "JSON chaos scenario file: coordinator injects faults into /v1/dist/* serving, worker injects them into its coordinator RPCs (see DESIGN.md)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
@@ -126,6 +130,7 @@ func main() {
 		maxBody:     *maxBody, pprofAddr: *pprofAddr, traceSpans: *traceSpans,
 		role: *role, coordinatorURL: *coordinatorURL, workerID: *workerID,
 		advertise: *advertise, leaseTTL: *leaseTTL, unitShards: *unitShards,
+		spotCheck: *spotCheck, chaosSpec: *chaosSpec,
 	}
 	if err := run(logger, opts); err != nil {
 		logger.Error("qisimd exiting on error", "err", err, "class", simerr.Class(err))
@@ -151,6 +156,8 @@ type daemonOpts struct {
 	advertise      string
 	leaseTTL       time.Duration
 	unitShards     int
+	spotCheck      float64
+	chaosSpec      string
 }
 
 func run(logger *slog.Logger, o daemonOpts) error {
@@ -161,6 +168,19 @@ func run(logger *slog.Logger, o daemonOpts) error {
 	}
 	if o.role == "worker" && o.coordinatorURL == "" {
 		return simerr.Invalidf("qisimd: -role worker requires -coordinator-url")
+	}
+	// -chaos-spec loads once and applies per role: a coordinator serves
+	// /v1/dist/* through the fault-injection middleware, a worker routes
+	// its coordinator RPCs through the fault-injection transport. Either
+	// way the schedule is seeded and replayable (internal/chaos).
+	var chaosSpec *chaos.Spec
+	if o.chaosSpec != "" {
+		spec, err := chaos.LoadSpec(o.chaosSpec)
+		if err != nil {
+			return err
+		}
+		chaosSpec = &spec
+		logger.Warn("chaos injection armed", "spec", o.chaosSpec, "seed", spec.Seed, "role", o.role)
 	}
 	srv, err := service.New(service.Config{
 		Workers:       o.workers,
@@ -176,6 +196,8 @@ func run(logger *slog.Logger, o daemonOpts) error {
 			Enabled:    o.role == "coordinator",
 			LeaseTTL:   o.leaseTTL,
 			UnitShards: o.unitShards,
+			SpotCheck:  o.spotCheck,
+			Chaos:      chaosSpec,
 		},
 	})
 	if err != nil {
@@ -203,9 +225,13 @@ func run(logger *slog.Logger, o daemonOpts) error {
 			}
 			id = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
+		client := &dist.Client{Base: o.coordinatorURL}
+		if chaosSpec != nil {
+			client.HTTP = &http.Client{Transport: chaos.NewTransport(*chaosSpec, nil)}
+		}
 		fleetWorker, err = dist.NewWorker(dist.WorkerConfig{
 			ID:          id,
-			Coordinator: &dist.Client{Base: o.coordinatorURL},
+			Coordinator: client,
 			Advertise:   o.advertise,
 			Cores:       service.BuildCore,
 			Logger:      logger,

@@ -119,10 +119,13 @@ func Sleep(ctx context.Context, d time.Duration) bool {
 }
 
 // Retry runs fn up to maxAttempts times, sleeping a jittered policy delay
-// (or the server-provided hint fn returns, when positive) between
-// attempts. fn reports (retryable, hint, err): a nil err stops with
-// success, a non-retryable error stops immediately, and exhausting the
-// attempts returns the last error. rnd may be nil (worst-case delays).
+// between attempts. When fn returns a positive server hint (Retry-After),
+// the hint is a FLOOR, not the delay: the jittered policy delay is added on
+// top, so a fleet of clients all told "retry after 1s" does not reconverge
+// into a synchronized storm one second later. fn reports (retryable, hint,
+// err): a nil err stops with success, a non-retryable error stops
+// immediately, and exhausting the attempts returns the last error. rnd may
+// be nil (worst-case delays).
 func Retry(ctx context.Context, p Policy, maxAttempts int, rnd func() float64,
 	fn func(ctx context.Context) (retryable bool, hint time.Duration, err error)) error {
 
@@ -141,7 +144,7 @@ func Retry(ctx context.Context, p Policy, maxAttempts int, rnd func() float64,
 		}
 		d := p.Delay(attempt, rnd)
 		if hint > 0 {
-			d = hint
+			d = hint + d
 		}
 		if !Sleep(ctx, d) {
 			return lastErr

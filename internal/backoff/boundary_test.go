@@ -1,0 +1,182 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Boundary and property tests: every case drives Policy through a seeded
+// RNG so a failure reproduces exactly.
+
+func TestCeilingCapSaturation(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 50 * time.Millisecond, Factor: 3}
+	sawCap := false
+	prev := time.Duration(-1)
+	for n := 0; n < 200; n++ {
+		c := p.Ceiling(n)
+		if c > p.Cap {
+			t.Fatalf("Ceiling(%d) = %v exceeds cap %v", n, c, p.Cap)
+		}
+		if c < prev {
+			t.Fatalf("Ceiling(%d) = %v shrank below Ceiling(%d) = %v", n, c, n-1, prev)
+		}
+		prev = c
+		if c == p.Cap {
+			sawCap = true
+		}
+	}
+	if !sawCap {
+		t.Fatal("ceiling never saturated at the cap")
+	}
+	// Factor large enough to overflow float64 → still the cap, not Inf/NaN.
+	huge := Policy{Base: time.Hour, Cap: time.Hour, Factor: 1e300}
+	if got := huge.Ceiling(500); got != time.Hour {
+		t.Fatalf("overflowing growth must clamp to cap, got %v", got)
+	}
+}
+
+func TestZeroAndNegativeFieldsNormalize(t *testing.T) {
+	cases := []Policy{
+		{},
+		{Base: -time.Second},
+		{Cap: -time.Minute},
+		{Factor: -2},
+		{Factor: 0.5}, // sub-1 factor would shrink; must fall back to default
+		{Base: -1, Cap: -1, Factor: -1},
+	}
+	d := Default()
+	for i, p := range cases {
+		n := p.normalized()
+		if n.Base <= 0 || n.Cap <= 0 || n.Factor < 1 {
+			t.Fatalf("case %d: normalized to invalid policy %+v", i, n)
+		}
+		if p.Base <= 0 && n.Base != d.Base {
+			t.Fatalf("case %d: base %v, want default %v", i, n.Base, d.Base)
+		}
+		// Public surface must already be safe without explicit normalization.
+		if c := p.Ceiling(3); c <= 0 || c > d.Cap {
+			t.Fatalf("case %d: Ceiling(3) = %v out of (0, default cap]", i, c)
+		}
+	}
+}
+
+func TestDelayJitterBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 2000; trial++ {
+		p := Policy{
+			Base:   time.Duration(1+rng.Intn(1_000_000)) * time.Microsecond,
+			Cap:    time.Duration(1+rng.Intn(5_000_000)) * time.Microsecond,
+			Factor: 1 + rng.Float64()*4,
+		}
+		attempt := rng.Intn(64) - 4 // include negatives
+		d := p.Delay(attempt, rng.Float64)
+		ceil := p.Ceiling(attempt)
+		if d < 0 || d > ceil {
+			t.Fatalf("trial %d: Delay(%d) = %v outside [0, %v] for %+v",
+				trial, attempt, d, ceil, p)
+		}
+	}
+}
+
+func TestDelayJitterCoversRange(t *testing.T) {
+	// Full jitter must actually use the whole [0, ceiling] range, not
+	// cluster — check the empirical spread over a seeded sample.
+	rng := rand.New(rand.NewSource(99))
+	p := Policy{Base: time.Second, Cap: time.Second, Factor: 2}
+	var lo, hi time.Duration = time.Hour, 0
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(0, rng.Float64)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo > 100*time.Millisecond || hi < 900*time.Millisecond {
+		t.Fatalf("jitter spread [%v, %v] too narrow for a 1s ceiling", lo, hi)
+	}
+}
+
+func TestRetryHintGetsJitterOnTop(t *testing.T) {
+	// The server hint is a floor: the sleep is hint + Delay, never bare
+	// hint, so synchronized clients fan out. Measure by timing a retry
+	// around a hint with a pinned rnd.
+	p := Policy{Base: 40 * time.Millisecond, Cap: 40 * time.Millisecond, Factor: 2}
+	transient := errors.New("transient")
+	calls := 0
+	start := time.Now()
+	err := Retry(context.Background(), p, 2, func() float64 { return 1.0 },
+		func(context.Context) (bool, time.Duration, error) {
+			calls++
+			return true, 30 * time.Millisecond, transient
+		})
+	elapsed := time.Since(start)
+	if !errors.Is(err, transient) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Sleep must be ≥ hint (30ms) + full jitter draw (rnd=1 → 40ms) = 70ms.
+	if elapsed < 65*time.Millisecond {
+		t.Fatalf("hint not jittered: slept only %v, want ≥ 70ms", elapsed)
+	}
+
+	// And with rnd pinned to 0 the sleep is the bare hint — the floor.
+	start = time.Now()
+	calls = 0
+	_ = Retry(context.Background(), p, 2, func() float64 { return 0 },
+		func(context.Context) (bool, time.Duration, error) {
+			calls++
+			return true, 30 * time.Millisecond, transient
+		})
+	elapsed = time.Since(start)
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("hint floor not honored: slept only %v", elapsed)
+	}
+}
+
+func TestRetryCancelMidSleep(t *testing.T) {
+	// Cancellation during the backoff sleep must end the loop promptly
+	// with the last error — not wait the full delay, not call fn again.
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, Policy{Base: time.Hour, Cap: time.Hour, Factor: 2}, 5, nil,
+			func(context.Context) (bool, time.Duration, error) {
+				calls++
+				return true, 0, transient
+			})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt start sleeping
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transient) {
+			t.Fatalf("want last error after cancel, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return after cancel mid-sleep")
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestSleepCancelMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if Sleep(ctx, time.Hour) {
+		t.Fatal("Sleep must report false when canceled mid-sleep")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on cancel")
+	}
+}

@@ -1,0 +1,96 @@
+package backoff
+
+import (
+	"sync"
+)
+
+// Budget is a token-bucket retry budget (the Finagle / SRE-book "retry
+// budget"): every FIRST attempt deposits Ratio tokens, every retry
+// withdraws one whole token, and a retry is only allowed while a token is
+// available. The effect is a hard system-wide bound — retries can never
+// exceed ~Ratio of first-attempt traffic, so a degraded coordinator sees
+// load shrink instead of the N× amplification naive per-request retry
+// loops produce. MinReserve keeps a small floor of tokens so low-traffic
+// clients (a worker doing one claim at a time) can still retry at all.
+//
+// The zero value is unusable; build with NewBudget. A nil *Budget is a
+// valid "unlimited" budget: Deposit is a no-op and Withdraw always
+// allows, so callers thread an optional budget without nil checks.
+type Budget struct {
+	mu      sync.Mutex
+	ratio   float64 // tokens per first attempt
+	reserve float64 // floor the bucket refills toward, and its starting level
+	cap     float64 // bucket ceiling
+	tokens  float64
+
+	allowed int64 // retries granted
+	denied  int64 // retries refused
+}
+
+// NewBudget builds a retry budget depositing ratio tokens per first
+// attempt (ratio <= 0 → 0.1, i.e. retries bounded at ~10% of traffic)
+// with a reserve of minReserve tokens (minReserve <= 0 → 10). The bucket
+// caps at 10× the reserve so long quiet periods cannot bank an unbounded
+// retry burst.
+func NewBudget(ratio float64, minReserve int) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if minReserve <= 0 {
+		minReserve = 10
+	}
+	r := float64(minReserve)
+	return &Budget{ratio: ratio, reserve: r, cap: 10 * r, tokens: r}
+}
+
+// Deposit credits the budget for one first attempt. Call it once per
+// logical RPC, not per retry.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw spends one token for a retry and reports whether the retry is
+// allowed. A false return means the budget is exhausted — the caller must
+// surface the last error instead of retrying.
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.allowed++
+	return true
+}
+
+// Stats reports how many retries the budget has allowed and denied.
+func (b *Budget) Stats() (allowed, denied int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allowed, b.denied
+}
+
+// Tokens returns the current token level (tests and debug endpoints).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,125 @@
+package backoff
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetStartsWithReserve(t *testing.T) {
+	b := NewBudget(0.1, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("reserve withdrawal %d denied", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdrawal beyond the reserve must be denied")
+	}
+	allowed, denied := b.Stats()
+	if allowed != 3 || denied != 1 {
+		t.Fatalf("stats = (%d, %d), want (3, 1)", allowed, denied)
+	}
+}
+
+func TestBudgetDepositsRefill(t *testing.T) {
+	b := NewBudget(0.5, 1)
+	if !b.Withdraw() { // spend the reserve
+		t.Fatal("reserve denied")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	b.Deposit() // +0.5 → still < 1
+	if b.Withdraw() {
+		t.Fatal("half a token allowed a retry")
+	}
+	b.Deposit() // +0.5 → 1 full token
+	if !b.Withdraw() {
+		t.Fatal("full token denied")
+	}
+}
+
+func TestBudgetRatioBoundsRetryFraction(t *testing.T) {
+	// 1000 first attempts at ratio 0.1 fund at most ~100 retries beyond
+	// the starting reserve.
+	b := NewBudget(0.1, 10)
+	for i := 0; i < 1000; i++ {
+		b.Deposit()
+	}
+	granted := 0
+	for b.Withdraw() {
+		granted++
+		if granted > 1000 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	if granted < 90 || granted > 110+10 {
+		t.Fatalf("granted %d retries for 1000 deposits at ratio 0.1", granted)
+	}
+}
+
+func TestBudgetCapStopsBanking(t *testing.T) {
+	// A long quiet period of deposits cannot bank an unbounded burst: the
+	// bucket caps at 10× the reserve.
+	b := NewBudget(1.0, 5)
+	for i := 0; i < 10_000; i++ {
+		b.Deposit()
+	}
+	granted := 0
+	for b.Withdraw() {
+		granted++
+	}
+	if granted > 50 {
+		t.Fatalf("cap leak: %d retries granted, want ≤ 50", granted)
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	b := NewBudget(0, 0)
+	if b.ratio != 0.1 || b.reserve != 10 {
+		t.Fatalf("defaults = ratio %v reserve %v", b.ratio, b.reserve)
+	}
+	if b.Tokens() != 10 {
+		t.Fatalf("starting tokens = %v, want 10", b.Tokens())
+	}
+}
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	b.Deposit() // must not panic
+	for i := 0; i < 100; i++ {
+		if !b.Withdraw() {
+			t.Fatal("nil budget denied a retry")
+		}
+	}
+	if a, d := b.Stats(); a != 0 || d != 0 {
+		t.Fatalf("nil budget stats = (%d, %d)", a, d)
+	}
+	if b.Tokens() != 0 {
+		t.Fatal("nil budget tokens must read 0")
+	}
+}
+
+func TestBudgetConcurrentSafety(t *testing.T) {
+	b := NewBudget(0.5, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Deposit()
+				b.Withdraw()
+			}
+		}()
+	}
+	wg.Wait()
+	allowed, denied := b.Stats()
+	if allowed+denied != 8*500 {
+		t.Fatalf("lost withdrawals: allowed %d + denied %d != 4000", allowed, denied)
+	}
+	// Conservation: tokens never went negative and ≤ cap.
+	if tok := b.Tokens(); tok < 0 || tok > b.cap {
+		t.Fatalf("tokens %v outside [0, %v]", tok, b.cap)
+	}
+}

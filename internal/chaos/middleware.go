@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Middleware is the server-side half of the chaos layer: it wraps an
+// http.Handler with the spec's fault schedule — injected latency, 5xx
+// bursts (with optional Retry-After), aborted responses, and duplicated
+// deliveries (the handler runs twice for one wire request, exercising the
+// receiver's idempotency). Build with NewMiddleware; it implements
+// http.Handler.
+type Middleware struct {
+	spec Spec
+	next http.Handler
+
+	n    atomic.Uint64
+	cnt  counters
+	hook func(fault string)
+
+	mu        sync.Mutex
+	burstLeft int // requests remaining in the current 5xx burst
+}
+
+// NewMiddleware wraps next with spec's fault schedule.
+func NewMiddleware(spec Spec, next http.Handler) *Middleware {
+	return &Middleware{spec: spec.normalized(), next: next}
+}
+
+// OnInject registers an observability hook called with the fault id of
+// every injection. Call before serving; not synchronized with in-flight
+// requests.
+func (m *Middleware) OnInject(fn func(fault string)) { m.hook = fn }
+
+// Stats returns the injection tally so far.
+func (m *Middleware) Stats() Stats { return m.cnt.snapshot() }
+
+func (m *Middleware) inject(fault string, c *atomic.Int64) {
+	c.Add(1)
+	if m.hook != nil {
+		m.hook(fault)
+	}
+}
+
+// ServeHTTP applies the schedule: latency → 5xx burst → abort → duplicate
+// delivery → the real handler.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := m.n.Add(1) - 1
+	m.cnt.requests.Add(1)
+	s := m.spec
+
+	if d := s.latencyFor(n); d > 0 {
+		m.inject(FaultLatency, &m.cnt.latency)
+		if err := sleepCtx(r.Context(), d); err != nil {
+			return // client gone; nothing to answer
+		}
+	}
+
+	// 5xx bursts: entering costs one decision; while a burst is live every
+	// request is answered with the injected status, handler untouched.
+	if s.Error5xx.P > 0 {
+		m.mu.Lock()
+		if m.burstLeft == 0 && s.decide(Fault5xx, n, s.Error5xx.P) {
+			m.burstLeft = s.Error5xx.Len
+		}
+		inBurst := m.burstLeft > 0
+		if inBurst {
+			m.burstLeft--
+		}
+		m.mu.Unlock()
+		if inBurst {
+			m.inject(Fault5xx, &m.cnt.err5xx)
+			if s.Error5xx.RetryAfterS > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(s.Error5xx.RetryAfterS))
+			}
+			http.Error(w, "chaos: injected "+Fault5xx, s.Error5xx.Status)
+			return
+		}
+	}
+
+	if s.decide(FaultAbort, n, s.Abort) {
+		m.inject(FaultAbort, &m.cnt.abort)
+		// ErrAbortHandler makes net/http tear the connection down without
+		// a response — the client sees a mid-flight reset.
+		panic(http.ErrAbortHandler)
+	}
+
+	if s.decide(FaultDuplicate, n, s.Duplicate) && r.Body != nil {
+		body, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err == nil {
+			m.inject(FaultDuplicate, &m.cnt.duplicate)
+			// First delivery: the handler runs for real but its response
+			// is discarded, as if the network duplicated the request and
+			// one answer was lost.
+			r1 := r.Clone(r.Context())
+			r1.Body = io.NopCloser(bytes.NewReader(body))
+			m.next.ServeHTTP(&discardResponse{header: http.Header{}}, r1)
+			r2 := r.Clone(r.Context())
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			m.next.ServeHTTP(w, r2)
+			return
+		}
+		// Unreadable body: fall through with what's left (the handler will
+		// surface its own error).
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+
+	m.next.ServeHTTP(w, r)
+}
+
+// discardResponse swallows the duplicated delivery's response.
+type discardResponse struct {
+	header http.Header
+	status int
+}
+
+func (d *discardResponse) Header() http.Header         { return d.header }
+func (d *discardResponse) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardResponse) WriteHeader(status int)      { d.status = status }

@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"math/rand"
 	"os"
@@ -40,6 +43,13 @@ type Hooks struct {
 	// UnitDone fires when a unit's result is accepted, with the reporting
 	// worker ("local" for the local lane) and the unit's wall time.
 	UnitDone func(worker string, seconds float64)
+	// SpotCheck fires per spot-check verdict: "pass", "fail", or "error"
+	// (the re-execution itself failed and the report was accepted
+	// unverified).
+	SpotCheck func(result string)
+	// Quarantine fires when a worker is quarantined after a failed
+	// spot-check.
+	Quarantine func()
 }
 
 // Config parameterises a Coordinator.
@@ -81,6 +91,24 @@ type Config struct {
 	Cache *rescache.Cache
 	// Clock injects time for tests (default time.Now).
 	Clock func() time.Time
+	// SpotCheck is the untrusted-worker defense: the seeded fraction of
+	// remote unit reports the coordinator re-executes locally and compares
+	// byte-for-byte before trusting. 0 disables spot-checking. A worker
+	// whose report mismatches is quarantined (leases stripped, no grants,
+	// reports ignored) for QuarantineFor and its trust resets.
+	SpotCheck float64
+	// SpotCheckProbation is the elevated check fraction applied to workers
+	// below SpotCheckMinTrust — fresh arrivals and quarantine returnees
+	// prove themselves before dropping to the base rate (default 0.5, and
+	// never below SpotCheck).
+	SpotCheckProbation float64
+	// SpotCheckMinTrust is the number of passed spot-checks after which a
+	// worker graduates from the probation rate (default 3).
+	SpotCheckMinTrust int
+	// QuarantineFor is how long a quarantined worker is shunned before
+	// timed re-admission (default 4×LeaseTTL). Unlike eviction, quarantine
+	// is NOT cleared by claims, reports, or probes — only by time.
+	QuarantineFor time.Duration
 	// Seed seeds the jitter RNG (0 = 1); jitter is the only randomness
 	// here and never touches simulation results.
 	Seed   int64
@@ -113,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.SpotCheckProbation <= 0 {
+		c.SpotCheckProbation = 0.5
+	}
+	if c.SpotCheckProbation < c.SpotCheck {
+		c.SpotCheckProbation = c.SpotCheck
+	}
+	if c.SpotCheckMinTrust <= 0 {
+		c.SpotCheckMinTrust = 3
+	}
+	if c.QuarantineFor <= 0 {
+		c.QuarantineFor = 4 * c.LeaseTTL
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -136,6 +176,12 @@ type Stats struct {
 	DupReports  int // idempotent duplicate uploads dropped
 	CacheHits   int // units answered from the shared result tier
 	FileReloads int // units reloaded from UnitDir after a restart
+
+	SpotChecksPassed   int // spot-checked reports matching the local re-run
+	SpotChecksFailed   int // mismatches → worker quarantined
+	Quarantines        int // workers quarantined
+	QuarantineReadmits int // workers re-admitted after QuarantineFor
+	IdemReplays        int // duplicate claim deliveries answered from the idempotency record
 }
 
 // Unit states.
@@ -155,6 +201,7 @@ type unit struct {
 	firstGrant time.Time            // straggler age reference
 	localOnly  bool                 // degraded to the local lane
 	localInFly bool                 // local lane currently executing it
+	verifying  bool                 // spot-check re-execution in flight
 	states     []json.RawMessage    // per-shard results once done
 	events     []int
 }
@@ -191,6 +238,19 @@ type workerState struct {
 	evicted    bool
 	probeFails int
 	registered bool
+
+	// Untrusted-worker defense state. Quarantine is deliberately separate
+	// from eviction: eviction is a health verdict any sign of life
+	// reverses, quarantine is an integrity verdict only time reverses.
+	trust            int       // passed spot-checks since last reset
+	quarantined      bool      // shunned: no grants, reports ignored
+	quarantinedUntil time.Time // timed re-admission point
+
+	// Claim idempotency: duplicated deliveries of the same claim replay
+	// the recorded grant instead of leaking a second lease. Deliveries of
+	// one claim are adjacent on the wire, so one slot per worker suffices.
+	lastIdemKey string
+	lastGrant   *LeaseGrant
 }
 
 // Coordinator splits jobs into leased work units across a worker fleet and
@@ -284,12 +344,48 @@ func (c *Coordinator) MarkDraining(workerID string) {
 // liveWorkerLocked reports whether at least one registered worker can
 // accept new grants.
 func (c *Coordinator) liveWorkerLocked() bool {
+	now := c.cfg.Clock()
 	for _, w := range c.workers {
-		if w.registered && !w.evicted && !w.draining {
+		if w.registered && !w.evicted && !w.draining && !c.quarantinedLocked(w, now) {
 			return true
 		}
 	}
 	return false
+}
+
+// quarantinedLocked reports whether w is still quarantined, lazily
+// re-admitting it once QuarantineFor has elapsed. Re-admitted workers keep
+// trust 0, so they re-enter on the probation spot-check rate.
+func (c *Coordinator) quarantinedLocked(w *workerState, now time.Time) bool {
+	if !w.quarantined {
+		return false
+	}
+	if now.Before(w.quarantinedUntil) {
+		return true
+	}
+	w.quarantined = false
+	c.stats.QuarantineReadmits++
+	if c.cfg.Hooks.Readmit != nil {
+		c.cfg.Hooks.Readmit()
+	}
+	return false
+}
+
+// quarantineLocked shuns a worker whose report failed its spot-check:
+// leases stripped and requeued, trust reset, no grants and no accepted
+// reports until the timed re-admission.
+func (c *Coordinator) quarantineLocked(w *workerState, now time.Time) {
+	w.quarantined = true
+	w.quarantinedUntil = now.Add(c.cfg.QuarantineFor)
+	w.trust = 0
+	w.lastIdemKey, w.lastGrant = "", nil
+	c.stats.Quarantines++
+	if c.cfg.Hooks.Quarantine != nil {
+		c.cfg.Hooks.Quarantine()
+	}
+	c.cfg.Logger.Warn("dist: worker quarantined after spot-check mismatch",
+		"worker", w.id, "until", w.quarantinedUntil)
+	c.evictLeasesLocked(w.id, now)
 }
 
 // touchWorkerLocked counts any interaction as proof of life: a claim or
@@ -329,23 +425,44 @@ type LeaseGrant struct {
 	// time, propagated from the client request so shard execution respects
 	// it end to end.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Digest is the SHA-256 over every other field, stamped at grant time.
+	// The HTTP client refuses a grant whose digest does not verify: a
+	// claim response corrupted in flight into still-valid JSON would
+	// otherwise hand the worker a wrong window, seed, or plan — the worker
+	// would compute honestly over garbage and be quarantined for it.
+	Digest string `json:"digest,omitempty"`
 }
 
 // Claim hands the worker its next work unit, or nil when none is
 // available. Pending units gate on their backoff window; when nothing is
 // pending, an old straggler unit may be hedge-dispatched as a duplicate
 // lease (work stealing — first report wins).
-func (c *Coordinator) Claim(_ context.Context, workerID string) (*LeaseGrant, error) {
+//
+// idemKey makes the claim safe under duplicated delivery: a repeat of the
+// worker's most recent key replays the recorded outcome (grant or no-work)
+// instead of leasing a second unit. Workers mint a fresh key per logical
+// claim; "" opts out (in-process callers that cannot be duplicated).
+func (c *Coordinator) Claim(_ context.Context, workerID, idemKey string) (*LeaseGrant, error) {
 	if workerID == "" {
 		return nil, simerr.Invalidf("dist: claim: empty worker id")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.touchWorkerLocked(workerID)
-	if w.draining {
-		return nil, nil
-	}
 	now := c.cfg.Clock()
+	if idemKey != "" && idemKey == w.lastIdemKey {
+		c.stats.IdemReplays++
+		return w.lastGrant, nil
+	}
+	record := func(g *LeaseGrant) *LeaseGrant {
+		if idemKey != "" {
+			w.lastIdemKey, w.lastGrant = idemKey, g
+		}
+		return g
+	}
+	if w.draining || c.quarantinedLocked(w, now) {
+		return record(nil), nil
+	}
 
 	// Primary grants: first admitted job with a runnable pending unit.
 	for _, key := range c.order {
@@ -357,7 +474,7 @@ func (c *Coordinator) Claim(_ context.Context, workerID string) (*LeaseGrant, er
 			if u.state != unitPending || u.localOnly || u.localInFly || now.Before(u.notBefore) {
 				continue
 			}
-			return c.grantLocked(j, u, w, now, false), nil
+			return record(c.grantLocked(j, u, w, now, false)), nil
 		}
 	}
 	// Work stealing: hedge the oldest straggler not already held by this
@@ -387,9 +504,9 @@ func (c *Coordinator) Claim(_ context.Context, workerID string) (*LeaseGrant, er
 		}
 	}
 	if hu != nil {
-		return c.grantLocked(hj, hu, w, now, true), nil
+		return record(c.grantLocked(hj, hu, w, now, true)), nil
 	}
-	return nil, nil
+	return record(nil), nil
 }
 
 // grantLocked records a lease on u for w and builds the grant.
@@ -431,6 +548,7 @@ func (c *Coordinator) grantLocked(j *distJob, u *unit, w *workerState, now time.
 			g.DeadlineMS = 1 // already past due: worker fails fast
 		}
 	}
+	g.Digest = grantDigest(*g)
 	return g
 }
 
@@ -479,7 +597,13 @@ func (j *distJob) unitAt(start, end int) *unit {
 // hedged completions are dropped, never double-counted. A report for an
 // unknown job (finished, or a pre-restart orphan) is persisted to UnitDir
 // when configured and acknowledged — re-reporting must always be safe.
-func (c *Coordinator) Report(_ context.Context, workerID string, container []byte) error {
+//
+// When Config.SpotCheck is set, a seeded fraction of remote reports is
+// re-executed locally and compared byte-for-byte before the fold sees it;
+// a mismatch quarantines the reporter and the locally recomputed states —
+// authoritative, since the engine is deterministic — are accepted in its
+// place, so a lying worker costs one local window, never a wrong result.
+func (c *Coordinator) Report(ctx context.Context, workerID string, container []byte) error {
 	u, err := DecodeUnitResult(container)
 	if err != nil {
 		return err
@@ -489,8 +613,14 @@ func (c *Coordinator) Report(_ context.Context, workerID string, container []byt
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var w *workerState
 	if workerID != "" {
-		c.touchWorkerLocked(workerID)
+		w = c.touchWorkerLocked(workerID)
+		if c.quarantinedLocked(w, c.cfg.Clock()) {
+			// A quarantined worker's word is worthless either way: tell it
+			// to abandon the unit (already requeued at quarantine time).
+			return ErrGone
+		}
 	}
 	j := c.jobs[u.Key]
 	if j == nil || j.finished || j.err != nil {
@@ -508,8 +638,109 @@ func (c *Coordinator) Report(_ context.Context, workerID string, container []byt
 		c.stats.DupReports++
 		return nil
 	}
+	if w != nil && c.shouldSpotCheckLocked(j, tu, w) {
+		return c.spotCheckLocked(ctx, j, tu, u, w)
+	}
 	c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
 	return nil
+}
+
+// shouldSpotCheckLocked draws the seeded spot-check decision for one
+// (job, unit, worker) report: pure in (Config.Seed, job key, unit range,
+// worker id), so a replayed fleet run replays its audit schedule too.
+// Workers below SpotCheckMinTrust face the probation rate.
+func (c *Coordinator) shouldSpotCheckLocked(j *distJob, u *unit, w *workerState) bool {
+	p := c.cfg.SpotCheck
+	if p <= 0 {
+		return false
+	}
+	if w.trust < c.cfg.SpotCheckMinTrust {
+		p = c.cfg.SpotCheckProbation
+	}
+	if u.verifying {
+		return false // one audit per unit at a time
+	}
+	h := fnv.New64a()
+	h.Write([]byte(j.key))     //nolint:errcheck
+	h.Write([]byte{0})         //nolint:errcheck
+	h.Write([]byte(w.id))      //nolint:errcheck
+	var rng [8]byte
+	binary.LittleEndian.PutUint64(rng[:], uint64(int64(u.start)))
+	h.Write(rng[:]) //nolint:errcheck
+	z := uint64(c.cfg.Seed) + h.Sum64()*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < p
+}
+
+// spotCheckLocked re-executes a reported unit locally (lock released
+// during the run) and adjudicates: match raises the worker's trust and
+// accepts the report; mismatch quarantines the worker and accepts the
+// local bytes. Called with c.mu held; returns with it held.
+func (c *Coordinator) spotCheckLocked(ctx context.Context, j *distJob, tu *unit, u UnitResult, w *workerState) error {
+	tu.verifying = true
+	core, plan := j.core, j.plan
+	c.mu.Unlock()
+	states, events, verr := core.RunWindow(ctx, plan, tu.start, tu.end)
+	c.mu.Lock()
+	tu.verifying = false
+
+	// The world may have moved while the lock was released.
+	if j.finished || j.err != nil {
+		c.persistUnitLocked(u)
+		return nil
+	}
+	if tu.state == unitDone {
+		c.stats.DupReports++
+		return nil
+	}
+	if verr != nil {
+		// Could not verify (cancellation, resource failure): accept the
+		// report unaudited rather than stall the job, but say so.
+		c.cfg.Logger.Warn("dist: spot-check re-execution failed; accepting unaudited",
+			"worker", w.id, "key", j.key, "start", tu.start, "end", tu.end, "err", verr)
+		if c.cfg.Hooks.SpotCheck != nil {
+			c.cfg.Hooks.SpotCheck("error")
+		}
+		c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
+		return nil
+	}
+	if unitStatesEqual(states, events, u.States, u.Events) {
+		c.stats.SpotChecksPassed++
+		if c.cfg.Hooks.SpotCheck != nil {
+			c.cfg.Hooks.SpotCheck("pass")
+		}
+		w.trust++
+		c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
+		return nil
+	}
+	c.stats.SpotChecksFailed++
+	if c.cfg.Hooks.SpotCheck != nil {
+		c.cfg.Hooks.SpotCheck("fail")
+	}
+	c.quarantineLocked(w, c.cfg.Clock())
+	// The local re-run is the truth; the job proceeds without the liar.
+	c.acceptUnitLocked(j, tu, states, events, "local", nil)
+	return nil
+}
+
+// unitStatesEqual compares two per-shard result sets byte-for-byte.
+func unitStatesEqual(aStates []json.RawMessage, aEvents []int, bStates []json.RawMessage, bEvents []int) bool {
+	if len(aStates) != len(bStates) || len(aEvents) != len(bEvents) {
+		return false
+	}
+	for i := range aStates {
+		if !bytes.Equal(aStates[i], bStates[i]) {
+			return false
+		}
+	}
+	for i := range aEvents {
+		if aEvents[i] != bEvents[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // acceptUnitLocked marks a unit done, persists + caches its result,

@@ -36,8 +36,12 @@ package dist
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"math"
 
 	"qisim/internal/checkpoint"
 	"qisim/internal/obs"
@@ -242,18 +246,85 @@ type UnitResult struct {
 	// by the coordinator so /v1/jobs/{id}/trace stitches a cross-node
 	// tree.
 	Trace *obs.Trace `json:"trace,omitempty"`
+	// Digest is the SHA-256 over the semantic payload (kind, key, range,
+	// states, events) — defense in depth past the container CRC: the CRC
+	// catches wire corruption of the frame, the digest pins the *content*
+	// the worker claims to have computed, so a proxy or middlebox that
+	// rewrites JSON in flight (or a buggy worker that mutates states after
+	// digesting) is caught before the fold.
+	Digest string `json:"digest"`
 }
 
-// unitResultVersion is the current UnitResult schema version.
-const unitResultVersion = 1
+// unitResultVersion is the current UnitResult schema version. v2 added the
+// mandatory content digest; v1 payloads (pre-digest) are rejected and
+// their units simply re-run.
+const unitResultVersion = 2
 
-// EncodeUnitResult frames a unit result for upload.
+// unitDigest hashes the semantic content of a unit result — the fields the
+// fold consumes — with length framing so no two distinct payloads collide
+// by concatenation. Worker/Trace/Version stay out: they are observability,
+// not content.
+func unitDigest(u UnitResult) string {
+	h := sha256.New()
+	var num [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(num[:], uint64(int64(v)))
+		h.Write(num[:])
+	}
+	writeBytes := func(b []byte) {
+		writeInt(len(b))
+		h.Write(b)
+	}
+	writeBytes([]byte(u.Kind))
+	writeBytes([]byte(u.Key))
+	writeInt(u.Start)
+	writeInt(u.End)
+	for i, s := range u.States {
+		writeBytes(s)
+		writeInt(u.Events[i])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// grantDigest hashes a lease grant's every semantic field with length
+// framing (Digest itself excluded). Stamped by the coordinator at grant
+// time and verified by Client.Claim, so a grant corrupted in transit into
+// still-parseable JSON is rejected instead of executed.
+func grantDigest(g LeaseGrant) string {
+	h := sha256.New()
+	var num [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(num[:], v)
+		h.Write(num[:])
+	}
+	writeBytes := func(b []byte) {
+		writeU64(uint64(len(b)))
+		h.Write(b)
+	}
+	writeBytes([]byte(g.Kind))
+	writeBytes([]byte(g.Key))
+	writeBytes(g.Params)
+	writeU64(uint64(int64(g.Plan.Shots)))
+	writeU64(uint64(g.Plan.Seed))
+	writeU64(uint64(int64(g.Plan.ShardSize)))
+	writeU64(math.Float64bits(g.Plan.TargetRelStdErr))
+	writeU64(uint64(int64(g.Plan.MinShots)))
+	writeU64(uint64(int64(g.Start)))
+	writeU64(uint64(int64(g.End)))
+	writeU64(uint64(g.TTLMS))
+	writeU64(uint64(g.DeadlineMS))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodeUnitResult frames a unit result for upload, stamping the content
+// digest.
 func EncodeUnitResult(u UnitResult) ([]byte, error) {
 	u.Version = unitResultVersion
 	if len(u.States) != u.End-u.Start || len(u.Events) != u.End-u.Start {
 		return nil, simerr.Invalidf("dist: unit [%d,%d) has %d states / %d events, want %d",
 			u.Start, u.End, len(u.States), len(u.Events), u.End-u.Start)
 	}
+	u.Digest = unitDigest(u)
 	payload, err := json.Marshal(u)
 	if err != nil {
 		return nil, simerr.Invalidf("dist: marshal unit result: %v", err)
@@ -282,6 +353,13 @@ func DecodeUnitResult(b []byte) (UnitResult, error) {
 	if len(u.States) != u.End-u.Start || len(u.Events) != u.End-u.Start {
 		return UnitResult{}, simerr.Invalidf("dist: unit [%d,%d) carries %d states / %d events, want %d",
 			u.Start, u.End, len(u.States), len(u.Events), u.End-u.Start)
+	}
+	if u.Digest == "" {
+		return UnitResult{}, simerr.Invalidf("dist: unit [%d,%d) missing content digest", u.Start, u.End)
+	}
+	if want := unitDigest(u); u.Digest != want {
+		return UnitResult{}, simerr.Invalidf("dist: unit [%d,%d) digest mismatch (payload altered in flight)",
+			u.Start, u.End)
 	}
 	return u, nil
 }

@@ -69,7 +69,7 @@ func TestUnitResultWireRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Key != "k1" || got.Start != 2 || got.End != 4 || len(got.States) != 2 || got.Version != 1 {
+	if got.Key != "k1" || got.Start != 2 || got.End != 4 || len(got.States) != 2 || got.Version != 2 {
 		t.Fatalf("round trip wrong: %+v", got)
 	}
 	// Corruption is rejected at the framing layer.
@@ -160,7 +160,7 @@ func drainClaims(t *testing.T, c *Coordinator, worker string) []*LeaseGrant {
 	t.Helper()
 	var out []*LeaseGrant
 	for {
-		g, err := c.Claim(context.Background(), worker)
+		g, err := c.Claim(context.Background(), worker, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func waitGrant(t *testing.T, c *Coordinator, worker string) *LeaseGrant {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		g, err := c.Claim(context.Background(), worker)
+		g, err := c.Claim(context.Background(), worker, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +280,7 @@ func TestLeaseExpiryRequeuesAndRetries(t *testing.T) {
 	// The doomed worker grabs the first unit and dies.
 	var dead *LeaseGrant
 	for dead == nil {
-		g, err := c.Claim(context.Background(), "dead")
+		g, err := c.Claim(context.Background(), "dead", "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -386,11 +386,11 @@ func TestHedgedStealFirstReportWins(t *testing.T) {
 
 	slow := waitGrant(t, c, "slow")
 	// Not yet old enough to hedge.
-	if g, _ := c.Claim(context.Background(), "fast"); g != nil {
+	if g, _ := c.Claim(context.Background(), "fast", ""); g != nil {
 		t.Fatalf("premature hedge: %+v", g)
 	}
 	clk.Advance(3 * time.Second) // straggler threshold crossed, lease still live
-	hedge, err := c.Claim(context.Background(), "fast")
+	hedge, err := c.Claim(context.Background(), "fast", "")
 	if err != nil || hedge == nil {
 		t.Fatalf("expected hedged grant, got %+v err=%v", hedge, err)
 	}
@@ -463,7 +463,7 @@ func TestProbeEvictionRequeuesAndReadmits(t *testing.T) {
 		t.Fatalf("readmission not counted: %+v", st)
 	}
 	clk.Advance(time.Minute)
-	g2, err := c.Claim(context.Background(), "w1")
+	g2, err := c.Claim(context.Background(), "w1", "")
 	if err != nil || g2 == nil {
 		t.Fatalf("re-admitted worker got no work: %+v err=%v", g2, err)
 	}
@@ -490,7 +490,7 @@ func TestDrainingWorkerIsLeaseNonRenewable(t *testing.T) {
 	if err := c.Renew(context.Background(), "w1", g.Key, g.Start, g.End); err != nil {
 		t.Fatalf("draining renew must be accepted: %v", err)
 	}
-	if g2, _ := c.Claim(context.Background(), "w1"); g2 != nil {
+	if g2, _ := c.Claim(context.Background(), "w1", ""); g2 != nil {
 		t.Fatalf("draining worker must get no new work, got %+v", g2)
 	}
 	clk.Advance(11 * time.Second)
@@ -512,7 +512,7 @@ func mustGrant(t *testing.T, c *Coordinator, clk *fakeClock, worker string) *Lea
 	c.Register(context.Background(), WorkerInfo{ID: worker})
 	clk.Advance(time.Minute)
 	c.Sweep(clk.Now())
-	g, err := c.Claim(context.Background(), worker)
+	g, err := c.Claim(context.Background(), worker, "")
 	if err != nil || g == nil {
 		t.Fatalf("no grant for %s (err=%v)", worker, err)
 	}

@@ -26,7 +26,10 @@ import (
 type CoordinatorAPI interface {
 	Register(ctx context.Context, info WorkerInfo) error
 	// Claim returns the next work unit, or nil when none is available.
-	Claim(ctx context.Context, workerID string) (*LeaseGrant, error)
+	// idemKey is the claim's idempotency key: a duplicated delivery of the
+	// same key replays the same outcome instead of leasing a second unit
+	// ("" opts out).
+	Claim(ctx context.Context, workerID, idemKey string) (*LeaseGrant, error)
 	// Renew extends a lease; ErrGone means abandon the unit.
 	Renew(ctx context.Context, workerID, key string, start, end int) error
 	// Report uploads a unit result container (idempotent).
@@ -69,6 +72,7 @@ type Worker struct {
 
 	draining  atomic.Bool
 	mu        sync.Mutex // guards rnd
+	claimSeq  atomic.Int64
 	claims    atomic.Int64
 	execs     atomic.Int64 // units fully executed (the chaos tests' re-run counter)
 	reports   atomic.Int64
@@ -117,7 +121,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		return fmt.Errorf("dist: worker %s register: %w", w.cfg.ID, err)
 	}
 	for ctx.Err() == nil && !w.draining.Load() {
-		grant, err := w.cfg.Coordinator.Claim(ctx, w.cfg.ID)
+		// One idempotency key per logical claim: transport-level retries
+		// and duplicated deliveries of THIS claim collapse to one lease.
+		idemKey := fmt.Sprintf("%s.c%d", w.cfg.ID, w.claimSeq.Add(1))
+		grant, err := w.cfg.Coordinator.Claim(ctx, w.cfg.ID, idemKey)
 		if err != nil {
 			w.cfg.Logger.Warn("dist: claim failed", "worker", w.cfg.ID, "err", err)
 			if !backoff.Sleep(ctx, w.cfg.Backoff.Delay(0, w.randFloat)) {
@@ -241,7 +248,10 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 
 // Client is the HTTP implementation of CoordinatorAPI, speaking qisimd's
 // /v1/dist endpoints with capped-exponential/full-jitter retries that
-// honor Retry-After hints.
+// honor Retry-After hints (on 429 AND 503, with jitter layered on top so
+// a hinted fleet fans back out instead of stampeding in lockstep), a
+// per-RPC deadline on every attempt, and an optional token-bucket retry
+// budget that hard-bounds retry amplification under coordinator overload.
 type Client struct {
 	// Base is the coordinator's base URL (e.g. "http://127.0.0.1:8080").
 	Base string
@@ -251,6 +261,15 @@ type Client struct {
 	Backoff backoff.Policy
 	// MaxAttempts bounds retries per call (default 4).
 	MaxAttempts int
+	// RPCTimeout caps each individual attempt (default 15s; negative
+	// disables). Without it one black-holed TCP connection stalls the
+	// whole claim loop for the kernel's timeout, not ours.
+	RPCTimeout time.Duration
+	// Budget, when non-nil, is the shared token-bucket retry budget:
+	// every logical RPC deposits, every retry withdraws, and an empty
+	// bucket turns the retryable error into a terminal one. Share one
+	// Budget across a process's clients so the bound is per-node.
+	Budget *backoff.Budget
 	// Rand is the jitter source (nil = worst-case delays).
 	Rand func() float64
 }
@@ -269,20 +288,54 @@ func (c *Client) attempts() int {
 	return 4
 }
 
+func (c *Client) rpcTimeout() time.Duration {
+	if c.RPCTimeout < 0 {
+		return 0
+	}
+	if c.RPCTimeout == 0 {
+		return 15 * time.Second
+	}
+	return c.RPCTimeout
+}
+
+// attemptCtx applies the per-RPC deadline to one attempt.
+func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := c.rpcTimeout(); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// budgetGate converts a retryable verdict into a terminal one when the
+// retry budget is exhausted.
+func (c *Client) budgetGate(retryable bool, err error) (bool, error) {
+	if !retryable || c.Budget.Withdraw() {
+		return retryable, err
+	}
+	return false, fmt.Errorf("dist: retry budget exhausted: %w", err)
+}
+
 // post sends one JSON (or raw) body and decodes the response into out
 // (when non-nil). Retryable statuses: 429, 502, 503, 504 and transport
 // errors. 410 maps to ErrGone, 204 to (false-ish) noContent.
 func (c *Client) post(ctx context.Context, path, contentType string, body []byte, out any) (noContent bool, err error) {
+	c.Budget.Deposit()
 	err = backoff.Retry(ctx, c.Backoff, c.attempts(), c.Rand,
 		func(rctx context.Context) (bool, time.Duration, error) {
-			req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+			actx, cancel := c.attemptCtx(rctx)
+			defer cancel()
+			req, err := http.NewRequestWithContext(actx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 			if err != nil {
 				return false, 0, err
 			}
 			req.Header.Set("Content-Type", contentType)
 			resp, err := c.http().Do(req)
 			if err != nil {
-				return true, 0, err
+				if ctx.Err() != nil {
+					return false, 0, err // caller gone, not the network
+				}
+				retryable, err := c.budgetGate(true, err)
+				return retryable, 0, err
 			}
 			defer resp.Body.Close()
 			switch {
@@ -295,9 +348,14 @@ func (c *Client) post(ctx context.Context, path, contentType string, body []byte
 				resp.StatusCode == http.StatusBadGateway ||
 				resp.StatusCode == http.StatusServiceUnavailable ||
 				resp.StatusCode == http.StatusGatewayTimeout:
+				// Retry-After is honored on 429 and 503 alike (a draining
+				// coordinator answers 503 with a hint); backoff.Retry adds
+				// full jitter on top of the hint.
 				hint, _ := backoff.RetryAfter(resp)
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-				return true, hint, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+				retryable, err := c.budgetGate(true,
+					fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg)))
+				return retryable, hint, err
 			case resp.StatusCode != http.StatusOK:
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 				return false, 0, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
@@ -326,11 +384,13 @@ func (c *Client) Register(ctx context.Context, info WorkerInfo) error {
 
 type claimRequest struct {
 	Worker string `json:"worker"`
+	// IdemKey is the claim's idempotency key (see CoordinatorAPI.Claim).
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 // Claim implements CoordinatorAPI (nil grant = no work, from 204).
-func (c *Client) Claim(ctx context.Context, workerID string) (*LeaseGrant, error) {
-	body, err := json.Marshal(claimRequest{Worker: workerID})
+func (c *Client) Claim(ctx context.Context, workerID, idemKey string) (*LeaseGrant, error) {
+	body, err := json.Marshal(claimRequest{Worker: workerID, IdemKey: idemKey})
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +401,17 @@ func (c *Client) Claim(ctx context.Context, workerID string) (*LeaseGrant, error
 	}
 	if noContent {
 		return nil, nil
+	}
+	// A grant corrupted in transit can survive JSON decoding with a wrong
+	// window, seed or plan — the worker would then compute honest bytes
+	// over garbage and fail the coordinator's spot-check. Refuse it here;
+	// the next claim (same idempotency key on a transport retry, or a
+	// fresh logical claim) replays or re-grants the unit intact.
+	if g.Digest == "" || g.Digest != grantDigest(LeaseGrant{
+		Kind: g.Kind, Key: g.Key, Params: g.Params, Plan: g.Plan,
+		Start: g.Start, End: g.End, TTLMS: g.TTLMS, DeadlineMS: g.DeadlineMS,
+	}) {
+		return nil, fmt.Errorf("dist: claim: grant digest mismatch (response corrupted in transit)")
 	}
 	return &g, nil
 }
@@ -365,9 +436,12 @@ func (c *Client) Renew(ctx context.Context, workerID, key string, start, end int
 // Report implements CoordinatorAPI: the body is the QISNAP01 unit
 // container; the worker identity rides in a header.
 func (c *Client) Report(ctx context.Context, workerID string, container []byte) error {
+	c.Budget.Deposit()
 	err := backoff.Retry(ctx, c.Backoff, c.attempts(), c.Rand,
 		func(rctx context.Context) (bool, time.Duration, error) {
-			req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Base+"/v1/dist/report", bytes.NewReader(container))
+			actx, cancel := c.attemptCtx(rctx)
+			defer cancel()
+			req, err := http.NewRequestWithContext(actx, http.MethodPost, c.Base+"/v1/dist/report", bytes.NewReader(container))
 			if err != nil {
 				return false, 0, err
 			}
@@ -375,20 +449,28 @@ func (c *Client) Report(ctx context.Context, workerID string, container []byte) 
 			req.Header.Set("X-QIsim-Worker", workerID)
 			resp, err := c.http().Do(req)
 			if err != nil {
-				return true, 0, err
+				if ctx.Err() != nil {
+					return false, 0, err
+				}
+				retryable, err := c.budgetGate(true, err)
+				return retryable, 0, err
 			}
 			defer resp.Body.Close()
 			switch {
 			case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent:
 				io.Copy(io.Discard, resp.Body)
 				return false, 0, nil
+			case resp.StatusCode == http.StatusGone:
+				return false, 0, ErrGone
 			case resp.StatusCode == http.StatusTooManyRequests ||
 				resp.StatusCode == http.StatusBadGateway ||
 				resp.StatusCode == http.StatusServiceUnavailable ||
 				resp.StatusCode == http.StatusGatewayTimeout:
 				hint, _ := backoff.RetryAfter(resp)
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-				return true, hint, fmt.Errorf("dist: report: %s: %s", resp.Status, bytes.TrimSpace(msg))
+				retryable, err := c.budgetGate(true,
+					fmt.Errorf("dist: report: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+				return retryable, hint, err
 			default:
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 				return false, 0, fmt.Errorf("dist: report: %s: %s", resp.Status, bytes.TrimSpace(msg))

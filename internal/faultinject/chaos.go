@@ -1,0 +1,221 @@
+// Byzantine and network-chaos fault scenarios for the distributed fleet:
+// a worker that lies about its results, a claim RPC delivered twice, and a
+// worker whose retry budget runs dry against a misbehaving coordinator.
+// Like the dist scenarios these drive public APIs deterministically — the
+// contract is always the same: the fault is detected, counted, and the
+// folded result stays byte-identical to a standalone run.
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"qisim/internal/backoff"
+	"qisim/internal/dist"
+)
+
+// chaosScenarios returns the chaos/Byzantine fault suite, appended to
+// Scenarios().
+func chaosScenarios() []Scenario {
+	return []Scenario{
+		{
+			// (i) Corrupted unit result: a worker reports well-formed but
+			// forged shard states (valid container CRC, valid digest over the
+			// forged content — the worker computes both honestly over its
+			// lie). The coordinator's spot-check re-executes the window,
+			// catches the mismatch, quarantines the worker, and completes the
+			// job on the local lane with standalone-identical bytes.
+			Name: "chaos-corrupted-result-quarantines-worker",
+			Run: func() Outcome {
+				clk := &manualClock{now: time.Unix(2000, 0)}
+				c := dist.NewCoordinator(dist.Config{Clock: clk.Now, LeaseTTL: time.Minute,
+					UnitShards: 4, SpotCheck: 1, SpotCheckProbation: 1,
+					QuarantineFor: 10 * time.Minute})
+				core := distToyCore(nil)
+				want, _, err := core.RunFull(context.Background(), distToyPlan)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", err)}
+				}
+				c.Register(context.Background(), dist.WorkerInfo{ID: "liar"}) //nolint:errcheck
+				ch := startDistExecute(c, context.Background(), "k-chaos-liar", core, distToyPlan)
+
+				g, err := claimUntil(c, "liar")
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				// The injected fault: forged states — decodable ints that
+				// cannot match the coordinator's own re-execution.
+				n := g.End - g.Start
+				states := make([]json.RawMessage, n)
+				events := make([]int, n)
+				for i := range states {
+					states[i] = json.RawMessage(fmt.Sprintf("%d", 5_555_000+i))
+					events[i] = 1
+				}
+				body, err := dist.EncodeUnitResult(dist.UnitResult{Kind: g.Kind, Key: g.Key,
+					Start: g.Start, End: g.End, States: states, Events: events, Worker: "liar"})
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if err := c.Report(context.Background(), "liar", body); err != nil {
+					return Outcome{Err: err}
+				}
+				// Quarantined: the liar gets no further grants.
+				if g2, err := c.Claim(context.Background(), "liar", ""); err != nil || g2 != nil {
+					return Outcome{Err: fmt.Errorf("quarantined worker still claimed: %v %v", g2, err)}
+				}
+				o, err := waitDistOutcome(ch)
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if string(o.body) != string(want) {
+					return Outcome{Err: fmt.Errorf("post-quarantine bytes differ from standalone:\n%s\n%s", o.body, want)}
+				}
+				st := c.Stats()
+				if st.SpotChecksFailed != 1 || st.Quarantines != 1 {
+					return Outcome{Err: fmt.Errorf("quarantine not observed: %+v", st)}
+				}
+				return Outcome{Status: o.status,
+					Detail: "forged unit caught by spot-check; worker quarantined; bytes identical"}
+			},
+		},
+		{
+			// (i') Duplicated claim delivery: the network replays a claim RPC
+			// (chaos duplicate fault). With an idempotency key the replay
+			// returns the SAME grant — no second lease, no double-assigned
+			// window — and the job still folds to standalone bytes.
+			Name: "chaos-duplicated-claim-delivery-idempotent",
+			Run: func() Outcome {
+				c := dist.NewCoordinator(dist.Config{LeaseTTL: time.Minute, UnitShards: 4})
+				core := distToyCore(nil)
+				want, _, err := core.RunFull(context.Background(), distToyPlan)
+				if err != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", err)}
+				}
+				c.Register(context.Background(), dist.WorkerInfo{ID: "w1"}) //nolint:errcheck
+				ch := startDistExecute(c, context.Background(), "k-chaos-dup-claim", core, distToyPlan)
+
+				// First delivery of claim. Distinct keys per poll: a nil
+				// (no-work) outcome must not be replayed forever while the
+				// job is still being admitted.
+				var g1 *dist.LeaseGrant
+				var lastKey string
+				deadline := time.Now().Add(10 * time.Second)
+				for seq := 0; g1 == nil; seq++ {
+					if time.Now().After(deadline) {
+						return Outcome{Err: fmt.Errorf("no grant became available")}
+					}
+					lastKey = fmt.Sprintf("w1.c%d", seq)
+					g1, err = c.Claim(context.Background(), "w1", lastKey)
+					if err != nil {
+						return Outcome{Err: err}
+					}
+					if g1 == nil {
+						time.Sleep(time.Millisecond)
+					}
+				}
+				grantsAfterFirst := c.Stats().Grants
+				// The injected fault: the SAME logical claim arrives again —
+				// the key that produced the grant is replayed verbatim.
+				g1b, err := c.Claim(context.Background(), "w1", lastKey)
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if g1b == nil || g1b.Start != g1.Start || g1b.End != g1.End {
+					return Outcome{Err: fmt.Errorf("replay returned %+v, want the original grant [%d,%d)", g1b, g1.Start, g1.End)}
+				}
+				st := c.Stats()
+				if st.Grants != grantsAfterFirst || st.IdemReplays != 1 {
+					return Outcome{Err: fmt.Errorf("duplicate claim leaked a grant: %+v (had %d)", st, grantsAfterFirst)}
+				}
+				// Drain the rest of the job normally.
+				if err := reportGrant(c, core, "w1", g1); err != nil {
+					return Outcome{Err: err}
+				}
+				for {
+					g, err := c.Claim(context.Background(), "w1", "")
+					if err != nil {
+						return Outcome{Err: err}
+					}
+					if g == nil {
+						break
+					}
+					if err := reportGrant(c, core, "w1", g); err != nil {
+						return Outcome{Err: err}
+					}
+				}
+				o, err := waitDistOutcome(ch)
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				if string(o.body) != string(want) {
+					return Outcome{Err: fmt.Errorf("deduped-claim bytes differ from standalone:\n%s\n%s", o.body, want)}
+				}
+				return Outcome{Status: o.status,
+					Detail: "duplicated claim replayed the original grant; no lease leaked; bytes identical"}
+			},
+		},
+		{
+			// (i'') Retry budget exhausted: a worker facing an all-503
+			// coordinator burns its single budgeted retry and gives up FAST
+			// (2 HTTP calls, not MaxAttempts), while the coordinator side —
+			// with no live fleet — degrades the job to the local lane and
+			// still produces standalone-identical bytes.
+			Name: "chaos-retry-budget-exhausted-degrades-to-local",
+			Run: func() Outcome {
+				var calls atomic.Int64
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					calls.Add(1)
+					w.WriteHeader(http.StatusServiceUnavailable)
+				}))
+				defer srv.Close()
+				budget := backoff.NewBudget(0.1, 1)
+				cl := &dist.Client{Base: srv.URL, MaxAttempts: 10, Budget: budget,
+					Backoff: backoff.Policy{Base: time.Millisecond, Cap: time.Millisecond, Factor: 2},
+					Rand:    func() float64 { return 0 },
+				}
+				_, err := cl.Claim(context.Background(), "w1", "c1")
+				if err == nil {
+					return Outcome{Err: fmt.Errorf("claim against an all-503 coordinator succeeded")}
+				}
+				if got := calls.Load(); got != 2 {
+					return Outcome{Err: fmt.Errorf("%d HTTP calls, want 2 (first attempt + one budgeted retry)", got)}
+				}
+				if allowed, denied := budget.Stats(); allowed != 1 || denied == 0 {
+					return Outcome{Err: fmt.Errorf("budget stats (%d, %d), want 1 allowed and ≥1 denied", allowed, denied)}
+				}
+
+				// The worker has stopped hammering the fleet; the job itself
+				// must not stall: with zero live workers the coordinator
+				// refuses with ErrNoWorkers and the caller (the service
+				// layer's degraded lane) runs the plan fully locally — same
+				// engine, so the bytes match a standalone run by
+				// construction, and nothing waits on the dead fleet.
+				c := dist.NewCoordinator(dist.Config{LeaseTTL: time.Minute, UnitShards: 4})
+				core := distToyCore(nil)
+				want, wantSt, ferr := core.RunFull(context.Background(), distToyPlan)
+				if ferr != nil {
+					return Outcome{Err: fmt.Errorf("standalone reference failed: %w", ferr)}
+				}
+				_, _, derr := c.Execute(context.Background(), "toy", "k-chaos-budget", nil, core, distToyPlan, nil)
+				if derr != dist.ErrNoWorkers {
+					return Outcome{Err: fmt.Errorf("empty fleet: got %v, want ErrNoWorkers", derr)}
+				}
+				body, status, lerr := core.RunFull(context.Background(), distToyPlan)
+				if lerr != nil {
+					return Outcome{Err: lerr}
+				}
+				if string(body) != string(want) || status != wantSt {
+					return Outcome{Err: fmt.Errorf("degraded-local bytes differ from standalone:\n%s\n%s", body, want)}
+				}
+				return Outcome{Status: status,
+					Detail: fmt.Sprintf("retry budget stopped the loop after %d calls; empty fleet degraded to local with identical bytes", calls.Load())}
+			},
+		},
+	}
+}

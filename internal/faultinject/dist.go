@@ -76,7 +76,7 @@ func (m *manualClock) Advance(d time.Duration) time.Time {
 func claimUntil(c *dist.Coordinator, worker string) (*dist.LeaseGrant, error) {
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		g, err := c.Claim(context.Background(), worker)
+		g, err := c.Claim(context.Background(), worker, "")
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,7 @@ func distScenarios() []Scenario {
 				// requeued unit sits behind a backoff window, so the clock
 				// advances between empty claims to walk past it.
 				for {
-					g, err := c.Claim(context.Background(), "alive")
+					g, err := c.Claim(context.Background(), "alive", "")
 					if err != nil {
 						return Outcome{Err: err}
 					}
@@ -336,7 +336,7 @@ func distScenarios() []Scenario {
 					if err := c2.Report(context.Background(), "w1", container); err != nil {
 						return Outcome{Err: fmt.Errorf("report adopted lease: %w", err)}
 					}
-					if g, err := c2.Claim(context.Background(), "w1"); err != nil {
+					if g, err := c2.Claim(context.Background(), "w1", ""); err != nil {
 						return Outcome{Err: err}
 					} else if g != nil {
 						return Outcome{Err: fmt.Errorf("adopted unit [%d,%d) was re-granted: got [%d,%d)",

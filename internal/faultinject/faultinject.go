@@ -680,5 +680,5 @@ func Scenarios() []Scenario {
 					Detail: fmt.Sprintf("export failed cleanly (%v); run result intact", exportErr)}
 			},
 		},
-	}, append(distScenarios(), dseScenarios()...)...)
+	}, append(distScenarios(), append(dseScenarios(), chaosScenarios()...)...)...)
 }

@@ -150,3 +150,17 @@ func (m *Manager) Subscribe(id string) (past []Event, ch <-chan Event, cancel fu
 	}
 	return past, c, cancel, true
 }
+
+// Subscribers reports the job's live event-subscription count (0 for an
+// unknown or finished job). Exists so tests — and operators via debug
+// tooling — can prove that disconnected SSE consumers are reaped instead
+// of leaking subscriptions until the job finalizes.
+func (m *Manager) Subscribers(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, found := m.byID[id]
+	if !found {
+		return 0
+	}
+	return len(j.subs)
+}

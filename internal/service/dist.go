@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"qisim/internal/chaos"
 	"qisim/internal/compile"
 	"qisim/internal/cyclesim"
 	"qisim/internal/dist"
@@ -50,6 +51,15 @@ type DistConfig struct {
 	// ProbeFailLimit evicts a worker after this many consecutive failed
 	// probes (default 3).
 	ProbeFailLimit int
+	// SpotCheck is the seeded fraction of remote unit reports the
+	// coordinator re-executes locally and compares byte-for-byte; a
+	// mismatch quarantines the reporting worker (0 = off). See
+	// dist.Config.SpotCheck.
+	SpotCheck float64
+	// Chaos, when non-nil, wraps the /v1/dist/* endpoints in the seeded
+	// fault-injection middleware (latency, 5xx bursts, aborts, duplicated
+	// deliveries) — the coordinator-side half of a chaos drill.
+	Chaos *chaos.Spec
 }
 
 // distReportBodyLimit bounds a unit-result upload (per-shard states plus
@@ -71,6 +81,10 @@ func (s *Server) initDist(cfg Config) {
 		"Evicted workers re-admitted after a successful probe, claim or report.")
 	localUnits := s.reg.Counter("qisimd_dist_local_units_total",
 		"Work units executed on the coordinator's local lane (degraded or fleet down).")
+	spotchecks := s.reg.CounterVec("qisimd_dist_spotcheck_total",
+		"Spot-check verdicts on remote unit reports (pass, fail, error).", "result")
+	quarantines := s.reg.Counter("qisimd_dist_quarantine_total",
+		"Workers quarantined after a spot-check mismatch.")
 	s.mDistUnitSeconds = s.reg.HistogramVec("qisimd_dist_unit_seconds",
 		"Work-unit wall clock from grant to accepted report, per worker.",
 		metrics.DefaultLatencyBuckets(), "worker")
@@ -86,6 +100,7 @@ func (s *Server) initDist(cfg Config) {
 		SweepInterval:  cfg.Dist.SweepInterval,
 		ProbeInterval:  cfg.Dist.ProbeInterval,
 		ProbeFailLimit: cfg.Dist.ProbeFailLimit,
+		SpotCheck:      cfg.Dist.SpotCheck,
 		Probe:          dist.ProbeHTTP(nil, 0),
 		UnitDir:        unitDir,
 		Journal:        s.journal,
@@ -101,6 +116,8 @@ func (s *Server) initDist(cfg Config) {
 			UnitDone: func(worker string, seconds float64) {
 				s.mDistUnitSeconds.With(worker).Observe(seconds)
 			},
+			SpotCheck:  func(result string) { spotchecks.With(result).Inc() },
+			Quarantine: func() { quarantines.Inc() },
 		},
 	})
 	s.reg.CounterFunc("qisimd_dist_units_done_total",
@@ -115,6 +132,12 @@ func (s *Server) initDist(cfg Config) {
 	s.reg.CounterFunc("qisimd_dist_unit_file_reloads_total",
 		"Work units reloaded from the unit directory after a coordinator restart.",
 		func() float64 { return float64(s.dist.Stats().FileReloads) })
+	s.reg.CounterFunc("qisimd_dist_idem_replays_total",
+		"Duplicate claim deliveries answered from the idempotency record.",
+		func() float64 { return float64(s.dist.Stats().IdemReplays) })
+	s.reg.CounterFunc("qisimd_dist_quarantine_readmits_total",
+		"Quarantined workers re-admitted after the quarantine window elapsed.",
+		func() float64 { return float64(s.dist.Stats().QuarantineReadmits) })
 }
 
 // Dist exposes the fleet coordinator (nil unless DistConfig.Enabled).
@@ -136,7 +159,8 @@ func (s *Server) handleDistRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 type distClaimRequest struct {
-	Worker string `json:"worker"`
+	Worker  string `json:"worker"`
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 func (s *Server) handleDistClaim(w http.ResponseWriter, r *http.Request) {
@@ -152,7 +176,7 @@ func (s *Server) handleDistClaim(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "coordinator draining"})
 		return
 	}
-	grant, err := s.dist.Claim(r.Context(), req.Worker)
+	grant, err := s.dist.Claim(r.Context(), req.Worker, req.IdemKey)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -194,11 +218,16 @@ func (s *Server) handleDistReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err) // MaxBytesError → 413
 		return
 	}
-	if err := s.dist.Report(r.Context(), r.Header.Get("X-QIsim-Worker"), body); err != nil {
+	err = s.dist.Report(r.Context(), r.Header.Get("X-QIsim-Worker"), body)
+	switch {
+	case errors.Is(err, dist.ErrGone):
+		// Quarantined reporter: abandon the unit, stop retrying.
+		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
+	case err != nil:
 		s.writeError(w, err)
-		return
+	default:
+		w.WriteHeader(http.StatusNoContent)
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 // ---- per-kind execution cores ----

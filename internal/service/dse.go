@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -498,7 +499,9 @@ func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
 // the job's retained event log replays first (id: carries the sequence
 // number, so reconnecting clients can spot gaps), then live events stream
 // until the job finalizes — the terminal state event is always last, after
-// which the stream closes.
+// which the stream closes. Idle streams carry comment heartbeats
+// (Config.SSEHeartbeat) so dead subscribers are reaped on the next tick
+// rather than holding their event subscription until a real event fires.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	past, ch, cancel, ok := s.mgr.Subscribe(id)
@@ -515,14 +518,23 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	emit := func(ev jobs.Event) {
+	emit := func(ev jobs.Event) error {
 		// Event payloads are compact JSON (no newlines), so a single data:
 		// line per event is always well-formed SSE framing.
-		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data)
+		_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data)
 		fl.Flush()
+		return err
 	}
 	for _, ev := range past {
-		emit(ev)
+		if emit(ev) != nil {
+			return
+		}
+	}
+	var hb <-chan time.Time
+	if s.sseHeartbeat > 0 {
+		t := time.NewTicker(s.sseHeartbeat)
+		defer t.Stop()
+		hb = t.C
 	}
 	for {
 		select {
@@ -530,7 +542,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return // log sealed: the job finished
 			}
-			emit(ev)
+			if emit(ev) != nil {
+				return // dead subscriber: free the subscription now
+			}
+		case <-hb:
+			// SSE comment line: ignored by clients, but the write fails
+			// fast on a torn connection the context never noticed.
+			if _, err := io.WriteString(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}

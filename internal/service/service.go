@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qisim/internal/chaos"
 	"qisim/internal/dist"
 	"qisim/internal/jobs"
 	"qisim/internal/metrics"
@@ -99,6 +100,13 @@ type Config struct {
 	// MaxEventsPerJob bounds each job's retained event log (the replay
 	// window of GET /v1/jobs/{id}/events). 0 = the jobs-layer default.
 	MaxEventsPerJob int
+	// SSEHeartbeat is the interval between comment heartbeats (": hb")
+	// written on idle GET /v1/jobs/{id}/events streams. Heartbeats keep
+	// intermediaries from timing out the connection and, more importantly,
+	// surface dead subscribers: a failed heartbeat write tears the stream
+	// down and frees its event subscription instead of leaking it until
+	// the next real event. 0 = 15s; negative disables heartbeats.
+	SSEHeartbeat time.Duration
 }
 
 // DefaultMaxBodyBytes bounds POST bodies when Config.MaxBodyBytes is unset.
@@ -147,6 +155,8 @@ type Server struct {
 	baseCtx          context.Context
 	mDegraded        *metrics.Counter
 	mDistUnitSeconds *metrics.HistogramVec
+
+	sseHeartbeat time.Duration // interval between SSE comment heartbeats
 }
 
 // New builds a Server (workers not yet running — call Start; with DataDir,
@@ -169,6 +179,13 @@ func New(cfg Config) (*Server, error) {
 	case traceMaxSpans < 0:
 		traceMaxSpans = 0 // disables job tracing in the manager
 	}
+	sseHeartbeat := cfg.SSEHeartbeat
+	switch {
+	case sseHeartbeat == 0:
+		sseHeartbeat = 15 * time.Second
+	case sseHeartbeat < 0:
+		sseHeartbeat = 0 // disables heartbeats
+	}
 	s := &Server{
 		cache:        rescache.New(cfg.CacheEntries),
 		reg:          metrics.New(),
@@ -176,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 		maxBodyBytes: cfg.MaxBodyBytes,
 		baseCtx:      cfg.BaseContext,
 		log:          obs.OrDiscard(cfg.Logger),
+		sseHeartbeat: sseHeartbeat,
 	}
 	if cfg.DataDir != "" {
 		journal, err := jobs.OpenJournal(filepath.Join(cfg.DataDir, "journal.wal"))
@@ -313,10 +331,21 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.dist != nil {
-		mux.HandleFunc("POST /v1/dist/register", s.handleDistRegister)
-		mux.HandleFunc("POST /v1/dist/claim", s.handleDistClaim)
-		mux.HandleFunc("POST /v1/dist/renew", s.handleDistRenew)
-		mux.HandleFunc("POST /v1/dist/report", s.handleDistReport)
+		// With a chaos spec configured, every fleet RPC endpoint is
+		// served through the fault-injection middleware so a single
+		// coordinator process can rehearse the full failure taxonomy
+		// (latency, 5xx bursts, aborts, duplicated deliveries) against
+		// real workers.
+		distHandler := func(h http.HandlerFunc) http.Handler {
+			if cfg.Dist.Chaos == nil {
+				return h
+			}
+			return chaos.NewMiddleware(*cfg.Dist.Chaos, h)
+		}
+		mux.Handle("POST /v1/dist/register", distHandler(s.handleDistRegister))
+		mux.Handle("POST /v1/dist/claim", distHandler(s.handleDistClaim))
+		mux.Handle("POST /v1/dist/renew", distHandler(s.handleDistRenew))
+		mux.Handle("POST /v1/dist/report", distHandler(s.handleDistReport))
 	}
 	s.mux = mux
 	return s, nil
