@@ -638,6 +638,16 @@ func (c *Coordinator) Report(ctx context.Context, workerID string, container []b
 		c.stats.DupReports++
 		return nil
 	}
+	if tu.verifying {
+		// An audit of this range is already in flight. Accepting this
+		// delivery now would complete the unit unaudited and let the
+		// in-flight spot-check bail out before comparing — a duplicated
+		// (or deliberately double-sent) forged report would then never be
+		// adjudicated. The audit's verdict settles the unit; this delivery
+		// is acked as a duplicate.
+		c.stats.DupReports++
+		return nil
+	}
 	if w != nil && c.shouldSpotCheckLocked(j, tu, w) {
 		return c.spotCheckLocked(ctx, j, tu, u, w)
 	}
@@ -656,9 +666,6 @@ func (c *Coordinator) shouldSpotCheckLocked(j *distJob, u *unit, w *workerState)
 	}
 	if w.trust < c.cfg.SpotCheckMinTrust {
 		p = c.cfg.SpotCheckProbation
-	}
-	if u.verifying {
-		return false // one audit per unit at a time
 	}
 	h := fnv.New64a()
 	h.Write([]byte(j.key))     //nolint:errcheck
@@ -682,22 +689,27 @@ func (c *Coordinator) spotCheckLocked(ctx context.Context, j *distJob, tu *unit,
 	tu.verifying = true
 	core, plan := j.core, j.plan
 	c.mu.Unlock()
-	states, events, verr := core.RunWindow(ctx, plan, tu.start, tu.end)
+	// The re-execution must not live or die with the reporter's RPC: a
+	// worker that disconnects right after uploading — or whose client-side
+	// deadline fires during a slow local re-run — would otherwise cancel
+	// the audit and get its report accepted unaudited, a worker-controlled
+	// evasion route. Keep the request's values, drop its cancellation.
+	states, events, verr := core.RunWindow(context.WithoutCancel(ctx), plan, tu.start, tu.end)
 	c.mu.Lock()
 	tu.verifying = false
 
-	// The world may have moved while the lock was released.
-	if j.finished || j.err != nil {
-		c.persistUnitLocked(u)
-		return nil
-	}
-	if tu.state == unitDone {
-		c.stats.DupReports++
-		return nil
-	}
 	if verr != nil {
-		// Could not verify (cancellation, resource failure): accept the
-		// report unaudited rather than stall the job, but say so.
+		// Could not verify (resource failure): the world may have moved
+		// while the lock was released; otherwise accept the report
+		// unaudited rather than stall the job, but say so.
+		if j.finished || j.err != nil {
+			c.persistUnitLocked(u)
+			return nil
+		}
+		if tu.state == unitDone {
+			c.stats.DupReports++
+			return nil
+		}
 		c.cfg.Logger.Warn("dist: spot-check re-execution failed; accepting unaudited",
 			"worker", w.id, "key", j.key, "start", tu.start, "end", tu.end, "err", verr)
 		if c.cfg.Hooks.SpotCheck != nil {
@@ -706,20 +718,40 @@ func (c *Coordinator) spotCheckLocked(ctx context.Context, j *distJob, tu *unit,
 		c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
 		return nil
 	}
-	if unitStatesEqual(states, events, u.States, u.Events) {
+
+	// The verdict stands no matter what happened while the lock was
+	// released (job finished, unit resolved by the local lane): trust and
+	// quarantine judge the worker, not the unit, and skipping the
+	// adjudication here would be exactly the evasion the audit exists to
+	// close.
+	match := unitStatesEqual(states, events, u.States, u.Events)
+	if match {
 		c.stats.SpotChecksPassed++
 		if c.cfg.Hooks.SpotCheck != nil {
 			c.cfg.Hooks.SpotCheck("pass")
 		}
 		w.trust++
+	} else {
+		c.stats.SpotChecksFailed++
+		if c.cfg.Hooks.SpotCheck != nil {
+			c.cfg.Hooks.SpotCheck("fail")
+		}
+		c.quarantineLocked(w, c.cfg.Clock())
+	}
+	if j.finished || j.err != nil {
+		if match {
+			c.persistUnitLocked(u)
+		}
+		return nil
+	}
+	if tu.state == unitDone {
+		c.stats.DupReports++
+		return nil
+	}
+	if match {
 		c.acceptUnitLocked(j, tu, u.States, u.Events, u.Worker, u.Trace)
 		return nil
 	}
-	c.stats.SpotChecksFailed++
-	if c.cfg.Hooks.SpotCheck != nil {
-		c.cfg.Hooks.SpotCheck("fail")
-	}
-	c.quarantineLocked(w, c.cfg.Clock())
 	// The local re-run is the truth; the job proceeds without the liar.
 	c.acceptUnitLocked(j, tu, states, events, "local", nil)
 	return nil

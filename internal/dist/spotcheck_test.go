@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -141,6 +142,131 @@ func TestSpotCheckMismatchQuarantinesAndCompletes(t *testing.T) {
 	}
 	if st := c.Stats(); st.QuarantineReadmits != 1 {
 		t.Fatalf("timed re-admission not observed: %+v", st)
+	}
+}
+
+// forgedReport builds a unit-result container for g whose states are valid
+// JSON ints but cannot match any honest re-execution.
+func forgedReport(t *testing.T, g *LeaseGrant, worker string, salt int) []byte {
+	t.Helper()
+	n := g.End - g.Start
+	states := make([]json.RawMessage, n)
+	events := make([]int, n)
+	for i := range states {
+		states[i] = json.RawMessage(fmt.Sprintf("%d", salt+i))
+		events[i] = 1
+	}
+	body, err := EncodeUnitResult(UnitResult{Kind: g.Kind, Key: g.Key, Start: g.Start,
+		End: g.End, States: states, Events: events, Worker: worker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// gatedCore wraps a Core so a test can hold one RunWindow open — standing
+// in for a slow spot-check re-execution — while further reports arrive.
+type gatedCore struct {
+	Core
+	mu      sync.Mutex
+	block   chan struct{} // non-nil: the next RunWindow waits on it (one-shot)
+	entered chan struct{} // closed when that RunWindow begins
+}
+
+func (g *gatedCore) RunWindow(ctx context.Context, p Plan, start, end int) ([]json.RawMessage, []int, error) {
+	g.mu.Lock()
+	block, entered := g.block, g.entered
+	g.block, g.entered = nil, nil
+	g.mu.Unlock()
+	if entered != nil {
+		close(entered)
+	}
+	if block != nil {
+		<-block
+	}
+	return g.Core.RunWindow(ctx, p, start, end)
+}
+
+// TestDuplicateReportDuringVerifyStillAudited closes the double-send
+// evasion: while a unit's spot-check is in flight, a duplicated delivery of
+// the same forged report must not complete the unit unaudited (which would
+// let the in-flight audit bail before comparing). The chaos duplicate fault
+// triggers this organically; a malicious worker can trigger it on purpose.
+func TestDuplicateReportDuringVerifyStillAudited(t *testing.T) {
+	clk := newFakeClock()
+	core := &gatedCore{Core: toyCore(1)}
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4,
+		SpotCheck: 1, SpotCheckProbation: 1, QuarantineFor: 10 * time.Minute})
+	want := runFullBytes(t, toyCore(1), toyPlan)
+	c.Register(context.Background(), WorkerInfo{ID: "liar"}) //nolint:errcheck
+	ch := startExecute(c, context.Background(), "k-dup-verify", core, toyPlan)
+	g := waitGrant(t, c, "liar")
+	body := forgedReport(t, g, "liar", 4_444_000)
+
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	core.mu.Lock()
+	core.block, core.entered = release, entered
+	core.mu.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- c.Report(context.Background(), "liar", body) }()
+	<-entered // the audit re-execution is in flight, coordinator lock released
+
+	// The duplicated delivery of the same forged report: it must be parked
+	// as a duplicate, not accepted into the fold.
+	if err := c.Report(context.Background(), "liar", body); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SpotChecksFailed != 1 || st.Quarantines != 1 {
+		t.Fatalf("duplicate delivery evaded the audit: %+v", st)
+	}
+	if st.DupReports == 0 {
+		t.Fatalf("duplicate delivery not parked: %+v", st)
+	}
+	o := waitOutcome(t, ch)
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if string(o.body) != string(want) {
+		t.Fatalf("bytes differ from standalone after double-sent forgery:\n%s\n%s", o.body, want)
+	}
+}
+
+// TestSpotCheckSurvivesReporterDisconnect closes the hang-up evasion: the
+// audit re-execution must not run under the reporter's request context, or
+// a worker that disconnects right after uploading (or whose client deadline
+// fires during a slow re-run) gets its forgery accepted unaudited.
+func TestSpotCheckSurvivesReporterDisconnect(t *testing.T) {
+	clk := newFakeClock()
+	core := toyCore(1)
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4,
+		SpotCheck: 1, SpotCheckProbation: 1, QuarantineFor: 10 * time.Minute})
+	want := runFullBytes(t, core, toyPlan)
+	c.Register(context.Background(), WorkerInfo{ID: "liar"}) //nolint:errcheck
+	ch := startExecute(c, context.Background(), "k-dead-ctx", core, toyPlan)
+	g := waitGrant(t, c, "liar")
+	body := forgedReport(t, g, "liar", 5_555_000)
+
+	rctx, cancel := context.WithCancel(context.Background())
+	cancel() // the reporter hung up the moment the upload landed
+	if err := c.Report(rctx, "liar", body); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SpotChecksFailed != 1 || st.Quarantines != 1 {
+		t.Fatalf("cancelled report context evaded the audit: %+v", st)
+	}
+	o := waitOutcome(t, ch)
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if string(o.body) != string(want) {
+		t.Fatalf("bytes differ from standalone after disconnect forgery:\n%s\n%s", o.body, want)
 	}
 }
 
@@ -350,5 +476,87 @@ func TestClientRejectsTamperedGrant(t *testing.T) {
 	got, err := cl.Claim(context.Background(), "w", "c1")
 	if err != nil || got == nil || got.Start != grant.Start || got.End != grant.End {
 		t.Fatalf("valid grant refused: %+v %v", got, err)
+	}
+}
+
+// TestClaimDigestMismatchRetriesSameIdemKey: a corrupted claim response
+// must be re-claimed under the SAME idempotency key so the coordinator
+// replays the already-recorded grant, instead of failing terminally and
+// stranding the leased unit until TTL expiry (the caller's next logical
+// claim mints a fresh key).
+func TestClaimDigestMismatchRetriesSameIdemKey(t *testing.T) {
+	grant := LeaseGrant{Kind: "toy", Key: "k-idem-retry", Plan: Plan{Shots: 64, Seed: 3, ShardSize: 16},
+		Start: 0, End: 2, TTLMS: 1000}
+	grant.Digest = grantDigest(grant)
+	tampered := grant
+	tampered.Start, tampered.End = 2, 4 // rewritten in flight; digest now stale
+
+	var mu sync.Mutex
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		mu.Lock()
+		keys = append(keys, req.IdemKey)
+		first := len(keys) == 1
+		mu.Unlock()
+		if first {
+			json.NewEncoder(w).Encode(tampered) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(grant) //nolint:errcheck
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, MaxAttempts: 3,
+		Backoff: backoff.Policy{Base: time.Millisecond, Cap: time.Millisecond, Factor: 2},
+		Rand:    func() float64 { return 0 },
+	}
+	got, err := cl.Claim(context.Background(), "w", "claim-7")
+	if err != nil || got == nil || got.Start != grant.Start || got.End != grant.End {
+		t.Fatalf("claim after corrupted first response: %+v %v", got, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 || keys[0] != "claim-7" || keys[1] != "claim-7" {
+		t.Fatalf("idem keys %v, want the re-claim to reuse claim-7", keys)
+	}
+}
+
+// goneReportCoord is a CoordinatorAPI whose Report always answers ErrGone
+// (quarantined worker / vanished job).
+type goneReportCoord struct {
+	reports atomic.Int64
+}
+
+func (f *goneReportCoord) Register(context.Context, WorkerInfo) error { return nil }
+func (f *goneReportCoord) Claim(context.Context, string, string) (*LeaseGrant, error) {
+	return nil, nil
+}
+func (f *goneReportCoord) Renew(context.Context, string, string, int, int) error { return nil }
+func (f *goneReportCoord) Report(context.Context, string, []byte) error {
+	f.reports.Add(1)
+	return ErrGone
+}
+
+// TestWorkerAbandonsUnitOnGoneReport: a 410 on the result upload means the
+// coordinator refuses the unit outright — the worker must abandon it after
+// one attempt, not re-push the rejected upload through its retry budget.
+func TestWorkerAbandonsUnitOnGoneReport(t *testing.T) {
+	coord := &goneReportCoord{}
+	w, err := NewWorker(WorkerConfig{ID: "w1", Coordinator: coord,
+		Cores:   func(string, json.RawMessage) (Core, error) { return toyCore(1), nil },
+		Backoff: backoff.Policy{Base: time.Millisecond, Cap: time.Millisecond, Factor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &LeaseGrant{Kind: "toy", Key: "k-gone", Plan: Plan{Shots: 64, Seed: 3, ShardSize: 16},
+		Start: 0, End: 2}
+	w.runUnit(context.Background(), g)
+	if n := coord.reports.Load(); n != 1 {
+		t.Fatalf("worker re-pushed a 410-refused upload %d times, want 1 attempt", n)
+	}
+	if n := w.abandoned.Load(); n != 1 {
+		t.Fatalf("abandoned = %d, want 1", n)
 	}
 }

@@ -235,10 +235,21 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 	err = backoff.Retry(ctx, w.cfg.Backoff, 4, w.randFloat,
 		func(rctx context.Context) (bool, time.Duration, error) {
 			if err := w.cfg.Coordinator.Report(rctx, w.cfg.ID, body); err != nil {
+				if errors.Is(err, ErrGone) {
+					return false, 0, err // 410: the upload is refused outright, not worth retrying
+				}
 				return true, 0, err
 			}
 			return false, 0, nil
 		})
+	if errors.Is(err, ErrGone) {
+		// Quarantined reporter or vanished job: abandon the unit as the
+		// 410 instructs instead of re-pushing a rejected upload.
+		w.abandoned.Add(1)
+		w.cfg.Logger.Warn("dist: report refused; abandoning unit", "worker", w.cfg.ID,
+			"key", g.Key, "start", g.Start, "end", g.End)
+		return
+	}
 	if err != nil {
 		w.cfg.Logger.Warn("dist: report failed", "worker", w.cfg.ID, "err", err)
 		return
@@ -394,26 +405,41 @@ func (c *Client) Claim(ctx context.Context, workerID, idemKey string) (*LeaseGra
 	if err != nil {
 		return nil, err
 	}
-	var g LeaseGrant
-	noContent, err := c.post(ctx, "/v1/dist/claim", "application/json", body, &g)
-	if err != nil {
-		return nil, err
-	}
-	if noContent {
-		return nil, nil
-	}
 	// A grant corrupted in transit can survive JSON decoding with a wrong
 	// window, seed or plan — the worker would then compute honest bytes
-	// over garbage and fail the coordinator's spot-check. Refuse it here;
-	// the next claim (same idempotency key on a transport retry, or a
-	// fresh logical claim) replays or re-grants the unit intact.
-	if g.Digest == "" || g.Digest != grantDigest(LeaseGrant{
-		Kind: g.Kind, Key: g.Key, Params: g.Params, Plan: g.Plan,
-		Start: g.Start, End: g.End, TTLMS: g.TTLMS, DeadlineMS: g.DeadlineMS,
-	}) {
-		return nil, fmt.Errorf("dist: claim: grant digest mismatch (response corrupted in transit)")
+	// over garbage and fail the coordinator's spot-check. Refuse such a
+	// grant and re-claim with the SAME idempotency key: the coordinator has
+	// already recorded the lease under that key, so the replay returns the
+	// recorded grant intact. Failing terminally here would strand the
+	// leased unit until TTL expiry (the caller's next claim mints a fresh
+	// key, which grants a different unit).
+	for attempt := 0; ; attempt++ {
+		var g LeaseGrant
+		noContent, err := c.post(ctx, "/v1/dist/claim", "application/json", body, &g)
+		if err != nil {
+			return nil, err
+		}
+		if noContent {
+			return nil, nil
+		}
+		if g.Digest != "" && g.Digest == grantDigest(LeaseGrant{
+			Kind: g.Kind, Key: g.Key, Params: g.Params, Plan: g.Plan,
+			Start: g.Start, End: g.End, TTLMS: g.TTLMS, DeadlineMS: g.DeadlineMS,
+		}) {
+			return &g, nil
+		}
+		if attempt+1 >= c.attempts() {
+			return nil, fmt.Errorf("dist: claim: grant digest mismatch (response corrupted in transit)")
+		}
+		retryable, derr := c.budgetGate(true,
+			fmt.Errorf("dist: claim: grant digest mismatch (response corrupted in transit)"))
+		if !retryable {
+			return nil, derr
+		}
+		if !backoff.Sleep(ctx, c.Backoff.Delay(attempt, c.Rand)) {
+			return nil, ctx.Err()
+		}
 	}
-	return &g, nil
 }
 
 type renewRequest struct {
