@@ -8,7 +8,7 @@ LDFLAGS  = -X qisim/internal/buildinfo.Version=$(VERSION) \
            -X qisim/internal/buildinfo.Commit=$(COMMIT) \
            -X qisim/internal/buildinfo.Date=$(DATE)
 
-.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist race-dse race-chaos bench-baseline bench-compare fuzz serve trace-demo verify clean help
+.PHONY: all build test vet race race-parallel race-service race-resume race-obs race-dist race-dse race-chaos race-fleet bench-baseline bench-compare fuzz serve trace-demo verify clean help
 
 # Benchmark sampling knobs shared by bench-baseline and bench-compare:
 # time-based benchtime with repetition, so each snapshot carries min/mean
@@ -82,6 +82,17 @@ race-chaos:
 	$(GO) test -race -count=2 -run 'SpotCheck|Quarantine|Idempotency|Digest|Client|FaultSuite/chaos' ./internal/dist ./internal/faultinject
 	$(GO) test -race -count=2 -run 'ChaosNetworkEquivalence|ChaosCorruptWorkerQuarantined' .
 
+# Focused race pass over the fleet observability plane: the dependency-free
+# metrics registry + RED middleware + federation summaries, the flight
+# recorder ring, the coordinator's fleet snapshot + federated folds, the
+# service-level fleet-status/flight/chaos-export/leak suites, and the root
+# observability E2E + exposition-rules validator, run twice so goroutine
+# scheduling varies.
+race-fleet:
+	$(GO) test -race -count=2 ./internal/metrics ./internal/obs
+	$(GO) test -race -count=2 -run 'Fleet|Flight|Federated|RED|ChaosInjection|BuildInfo|Renew' ./internal/dist ./internal/service
+	$(GO) test -race -count=2 -run 'FleetObservabilityE2E|MetricsExpositionStaysParseable' .
+
 # Focused race pass over the design-space-exploration layer: grid expansion
 # + Pareto-fold properties, the sweep engine's committed-prefix determinism,
 # parent/child orchestration in the jobs manager (tenant quotas, cancel
@@ -137,7 +148,7 @@ help:
 	@echo "  build           compile everything with version stamping"
 	@echo "  test            run the full test suite"
 	@echo "  verify          the CI gate: vet + build + race + fuzz"
-	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist/dse/chaos)"
+	@echo "  race-*          focused race passes (parallel/service/resume/obs/dist/dse/chaos/fleet)"
 	@echo "  bench-baseline  re-record BENCH_baseline.json ($(BENCHCOUNT)x $(BENCHTIME) samples)"
 	@echo "  bench-compare   run benchmarks and diff against BENCH_baseline.json;"
 	@echo "                  exits non-zero on a regression beyond threshold"

@@ -268,7 +268,7 @@ func TestChaosKillMatrix(t *testing.T) {
 						case <-stopRenew:
 							return
 						case <-tick.C:
-							err := client.Renew(context.Background(), "slow", g.Key, g.Start, g.End)
+							err := client.Renew(context.Background(), "slow", g.Key, g.Start, g.End, nil)
 							if errors.Is(err, dist.ErrGone) {
 								return // hedge winner reported; lease resolved
 							}

@@ -32,6 +32,8 @@
 //	GET    /v1/jobs/{id}/events SSE stream: state changes + partial frontiers
 //	GET    /v1/jobs/{id}/trace finished job's span tree (?format=json|chrome|tree)
 //	GET    /v1/results/{key}   cached result body (byte-exact replay)
+//	GET    /v1/fleet/status    coordinator's fleet view (?format=json|tree)
+//	GET    /v1/debug/flight    flight-recorder ring (?format=json|text)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness: 200 serving / 503 draining
 //	GET    /readyz             readiness: 503 recovering / draining / saturated
@@ -50,10 +52,21 @@
 // a SEPARATE listener so profiling traffic never shares the API port.
 // Logs are structured (log/slog) and stamped with job/trace/span IDs.
 //
+// Fleet observability (see DESIGN.md "Fleet observability"): every route
+// records RED series (qisimd_http_requests_total / _request_seconds by
+// route pattern); workers piggyback metrics summaries on renewals and
+// reports, which the coordinator folds into qisimd_fleet_* series and
+// /v1/fleet/status; an always-on flight recorder keeps the last ~4K
+// lease/retry/eviction/quarantine/chaos/journal events, served by
+// /v1/debug/flight and persisted to <data-dir>/flight-last.json by the
+// panic backstop.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight jobs are cancelled and finish through the partial-result path
 // (their snapshots flagged "truncated"), and the process exits 0 once the
 // pool has committed those partials (or -drain-timeout expires).
+// SIGQUIT dumps the flight ring and all goroutine stacks to stderr and
+// keeps serving — the live-debugging probe, not a shutdown.
 //
 // With -data-dir the daemon is crash-safe: accepted jobs are write-ahead-
 // logged to <dir>/journal.wal and Monte-Carlo runs checkpoint their
@@ -73,14 +86,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"qisim/internal/buildinfo"
-	"qisim/internal/cmos"
 	"qisim/internal/chaos"
+	"qisim/internal/cmos"
 	"qisim/internal/dist"
 	"qisim/internal/dsp"
+	"qisim/internal/metrics"
 	"qisim/internal/obs"
 	"qisim/internal/service"
 	"qisim/internal/simerr"
@@ -227,8 +242,24 @@ func run(logger *slog.Logger, o daemonOpts) error {
 		}
 		client := &dist.Client{Base: o.coordinatorURL}
 		if chaosSpec != nil {
-			client.HTTP = &http.Client{Transport: chaos.NewTransport(*chaosSpec, nil)}
+			tr := chaos.NewTransport(*chaosSpec, nil)
+			tr.OnInject(func(fault string) {
+				srv.Flight().Record("chaos.inject",
+					obs.String("side", "client"), obs.String("fault", fault))
+			})
+			// The transport's injections show up on the worker's own
+			// /metrics AND — via federation — as the coordinator's
+			// per-worker chaos counts.
+			srv.RegisterChaosStats("client", tr.Stats)
+			client.HTTP = &http.Client{Transport: tr}
 		}
+		// Worker-local federation instruments: counted here, shipped with
+		// every renewal/report, folded into the coordinator's
+		// qisimd_fleet_* series.
+		wreg := srv.Registry()
+		unitSeconds := wreg.Histogram("qisimd_worker_unit_seconds",
+			"Work-unit execution wall clock on this worker.",
+			metrics.DefaultLatencyBuckets())
 		fleetWorker, err = dist.NewWorker(dist.WorkerConfig{
 			ID:          id,
 			Coordinator: client,
@@ -236,10 +267,26 @@ func run(logger *slog.Logger, o daemonOpts) error {
 			Cores:       service.BuildCore,
 			Logger:      logger,
 			Trace:       true,
+			Metrics:     wreg.Summary,
+			Flight:      srv.Flight(),
+			UnitSeconds: unitSeconds.Observe,
 		})
 		if err != nil {
 			return err
 		}
+		fw := fleetWorker
+		wreg.CounterFunc("qisimd_worker_units_total",
+			"Work units fully executed by this worker.",
+			func() float64 { return float64(fw.Stats().Executions) })
+		wreg.CounterFunc("qisimd_worker_claims_total",
+			"Leases granted to this worker.",
+			func() float64 { return float64(fw.Stats().Claims) })
+		wreg.CounterFunc("qisimd_worker_reports_total",
+			"Unit uploads accepted from this worker.",
+			func() float64 { return float64(fw.Stats().Reports) })
+		wreg.CounterFunc("qisimd_worker_abandoned_total",
+			"Units abandoned on a lost lease or refused upload.",
+			func() float64 { return float64(fw.Stats().Abandoned) })
 		go func() {
 			logger.Info("fleet worker claiming", "id", id, "coordinator", o.coordinatorURL)
 			workerDone <- fleetWorker.Run(workerCtx)
@@ -271,6 +318,21 @@ func run(logger *slog.Logger, o daemonOpts) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	// SIGQUIT is the flight-data key: dump the flight recorder and all
+	// goroutine stacks to stderr and KEEP SERVING — it deliberately lives
+	// on its own channel, not the NotifyContext below, so it never drains
+	// the process. SIGINT/SIGTERM behave exactly as before.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			srv.Flight().Snapshot().WriteText(os.Stderr)
+			buf := make([]byte, 1<<20)
+			os.Stderr.Write(buf[:runtime.Stack(buf, true)])
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -206,7 +206,13 @@ func TestCrashResumeMidShardAndChained(t *testing.T) {
 	t.Run("mid-shard", func(t *testing.T) {
 		dir := t.TempDir()
 		st := runKilled(t, c, dir, 4, 0) // async cancel: mid-shard
-		if st.Completed%c.shard != 0 {
+		if st.Completed == c.budget {
+			// The cancel lost the race and the run finished (its final
+			// partial shard is then a legitimate commit, not a torn one).
+			// The resume equivalence below still holds from the complete
+			// snapshot.
+			t.Logf("mid-shard cancel lost the race, run completed (%d/%d)", st.Completed, c.budget)
+		} else if st.Completed%c.shard != 0 {
 			t.Fatalf("mid-shard kill committed a torn shard: %d shots", st.Completed)
 		}
 		got, _ := resumeToEnd(t, c, dir, 4)

@@ -17,6 +17,7 @@ import (
 
 	"qisim/internal/backoff"
 	"qisim/internal/jobs"
+	"qisim/internal/metrics"
 	"qisim/internal/obs"
 	"qisim/internal/rescache"
 	"qisim/internal/simerr"
@@ -114,6 +115,10 @@ type Config struct {
 	Seed   int64
 	Logger *slog.Logger
 	Hooks  Hooks
+	// Flight, when set, records lease transitions, retries, evictions,
+	// quarantines and spot-check verdicts into the shared flight-recorder
+	// ring (nil disables; every Record call is nil-safe).
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +256,11 @@ type workerState struct {
 	// one claim are adjacent on the wire, so one slot per worker suffices.
 	lastIdemKey string
 	lastGrant   *LeaseGrant
+
+	// Federation: the worker's latest piggybacked metrics summary and the
+	// time of its last sign of life (claim, renewal, report, register).
+	summary  *metrics.Summary
+	lastSeen time.Time
 }
 
 // Coordinator splits jobs into leased work units across a worker fleet and
@@ -316,6 +326,8 @@ func (c *Coordinator) Register(_ context.Context, info WorkerInfo) error {
 	}
 	w.addr = info.Addr
 	w.registered = true
+	w.lastSeen = c.cfg.Clock()
+	c.cfg.Flight.Record("worker.register", obs.String("worker", info.ID))
 	if w.evicted {
 		c.stats.Readmits++
 		if c.cfg.Hooks.Readmit != nil {
@@ -368,6 +380,7 @@ func (c *Coordinator) quarantinedLocked(w *workerState, now time.Time) bool {
 	if c.cfg.Hooks.Readmit != nil {
 		c.cfg.Hooks.Readmit()
 	}
+	c.cfg.Flight.Record("worker.readmit", obs.String("worker", w.id), obs.String("cause", "quarantine-expired"))
 	return false
 }
 
@@ -383,6 +396,8 @@ func (c *Coordinator) quarantineLocked(w *workerState, now time.Time) {
 	if c.cfg.Hooks.Quarantine != nil {
 		c.cfg.Hooks.Quarantine()
 	}
+	c.cfg.Flight.Record("worker.quarantine", obs.String("worker", w.id),
+		obs.String("until", w.quarantinedUntil.UTC().Format(time.RFC3339)))
 	c.cfg.Logger.Warn("dist: worker quarantined after spot-check mismatch",
 		"worker", w.id, "until", w.quarantinedUntil)
 	c.evictLeasesLocked(w.id, now)
@@ -398,12 +413,14 @@ func (c *Coordinator) touchWorkerLocked(id string) *workerState {
 		c.workers[id] = w
 	}
 	w.registered = true
+	w.lastSeen = c.cfg.Clock()
 	if w.evicted {
 		w.evicted = false
 		c.stats.Readmits++
 		if c.cfg.Hooks.Readmit != nil {
 			c.cfg.Hooks.Readmit()
 		}
+		c.cfg.Flight.Record("worker.readmit", obs.String("worker", id), obs.String("cause", "contact"))
 	}
 	w.probeFails = 0
 	return w
@@ -531,6 +548,8 @@ func (c *Coordinator) grantLocked(j *distJob, u *unit, w *workerState, now time.
 	if c.cfg.Hooks.Lease != nil {
 		c.cfg.Hooks.Lease("granted")
 	}
+	c.cfg.Flight.Record("lease.grant", obs.String("worker", w.id), obs.String("key", j.key),
+		obs.Int("start", u.start), obs.Int("end", u.end), obs.Bool("hedge", hedge))
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal.AppendLease(jobs.OpLease, jobs.Kind(j.kind), rescache.Key(j.key),
 			u.start, u.end, w.id, expires.UnixMilli()); err != nil {
@@ -556,9 +575,23 @@ func (c *Coordinator) grantLocked(j *distJob, u *unit, w *workerState, now time.
 // is accepted but does not extend the deadline (lease-non-renewable). A
 // lease the coordinator no longer recognises returns ErrGone: the worker
 // abandons the unit.
-func (c *Coordinator) Renew(_ context.Context, workerID, key string, start, end int) error {
+//
+// sum, when non-nil, is the worker's piggybacked metrics summary — the
+// federation heartbeat. It is folded into the fleet view even when the
+// lease itself is gone: stale-lease workers are still alive and their
+// telemetry is still true.
+func (c *Coordinator) Renew(_ context.Context, workerID, key string, start, end int, sum *metrics.Summary) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if sum != nil && workerID != "" {
+		// Deliberately NOT touchWorkerLocked: a summary is telemetry, not
+		// proof the probe verdict was wrong — eviction reversal stays tied
+		// to claims/reports/probes.
+		if w := c.workers[workerID]; w != nil {
+			w.summary = sum
+			w.lastSeen = c.cfg.Clock()
+		}
+	}
 	j := c.jobs[key]
 	if j == nil || j.finished || j.err != nil {
 		return ErrGone
@@ -616,6 +649,9 @@ func (c *Coordinator) Report(ctx context.Context, workerID string, container []b
 	var w *workerState
 	if workerID != "" {
 		w = c.touchWorkerLocked(workerID)
+		if u.Metrics != nil {
+			w.summary = u.Metrics
+		}
 		if c.quarantinedLocked(w, c.cfg.Clock()) {
 			// A quarantined worker's word is worthless either way: tell it
 			// to abandon the unit (already requeued at quarantine time).
@@ -668,9 +704,9 @@ func (c *Coordinator) shouldSpotCheckLocked(j *distJob, u *unit, w *workerState)
 		p = c.cfg.SpotCheckProbation
 	}
 	h := fnv.New64a()
-	h.Write([]byte(j.key))     //nolint:errcheck
-	h.Write([]byte{0})         //nolint:errcheck
-	h.Write([]byte(w.id))      //nolint:errcheck
+	h.Write([]byte(j.key)) //nolint:errcheck
+	h.Write([]byte{0})     //nolint:errcheck
+	h.Write([]byte(w.id))  //nolint:errcheck
 	var rng [8]byte
 	binary.LittleEndian.PutUint64(rng[:], uint64(int64(u.start)))
 	h.Write(rng[:]) //nolint:errcheck
@@ -725,6 +761,8 @@ func (c *Coordinator) spotCheckLocked(ctx context.Context, j *distJob, tu *unit,
 	// adjudication here would be exactly the evasion the audit exists to
 	// close.
 	match := unitStatesEqual(states, events, u.States, u.Events)
+	c.cfg.Flight.Record("worker.spotcheck", obs.String("worker", w.id), obs.String("key", j.key),
+		obs.Int("start", tu.start), obs.Int("end", tu.end), obs.Bool("match", match))
 	if match {
 		c.stats.SpotChecksPassed++
 		if c.cfg.Hooks.SpotCheck != nil {
@@ -795,6 +833,8 @@ func (c *Coordinator) acceptUnitLocked(j *distJob, u *unit, states []json.RawMes
 	if c.cfg.Hooks.Lease != nil {
 		c.cfg.Hooks.Lease("done")
 	}
+	c.cfg.Flight.Record("lease.done", obs.String("worker", worker), obs.String("key", j.key),
+		obs.Int("start", u.start), obs.Int("end", u.end))
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal.AppendLease(jobs.OpLeaseDone, jobs.Kind(j.kind), rescache.Key(j.key),
 			u.start, u.end, worker, 0); err != nil {
@@ -940,6 +980,8 @@ func (c *Coordinator) Sweep(now time.Time) {
 				if c.cfg.Hooks.Lease != nil {
 					c.cfg.Hooks.Lease("expired")
 				}
+				c.cfg.Flight.Record("lease.expire", obs.String("worker", w), obs.String("key", key),
+					obs.Int("start", u.start), obs.Int("end", u.end))
 			}
 			if len(u.leases) == 0 {
 				c.requeueLocked(u, now)
@@ -958,6 +1000,8 @@ func (c *Coordinator) requeueLocked(u *unit, now time.Time) {
 	if c.cfg.Hooks.Retry != nil {
 		c.cfg.Hooks.Retry()
 	}
+	c.cfg.Flight.Record("unit.retry", obs.Int("start", u.start), obs.Int("end", u.end),
+		obs.Int("attempts", u.attempts))
 	if u.attempts >= c.cfg.MaxAttempts {
 		u.localOnly = true
 		if c.cfg.Hooks.Local != nil {
@@ -1021,17 +1065,21 @@ func (c *Coordinator) ProbeAll(ctx context.Context) {
 				if c.cfg.Hooks.Evict != nil {
 					c.cfg.Hooks.Evict()
 				}
+				c.cfg.Flight.Record("worker.evict", obs.String("worker", r.id),
+					obs.Int("probe_fails", w.probeFails))
 				c.evictLeasesLocked(r.id, now)
 			}
 			continue
 		}
 		w.probeFails = 0
+		w.lastSeen = now
 		if w.evicted {
 			w.evicted = false
 			c.stats.Readmits++
 			if c.cfg.Hooks.Readmit != nil {
 				c.cfg.Hooks.Readmit()
 			}
+			c.cfg.Flight.Record("worker.readmit", obs.String("worker", r.id), obs.String("cause", "probe"))
 		}
 		// Only an explicit drain is non-renewable; "saturated" and
 		// "recovering" workers are alive, just busy.
@@ -1060,6 +1108,8 @@ func (c *Coordinator) evictLeasesLocked(workerID string, now time.Time) {
 			if c.cfg.Hooks.Lease != nil {
 				c.cfg.Hooks.Lease("expired")
 			}
+			c.cfg.Flight.Record("lease.expire", obs.String("worker", workerID), obs.String("key", key),
+				obs.Int("start", u.start), obs.Int("end", u.end), obs.String("cause", "evict"))
 			if len(u.leases) == 0 {
 				c.requeueLocked(u, now)
 			}
@@ -1307,4 +1357,119 @@ func (c *Coordinator) adoptLeasesLocked(j *distJob) {
 		}
 	}
 	c.adopted = kept
+}
+
+// FleetWorker is one worker's row in the fleet status view.
+type FleetWorker struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+	// State is the precedence-resolved health verdict:
+	// quarantined > evicted > draining > healthy.
+	State      string `json:"state"`
+	Trust      int    `json:"trust"`
+	ProbeFails int    `json:"probe_fails,omitempty"`
+	// Leases counts the worker's outstanding (unexpired-by-sweep) leases.
+	Leases int `json:"leases"`
+	// LastSeenAgeMS is milliseconds since the last sign of life (claim,
+	// renewal, report, register, successful probe); -1 when never seen.
+	LastSeenAgeMS int64 `json:"last_seen_age_ms"`
+	// QuarantineLeftMS is the remaining shun time for quarantined workers.
+	QuarantineLeftMS int64 `json:"quarantine_left_ms,omitempty"`
+	// Summary is the worker's latest federated metrics snapshot. It feeds
+	// the coordinator's qisimd_fleet_* series and the status endpoint's
+	// derived fields, but stays out of the status JSON itself (bulk).
+	Summary *metrics.Summary `json:"-"`
+}
+
+// FleetJob is one in-flight distributed job's dispatch progress.
+type FleetJob struct {
+	Key            string `json:"key"`
+	Kind           string `json:"kind"`
+	Units          int    `json:"units"`
+	UnitsDone      int    `json:"units_done"`
+	UnitsLeased    int    `json:"units_leased"`
+	UnitsPending   int    `json:"units_pending"`
+	UnitsLocalOnly int    `json:"units_local_only,omitempty"`
+	FrontierShard  int    `json:"frontier_shard"`
+	CompletedShots int    `json:"completed_shots"`
+	RequestedShots int    `json:"requested_shots"`
+}
+
+// FleetStatus is the coordinator's aggregate fleet view, the data behind
+// GET /v1/fleet/status and the qisimd_fleet_* metric families.
+type FleetStatus struct {
+	Workers []FleetWorker `json:"workers"`
+	Jobs    []FleetJob    `json:"jobs"`
+	Stats   Stats         `json:"stats"`
+}
+
+// FleetSnapshot copies the fleet state under the coordinator lock. Workers
+// sort by ID and jobs keep admission order, so consecutive snapshots of a
+// quiet fleet are identical (deterministic scrapes and diffable tests).
+// Read-only: it never flips lazy state like timed quarantine re-admission.
+func (c *Coordinator) FleetSnapshot() FleetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+
+	leases := map[string]int{}
+	st := FleetStatus{Workers: []FleetWorker{}, Jobs: []FleetJob{}, Stats: c.stats}
+	for _, key := range c.order {
+		j := c.jobs[key]
+		if j == nil {
+			continue
+		}
+		fj := FleetJob{
+			Key: j.key, Kind: j.kind, Units: len(j.units),
+			FrontierShard:  j.frontierShard,
+			CompletedShots: j.plan.PrefixShots(j.frontierShard),
+			RequestedShots: j.plan.Shots,
+		}
+		for _, u := range j.units {
+			switch u.state {
+			case unitDone:
+				fj.UnitsDone++
+			case unitLeased:
+				fj.UnitsLeased++
+				for w := range u.leases {
+					leases[w]++
+				}
+			default:
+				fj.UnitsPending++
+			}
+			if u.localOnly {
+				fj.UnitsLocalOnly++
+			}
+		}
+		st.Jobs = append(st.Jobs, fj)
+	}
+
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		fw := FleetWorker{
+			ID: w.id, Addr: w.addr, State: "healthy",
+			Trust: w.trust, ProbeFails: w.probeFails,
+			Leases: leases[w.id], LastSeenAgeMS: -1,
+			Summary: w.summary,
+		}
+		switch {
+		case w.quarantined && now.Before(w.quarantinedUntil):
+			fw.State = "quarantined"
+			fw.QuarantineLeftMS = w.quarantinedUntil.Sub(now).Milliseconds()
+		case w.evicted:
+			fw.State = "evicted"
+		case w.draining:
+			fw.State = "draining"
+		}
+		if !w.lastSeen.IsZero() {
+			fw.LastSeenAgeMS = now.Sub(w.lastSeen).Milliseconds()
+		}
+		st.Workers = append(st.Workers, fw)
+	}
+	return st
 }

@@ -44,6 +44,7 @@ import (
 	"math"
 
 	"qisim/internal/checkpoint"
+	"qisim/internal/metrics"
 	"qisim/internal/obs"
 	"qisim/internal/rescache"
 	"qisim/internal/simerr"
@@ -246,6 +247,11 @@ type UnitResult struct {
 	// by the coordinator so /v1/jobs/{id}/trace stitches a cross-node
 	// tree.
 	Trace *obs.Trace `json:"trace,omitempty"`
+	// Metrics is the worker's federated metrics summary, piggybacked on the
+	// upload (observability only, like Worker and Trace — deliberately
+	// outside the content digest so federation can never invalidate a
+	// result).
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
 	// Digest is the SHA-256 over the semantic payload (kind, key, range,
 	// states, events) — defense in depth past the container CRC: the CRC
 	// catches wire corruption of the frame, the digest pins the *content*

@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"qisim/internal/metrics"
+	"qisim/internal/obs"
+)
+
+// TestFleetSnapshotStatesAndJobs pins the /v1/fleet/status source of truth:
+// worker rows (ID-sorted, correct state precedence, lease counts, last-seen
+// ages) and job rows (unit-state tallies and dispatch progress), without
+// ever mutating coordinator state from the read path.
+func TestFleetSnapshotStatesAndJobs(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4})
+	core := toyCore(1)
+	c.Register(context.Background(), WorkerInfo{ID: "w-b", Addr: "http://b"}) //nolint:errcheck
+	c.Register(context.Background(), WorkerInfo{ID: "w-a"})                   //nolint:errcheck
+
+	snap := c.FleetSnapshot()
+	if len(snap.Workers) != 2 || snap.Workers[0].ID != "w-a" || snap.Workers[1].ID != "w-b" {
+		t.Fatalf("workers not ID-sorted: %+v", snap.Workers)
+	}
+	for _, w := range snap.Workers {
+		if w.State != "healthy" || w.Leases != 0 {
+			t.Fatalf("fresh worker row: %+v", w)
+		}
+		if w.LastSeenAgeMS != 0 {
+			t.Fatalf("just-registered worker must have age 0, got %d", w.LastSeenAgeMS)
+		}
+	}
+
+	ch := startExecute(c, context.Background(), "k-snapshot", core, toyPlan)
+	g := waitGrant(t, c, "w-a")
+
+	clk.Advance(2 * time.Second)
+	snap = c.FleetSnapshot()
+	if len(snap.Jobs) != 1 {
+		t.Fatalf("want 1 job, got %+v", snap.Jobs)
+	}
+	j := snap.Jobs[0]
+	if j.Kind != "toy" || j.Key != "k-snapshot" {
+		t.Fatalf("job identity: %+v", j)
+	}
+	if j.Units != 4 || j.UnitsLeased != 1 || j.UnitsPending != 3 || j.UnitsDone != 0 {
+		t.Fatalf("unit tallies: %+v", j)
+	}
+	if j.RequestedShots != toyPlan.Shots {
+		t.Fatalf("requested shots: %+v", j)
+	}
+	var wa FleetWorker
+	for _, w := range snap.Workers {
+		if w.ID == "w-a" {
+			wa = w
+		}
+	}
+	if wa.Leases != 1 {
+		t.Fatalf("w-a lease count: %+v", wa)
+	}
+	if wa.LastSeenAgeMS != 2000 {
+		t.Fatalf("w-a last-seen age: want 2000ms, got %d", wa.LastSeenAgeMS)
+	}
+
+	report(t, c, core, "w-a", g)
+	for {
+		var err error
+		if g, err = c.Claim(context.Background(), "w-a", ""); err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			break
+		}
+		report(t, c, core, "w-a", g)
+	}
+	if o := waitOutcome(t, ch); o.err != nil {
+		t.Fatal(o.err)
+	}
+	snap = c.FleetSnapshot()
+	if len(snap.Jobs) != 0 {
+		t.Fatalf("finished job still listed: %+v", snap.Jobs)
+	}
+}
+
+// TestFleetSnapshotQuarantineIsReadOnly pins two properties: a quarantined
+// worker is reported as "quarantined" with its remaining window, and
+// reading the snapshot after the window elapses reports the lazy state
+// ("evicted"-free readmission is claim/report's job) WITHOUT flipping the
+// stored quarantine bit — status scrapes must never advance fleet state.
+func TestFleetSnapshotQuarantineIsReadOnly(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4,
+		SpotCheck: 1, SpotCheckProbation: 1, QuarantineFor: 10 * time.Minute})
+	core := toyCore(1)
+	c.Register(context.Background(), WorkerInfo{ID: "liar"}) //nolint:errcheck
+	ch := startExecute(c, context.Background(), "k-snap-quarantine", core, toyPlan)
+	g := waitGrant(t, c, "liar")
+	if err := c.Report(context.Background(), "liar", forgedReport(t, g, "liar", 5_000_000)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.FleetSnapshot()
+	if len(snap.Workers) != 1 || snap.Workers[0].State != "quarantined" {
+		t.Fatalf("want quarantined, got %+v", snap.Workers)
+	}
+	if left := snap.Workers[0].QuarantineLeftMS; left <= 0 || left > 10*60*1000 {
+		t.Fatalf("quarantine window: %d ms", left)
+	}
+
+	clk.Advance(11 * time.Minute)
+	snap = c.FleetSnapshot()
+	if snap.Workers[0].State == "quarantined" {
+		t.Fatalf("elapsed quarantine still reported: %+v", snap.Workers[0])
+	}
+	// The scrape must not have consumed the readmission: the counter
+	// belongs to the claim/report path.
+	if st := c.Stats(); st.QuarantineReadmits != 0 {
+		t.Fatalf("snapshot flipped quarantine state: %+v", st)
+	}
+	g, err := c.Claim(context.Background(), "liar", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.QuarantineReadmits != 1 {
+		t.Fatalf("claim did not readmit: %+v", st)
+	}
+	// Drive the readmitted worker (now honest) until the job completes:
+	// leaving a claimed grant unreported would stall Execute.
+	for g != nil {
+		report(t, c, core, "liar", g)
+		if g, err = c.Claim(context.Background(), "liar", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o := waitOutcome(t, ch); o.err != nil {
+		t.Fatal(o.err)
+	}
+}
+
+// TestRenewStoresSummaryWithoutRevival pins the federation/trust split: a
+// lease renewal's piggybacked summary is stored (and refreshes last-seen)
+// even when the lease is gone, but it does NOT count as proof-of-life for
+// an evicted worker — only claims, reports and probes reverse eviction.
+func TestRenewStoresSummaryWithoutRevival(t *testing.T) {
+	clk := newFakeClock()
+	probeErr := errors.New("unreachable")
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4,
+		ProbeFailLimit: 1,
+		Probe:          func(context.Context, string) (string, error) { return "", probeErr }})
+	c.Register(context.Background(), WorkerInfo{ID: "w1", Addr: "http://w1"}) //nolint:errcheck
+	c.ProbeAll(context.Background())
+	if snap := c.FleetSnapshot(); snap.Workers[0].State != "evicted" {
+		t.Fatalf("probe eviction not visible: %+v", snap.Workers)
+	}
+
+	sum := &metrics.Summary{Counters: map[string]float64{"qisimd_worker_units_total": 3}}
+	err := c.Renew(context.Background(), "w1", "no-such-job", 0, 4, sum)
+	if !errors.Is(err, ErrGone) {
+		t.Fatalf("renew of unknown lease: want ErrGone, got %v", err)
+	}
+	snap := c.FleetSnapshot()
+	w := snap.Workers[0]
+	if w.State != "evicted" {
+		t.Fatalf("summary delivery revived an evicted worker: %+v", w)
+	}
+	if w.Summary == nil || w.Summary.CounterSum("qisimd_worker_units_total") != 3 {
+		t.Fatalf("summary not stored: %+v", w.Summary)
+	}
+}
+
+// TestCoordinatorFlightEvents drives one full manual fleet run — register,
+// grant, expiry, retry, report — and pins the lease-lifecycle kinds the
+// flight recorder must capture.
+func TestCoordinatorFlightEvents(t *testing.T) {
+	clk := newFakeClock()
+	fr := obs.NewFlightRecorder(256)
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4, Flight: fr})
+	core := toyCore(1)
+	c.Register(context.Background(), WorkerInfo{ID: "w1"}) //nolint:errcheck
+	ch := startExecute(c, context.Background(), "k-flight", core, toyPlan)
+
+	// First grant expires (lease.expire + unit.retry), then the worker
+	// finishes the job cleanly (lease.grant + lease.done).
+	waitGrant(t, c, "w1")
+	clk.Advance(2 * time.Minute)
+	c.Sweep(clk.Now())
+	// The expired unit requeues with backoff on the fake clock: keep
+	// advancing past the not-before whenever no grant is available.
+	var done *execOutcome
+	for deadline := time.Now().Add(10 * time.Second); done == nil && time.Now().Before(deadline); {
+		g, err := c.Claim(context.Background(), "w1", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			report(t, c, core, "w1", g)
+			continue
+		}
+		select {
+		case o := <-ch:
+			done = &o
+		default:
+			clk.Advance(5 * time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if done == nil {
+		t.Fatal("Execute did not finish")
+	}
+	if done.err != nil {
+		t.Fatal(done.err)
+	}
+
+	got := map[string]int{}
+	for _, ev := range fr.Snapshot().Events {
+		got[ev.Kind]++
+	}
+	for _, kind := range []string{"worker.register", "lease.grant", "lease.expire", "unit.retry", "lease.done"} {
+		if got[kind] == 0 {
+			t.Errorf("flight recorder missing %q events (got %v)", kind, got)
+		}
+	}
+}
+
+// TestQuarantinedMidJobTraceGraftsOnce pins trace stitching under
+// mid-job quarantine: a worker's honestly reported (and audited) unit is
+// grafted into the job trace exactly once, and after the worker is
+// quarantined on a later forged unit, nothing of it is grafted again —
+// neither a duplicate of the accepted unit nor the refused one.
+func TestQuarantinedMidJobTraceGraftsOnce(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{Clock: clk.Now, LeaseTTL: time.Minute, UnitShards: 4,
+		SpotCheck: 1, SpotCheckProbation: 1, QuarantineFor: time.Hour})
+	core := toyCore(1)
+	c.Register(context.Background(), WorkerInfo{ID: "shady"}) //nolint:errcheck
+
+	tracer := obs.NewTracer(obs.TracerConfig{ID: "job"})
+	root := tracer.Start("executor", nil)
+	ctx := obs.ContextWithSpan(context.Background(), tracer, root)
+	ch := startExecute(c, ctx, "k-graft-once", core, toyPlan)
+
+	// Unit 1: honest report WITH a worker trace. The spot-check passes
+	// and the trace is grafted.
+	g1 := waitGrant(t, c, "shady")
+	states, events, err := core.RunWindow(context.Background(), g1.Plan, g1.Start, g1.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := obs.NewTracer(obs.TracerConfig{ID: "shady"})
+	wt.Start("unit.window", nil, obs.Int("start", g1.Start)).End()
+	snap := wt.Snapshot()
+	body, err := EncodeUnitResult(UnitResult{Kind: g1.Kind, Key: g1.Key, Start: g1.Start,
+		End: g1.End, States: states, Events: events, Worker: "shady", Trace: &snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(context.Background(), "shady", body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unit 2: forged — the audit quarantines the worker mid-job. Its
+	// re-report (with the same trace attached) is refused with ErrGone.
+	g2 := waitGrant(t, c, "shady")
+	if err := c.Report(context.Background(), "shady", forgedReport(t, g2, "shady", 9_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(context.Background(), "shady", body); !errors.Is(err, ErrGone) {
+		t.Fatalf("post-quarantine re-report: want ErrGone, got %v", err)
+	}
+
+	// The local lane finishes the job (the only worker is shunned).
+	if o := waitOutcome(t, ch); o.err != nil {
+		t.Fatal(o.err)
+	}
+	root.End()
+
+	trace := tracer.Snapshot()
+	grafts := 0
+	for _, sp := range trace.Spans {
+		if sp.Attr("worker") == "shady" {
+			grafts++
+			if sp.Name != "unit.window" {
+				t.Errorf("unexpected grafted span %q", sp.Name)
+			}
+			if sp.Attr("unit") != fmt.Sprintf("%d", g1.Start/4) && sp.Attr("unit") == "" {
+				t.Errorf("graft lost unit attribution: %+v", sp.Attrs)
+			}
+		}
+	}
+	if grafts != 1 {
+		var names []string
+		for _, sp := range trace.Spans {
+			names = append(names, fmt.Sprintf("%s(worker=%s)", sp.Name, sp.Attr("worker")))
+		}
+		t.Fatalf("want exactly 1 grafted span from the quarantined worker, got %d: %s",
+			grafts, strings.Join(names, ", "))
+	}
+	if err := trace.Check(); err != nil {
+		t.Fatalf("grafted trace fails invariants: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"qisim/internal/metrics"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -532,7 +533,9 @@ func (f *goneReportCoord) Register(context.Context, WorkerInfo) error { return n
 func (f *goneReportCoord) Claim(context.Context, string, string) (*LeaseGrant, error) {
 	return nil, nil
 }
-func (f *goneReportCoord) Renew(context.Context, string, string, int, int) error { return nil }
+func (f *goneReportCoord) Renew(context.Context, string, string, int, int, *metrics.Summary) error {
+	return nil
+}
 func (f *goneReportCoord) Report(context.Context, string, []byte) error {
 	f.reports.Add(1)
 	return ErrGone

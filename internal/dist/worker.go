@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"qisim/internal/backoff"
+	"qisim/internal/metrics"
 	"qisim/internal/obs"
 	"qisim/internal/simerr"
 )
@@ -30,8 +31,10 @@ type CoordinatorAPI interface {
 	// same key replays the same outcome instead of leasing a second unit
 	// ("" opts out).
 	Claim(ctx context.Context, workerID, idemKey string) (*LeaseGrant, error)
-	// Renew extends a lease; ErrGone means abandon the unit.
-	Renew(ctx context.Context, workerID, key string, start, end int) error
+	// Renew extends a lease; ErrGone means abandon the unit. sum, when
+	// non-nil, piggybacks the worker's metrics summary on the heartbeat
+	// (the federation path — see Coordinator.Renew).
+	Renew(ctx context.Context, workerID, key string, start, end int, sum *metrics.Summary) error
 	// Report uploads a unit result container (idempotent).
 	Report(ctx context.Context, workerID string, container []byte) error
 }
@@ -63,6 +66,17 @@ type WorkerConfig struct {
 	// local trace shipped with the report, which the coordinator grafts
 	// into the job's cross-node trace.
 	Trace bool
+	// Metrics, when set, samples the worker's metrics summary to piggyback
+	// on lease renewals and unit reports (federation). Typically the
+	// worker-local registry's Summary method.
+	Metrics func() metrics.Summary
+	// Flight, when set, records the worker-side lease lifecycle (claims,
+	// reports, abandons) into the worker's flight-recorder ring.
+	Flight *obs.FlightRecorder
+	// UnitSeconds, when set, observes each fully executed unit's wall
+	// clock — the feed for the worker-local qisimd_worker_unit_seconds
+	// histogram that federation folds into qisimd_fleet_unit_seconds.
+	UnitSeconds func(seconds float64)
 }
 
 // Worker is the claim → execute → report loop of one fleet member.
@@ -103,6 +117,25 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 // ran to completion, and attempted to report).
 func (w *Worker) Executions() int64 { return w.execs.Load() }
 
+// WorkerStats is a snapshot of the worker loop's lifetime counters.
+type WorkerStats struct {
+	// Claims counts granted leases; Executions the units run to
+	// completion; Reports the accepted uploads; Abandoned the units
+	// dropped on ErrGone (lease lost or upload refused).
+	Claims, Executions, Reports, Abandoned int64
+}
+
+// Stats snapshots the worker's counters (the worker-local registry exports
+// them as qisimd_worker_* for federation).
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Claims:     w.claims.Load(),
+		Executions: w.execs.Load(),
+		Reports:    w.reports.Load(),
+		Abandoned:  w.abandoned.Load(),
+	}
+}
+
 // Drain stops the claim loop after the in-flight unit: the worker finishes
 // what it holds (its lease stays valid but non-renewable once the
 // coordinator notices the drain), reports, and Run returns.
@@ -141,6 +174,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		w.claims.Add(1)
+		w.cfg.Flight.Record("worker.claim", obs.String("worker", w.cfg.ID),
+			obs.String("key", grant.Key), obs.Int("start", grant.Start), obs.Int("end", grant.End))
 		w.runUnit(ctx, grant)
 	}
 	return ctx.Err()
@@ -192,9 +227,12 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 				case <-unitCtx.Done():
 					return
 				case <-t.C:
-					err := w.cfg.Coordinator.Renew(unitCtx, w.cfg.ID, g.Key, g.Start, g.End)
+					err := w.cfg.Coordinator.Renew(unitCtx, w.cfg.ID, g.Key, g.Start, g.End, w.summary())
 					if errors.Is(err, ErrGone) {
 						w.abandoned.Add(1)
+						w.cfg.Flight.Record("worker.abandon", obs.String("worker", w.cfg.ID),
+							obs.String("key", g.Key), obs.Int("start", g.Start), obs.Int("end", g.End),
+							obs.String("cause", "renew-gone"))
 						cancel()
 						return
 					}
@@ -206,7 +244,11 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 		}()
 	}
 
+	unitStart := time.Now()
 	states, events, runErr := core.RunWindow(unitCtx, g.Plan, g.Start, g.End)
+	if runErr == nil && w.cfg.UnitSeconds != nil {
+		w.cfg.UnitSeconds(time.Since(unitStart).Seconds())
+	}
 	close(hbStop)
 	hbWG.Wait()
 	if runErr != nil {
@@ -224,6 +266,7 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 		tr := tracer.Snapshot()
 		res.Trace = &tr
 	}
+	res.Metrics = w.summary()
 	body, err := EncodeUnitResult(res)
 	if err != nil {
 		w.cfg.Logger.Warn("dist: encode unit result", "err", err)
@@ -246,6 +289,9 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 		// Quarantined reporter or vanished job: abandon the unit as the
 		// 410 instructs instead of re-pushing a rejected upload.
 		w.abandoned.Add(1)
+		w.cfg.Flight.Record("worker.abandon", obs.String("worker", w.cfg.ID),
+			obs.String("key", g.Key), obs.Int("start", g.Start), obs.Int("end", g.End),
+			obs.String("cause", "report-refused"))
 		w.cfg.Logger.Warn("dist: report refused; abandoning unit", "worker", w.cfg.ID,
 			"key", g.Key, "start", g.Start, "end", g.End)
 		return
@@ -255,6 +301,17 @@ func (w *Worker) runUnit(ctx context.Context, g *LeaseGrant) {
 		return
 	}
 	w.reports.Add(1)
+	w.cfg.Flight.Record("worker.report", obs.String("worker", w.cfg.ID),
+		obs.String("key", g.Key), obs.Int("start", g.Start), obs.Int("end", g.End))
+}
+
+// summary samples the configured metrics provider (nil when unset).
+func (w *Worker) summary() *metrics.Summary {
+	if w.cfg.Metrics == nil {
+		return nil
+	}
+	s := w.cfg.Metrics()
+	return &s
 }
 
 // Client is the HTTP implementation of CoordinatorAPI, speaking qisimd's
@@ -447,11 +504,13 @@ type renewRequest struct {
 	Key    string `json:"key"`
 	Start  int    `json:"start"`
 	End    int    `json:"end"`
+	// Metrics piggybacks the worker's federated summary on the heartbeat.
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
 }
 
 // Renew implements CoordinatorAPI (410 → ErrGone, not retried).
-func (c *Client) Renew(ctx context.Context, workerID, key string, start, end int) error {
-	body, err := json.Marshal(renewRequest{Worker: workerID, Key: key, Start: start, End: end})
+func (c *Client) Renew(ctx context.Context, workerID, key string, start, end int, sum *metrics.Summary) error {
+	body, err := json.Marshal(renewRequest{Worker: workerID, Key: key, Start: start, End: end, Metrics: sum})
 	if err != nil {
 		return err
 	}

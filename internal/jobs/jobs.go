@@ -160,6 +160,12 @@ type Hooks struct {
 	// trace — when the manager traces jobs — is already retrievable via
 	// Manager.Trace(id) by the time the hook fires.
 	JobFinished func(id string, kind Kind, state State, errClass string, st *simrun.Status, dur time.Duration)
+	// JobPanicked fires from inside the panic backstop with the recovered
+	// value, before the panic is flattened into a typed failed job — the
+	// hook's chance to persist crash context (e.g. a flight-recorder
+	// dump) while the evidence still exists. It runs on the panicking
+	// worker goroutine; keep it cheap and never panic from it.
+	JobPanicked func(id string, recovered any)
 }
 
 // Outcome classifies what Submit did.
@@ -643,7 +649,11 @@ func (m *Manager) execute(j *job) {
 		j.progressDone.Store(int64(completed))
 		j.progressTotal.Store(int64(requested))
 	}
-	body, st, err := runSafely(run, ctx, progress)
+	body, st, err := runSafely(run, ctx, progress, func(recovered any) {
+		if m.cfg.Hooks.JobPanicked != nil {
+			m.cfg.Hooks.JobPanicked(j.id, recovered)
+		}
+	})
 	cancel()
 	if err != nil {
 		execSpan.SetAttr(obs.String("error_class", simerr.Class(err)))
@@ -726,9 +736,19 @@ func (m *Manager) execute(j *job) {
 }
 
 // runSafely invokes the runner with a panic backstop: an escaped panic
-// becomes a typed failed job, never a dead worker.
-func runSafely(run Runner, ctx context.Context, progress func(int, int)) (body []byte, st simrun.Status, err error) {
+// becomes a typed failed job, never a dead worker. onPanic observes the
+// recovered value before RecoverInto flattens it into a typed error (defers
+// run LIFO, so the observer sees the panic first and re-raises it).
+func runSafely(run Runner, ctx context.Context, progress func(int, int), onPanic func(any)) (body []byte, st simrun.Status, err error) {
 	defer simerr.RecoverInto(&err, simerr.ErrInvalidConfig)
+	defer func() {
+		if r := recover(); r != nil {
+			if onPanic != nil {
+				onPanic(r)
+			}
+			panic(r)
+		}
+	}()
 	return run(ctx, progress)
 }
 

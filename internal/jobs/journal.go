@@ -138,6 +138,17 @@ type Journal struct {
 	leases     map[string]*PendingLease
 	leaseOrder []string // grant order (deterministic recovery)
 	stats      JournalStats
+	onAppend   func(op, key string) // observability hook; see Observe
+}
+
+// Observe registers a hook called with (op, key) after every successful
+// record write — the seam the service layer uses to land journal appends in
+// the flight recorder. The hook runs under the journal lock: it must be
+// cheap and must not call back into the journal. Set before concurrent use.
+func (j *Journal) Observe(fn func(op, key string)) {
+	j.mu.Lock()
+	j.onAppend = fn
+	j.mu.Unlock()
 }
 
 // leaseID keys a lease by (job, shard range, worker): hedged re-dispatch
@@ -314,6 +325,9 @@ func (j *Journal) writeLocked(e journalEntry) error {
 		return simerr.Invalidf("journal: sync: %v", err)
 	}
 	j.stats.Appends++
+	if j.onAppend != nil {
+		j.onAppend(e.Op, string(e.Key))
+	}
 	return nil
 }
 

@@ -193,6 +193,53 @@ func (r *Registry) GaugeFuncVec(name, help, label string, fn func() map[string]f
 	f.add("", funcVecRenderer{label: label, fn: fn})
 }
 
+// CounterFuncVec registers a counter family with one dynamic label, sampled
+// from fn at scrape time — the counter twin of GaugeFuncVec, for cumulative
+// totals kept by another subsystem (e.g. federated per-worker counters whose
+// label values only appear as workers register). fn must be monotonically
+// non-decreasing per key.
+func (r *Registry) CounterFuncVec(name, help, label string, fn func() map[string]float64) {
+	f := r.family(name, help, "counter")
+	f.add("", funcVecRenderer{label: label, fn: fn})
+}
+
+// Sample is one label-value tuple with its value, returned wholesale by
+// multi-label scrape-time callbacks. Values must match the label-name set
+// the family was registered with.
+type Sample struct {
+	Values []string
+	Value  float64
+}
+
+// sampleFuncRenderer emits a whole multi-label series set from one callback
+// at scrape time, in sorted signature order.
+type sampleFuncRenderer struct {
+	labels []string
+	fn     func() []Sample
+}
+
+func (s sampleFuncRenderer) render(w io.Writer, name, labels string) {
+	samples := s.fn()
+	lines := make([]string, 0, len(samples))
+	for _, smp := range samples {
+		lines = append(lines, fmt.Sprintf("%s%s %s\n",
+			name, renderLabels(s.labels, smp.Values), formatFloat(smp.Value)))
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		io.WriteString(w, ln)
+	}
+}
+
+// CounterFuncN registers a counter family over a fixed multi-label set whose
+// series are produced wholesale by fn at scrape time. Used where the series
+// population is owned elsewhere (e.g. chaos injector stats keyed by side and
+// fault).
+func (r *Registry) CounterFuncN(name, help string, labels []string, fn func() []Sample) {
+	f := r.family(name, help, "counter")
+	f.add("", sampleFuncRenderer{labels: labels, fn: fn})
+}
+
 // CounterVec is a family of counters partitioned by a fixed label set.
 type CounterVec struct {
 	f      *family
@@ -219,6 +266,34 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	cv.kids[sig] = c
 	cv.f.add(sig, c)
 	return c
+}
+
+// GaugeVec is a family of gauges partitioned by a fixed label set.
+type GaugeVec struct {
+	f      *family
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Gauge
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, "gauge"), labels: labels, kids: map[string]*Gauge{}}
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	sig := renderLabels(gv.labels, values)
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if g, ok := gv.kids[sig]; ok {
+		return g
+	}
+	g := &Gauge{}
+	gv.kids[sig] = g
+	gv.f.add(sig, g)
+	return g
 }
 
 // Histogram is a cumulative histogram with fixed upper-bound buckets (+Inf
@@ -279,6 +354,46 @@ func (h *Histogram) render(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count)
 }
 
+// Summary returns a point-in-time copy of the histogram.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSummary{
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: append([]uint64(nil), h.buckets...),
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+}
+
+// histFuncRenderer renders a histogram whose state lives elsewhere, sampled
+// as a HistogramSummary at scrape time.
+type histFuncRenderer func() HistogramSummary
+
+func (f histFuncRenderer) render(w io.Writer, name, labels string) {
+	f().render(w, name, labels)
+}
+
+func (s HistogramSummary) render(w io.Writer, name, labels string) {
+	for i, ub := range s.Bounds {
+		var n uint64
+		if i < len(s.Buckets) {
+			n = s.Buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", formatFloat(ub)), n)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// HistogramFunc registers a histogram sampled from fn at scrape time — for
+// aggregates folded from state owned elsewhere, like the fleet-wide merge of
+// federated worker histograms.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSummary) {
+	r.family(name, help, "histogram").add("", histFuncRenderer(fn))
+}
+
 // HistogramVec is a family of histograms partitioned by a fixed label set,
 // sharing one bucket layout.
 type HistogramVec struct {
@@ -310,6 +425,18 @@ func (hv *HistogramVec) With(values ...string) *Histogram {
 	hv.kids[sig] = h
 	hv.f.add(sig, h)
 	return h
+}
+
+// Summaries returns a point-in-time copy of every series in the family,
+// keyed by rendered label signature (e.g. `{worker="w1"}`).
+func (hv *HistogramVec) Summaries() map[string]HistogramSummary {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	out := make(map[string]HistogramSummary, len(hv.kids))
+	for sig, h := range hv.kids {
+		out[sig] = h.Summary()
+	}
+	return out
 }
 
 // DefaultLatencyBuckets spans 1 ms to ~100 s in powers of ~3 — wide enough

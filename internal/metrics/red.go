@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RED instruments HTTP routes with the classic Rate/Errors/Duration pair:
+//
+//	qisimd_http_requests_total{route,method,code}
+//	qisimd_http_request_seconds{route}
+//
+// The route label is the registered mux pattern (e.g. "/v1/jobs/{id}"), not
+// the raw URL path, so cardinality stays bounded. Wrap composes OUTSIDE any
+// fault-injection middleware: a chaos-injected 503 or aborted connection is
+// a real client-visible outcome and must be measured like one.
+type RED struct {
+	reqs *CounterVec
+	secs *HistogramVec
+}
+
+// NewRED registers the RED families on r.
+func NewRED(r *Registry) *RED {
+	return &RED{
+		reqs: r.CounterVec("qisimd_http_requests_total",
+			"HTTP requests by route pattern, method and status code.",
+			"route", "method", "code"),
+		secs: r.HistogramVec("qisimd_http_request_seconds",
+			"HTTP request latency in seconds by route pattern.",
+			DefaultLatencyBuckets(), "route"),
+	}
+}
+
+// Wrap returns next instrumented under the given route label. Handlers that
+// panic (including chaos connection aborts via http.ErrAbortHandler) are
+// counted with code="aborted" and the panic is re-raised.
+func (red *RED) Wrap(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			red.secs.With(route).Observe(time.Since(start).Seconds())
+			if p := recover(); p != nil {
+				red.reqs.With(route, r.Method, "aborted").Inc()
+				panic(p)
+			}
+			red.reqs.With(route, r.Method, strconv.Itoa(sw.Status())).Inc()
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter captures the status code while staying transparent to
+// streaming handlers: Flush forwards to the underlying writer (the SSE
+// endpoint type-asserts http.Flusher) and Unwrap supports
+// http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Status returns the code sent to the client (200 when the handler returned
+// without writing anything, matching net/http's implicit header).
+func (sw *statusWriter) Status() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }

@@ -106,6 +106,7 @@ func (s *Server) initDist(cfg Config) {
 		Journal:        s.journal,
 		Cache:          s.cache,
 		Logger:         cfg.Logger,
+		Flight:         s.flight,
 		Hooks: dist.Hooks{
 			Lease:   func(event string) { leases.With(event).Inc() },
 			Retry:   func() { retries.Inc() },
@@ -138,6 +139,7 @@ func (s *Server) initDist(cfg Config) {
 	s.reg.CounterFunc("qisimd_dist_quarantine_readmits_total",
 		"Quarantined workers re-admitted after the quarantine window elapsed.",
 		func() float64 { return float64(s.dist.Stats().QuarantineReadmits) })
+	s.registerFleetMetrics()
 }
 
 // Dist exposes the fleet coordinator (nil unless DistConfig.Enabled).
@@ -193,15 +195,21 @@ type distRenewRequest struct {
 	Key    string `json:"key"`
 	Start  int    `json:"start"`
 	End    int    `json:"end"`
+	// Metrics is the worker's piggybacked federation summary (optional).
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
 }
+
+// distRenewBodyLimit bounds a renew body: the base request is tiny, but the
+// piggybacked metrics summary grows with the worker's registry.
+const distRenewBodyLimit = 1 << 20
 
 func (s *Server) handleDistRenew(w http.ResponseWriter, r *http.Request) {
 	var req distRenewRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, distRenewBodyLimit)).Decode(&req); err != nil || req.Worker == "" {
 		s.writeError(w, simerr.Invalidf("service: renew needs worker, key and range"))
 		return
 	}
-	err := s.dist.Renew(r.Context(), req.Worker, req.Key, req.Start, req.End)
+	err := s.dist.Renew(r.Context(), req.Worker, req.Key, req.Start, req.End, req.Metrics)
 	switch {
 	case errors.Is(err, dist.ErrGone):
 		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})

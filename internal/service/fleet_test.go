@@ -1,0 +1,365 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qisim/internal/chaos"
+	"qisim/internal/dist"
+	"qisim/internal/metrics"
+	"qisim/internal/obs"
+)
+
+// startObservedFleet is startFleet with the federation wiring a real
+// `qisimd -role worker` process carries: each worker samples its own
+// registry's summary onto renewals and reports, observes unit wall clock
+// into qisimd_worker_unit_seconds, and exports qisimd_worker_units_total.
+func startObservedFleet(t *testing.T, ts *httptest.Server, n int) []*dist.Worker {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	workers := make([]*dist.Worker, n)
+	for i := 0; i < n; i++ {
+		client := &dist.Client{Base: ts.URL}
+		id := fmt.Sprintf("obs-w%d", i)
+		if err := client.Register(ctx, dist.WorkerInfo{ID: id}); err != nil {
+			cancel()
+			t.Fatalf("pre-register %s: %v", id, err)
+		}
+		wreg := metrics.New()
+		unitSeconds := wreg.Histogram("qisimd_worker_unit_seconds",
+			"Work-unit execution wall clock on this worker.",
+			metrics.DefaultLatencyBuckets())
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			ID: id, Coordinator: client, Cores: BuildCore,
+			PollInterval: 2 * time.Millisecond, Seed: int64(i + 1), Trace: true,
+			Metrics: wreg.Summary, UnitSeconds: unitSeconds.Observe,
+		})
+		if err != nil {
+			cancel()
+			t.Fatalf("NewWorker: %v", err)
+		}
+		fw := w
+		wreg.CounterFunc("qisimd_worker_units_total",
+			"Work units fully executed by this worker.",
+			func() float64 { return float64(fw.Stats().Executions) })
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // ends by cancellation
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return workers
+}
+
+// TestFleetStatusEndpoint covers /v1/fleet/status on a coordinator: every
+// registered worker appears with its state and last-heartbeat age, the
+// dispatch stats are present, ?format=tree renders, and an unknown format
+// is a 400.
+func TestFleetStatusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Dist: DistConfig{
+		Enabled: true, LeaseTTL: 5 * time.Second, UnitShards: 4,
+	}})
+	startFleet(t, ts, 2)
+	runToBytes(t, ts, `{"kind":"surface.mc","params":{"distance":3,"shots":2000,"shard_size":128,"seed":11}}`)
+
+	code, body := getBody(t, ts.URL+"/v1/fleet/status")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var view fleetStatusView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !view.Enabled || len(view.Workers) != 2 {
+		t.Fatalf("want an enabled view with 2 workers, got %+v", view)
+	}
+	for _, w := range view.Workers {
+		if w.State != "healthy" {
+			t.Errorf("worker %s state %q, want healthy", w.ID, w.State)
+		}
+		if w.LastSeenAgeMS < 0 {
+			t.Errorf("worker %s never seen despite finishing a job", w.ID)
+		}
+	}
+	if view.Stats.UnitsDone == 0 {
+		t.Fatalf("dispatch stats missing from status: %+v", view.Stats)
+	}
+
+	code, body = getBody(t, ts.URL+"/v1/fleet/status?format=tree")
+	if code != http.StatusOK || !strings.Contains(string(body), "fleet: 2 workers") {
+		t.Fatalf("tree render (%d):\n%s", code, body)
+	}
+	if code, _ = getBody(t, ts.URL+"/v1/fleet/status?format=yaml"); code != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", code)
+	}
+}
+
+// TestFleetStatusOnStandalone: a non-coordinator answers the same query
+// with enabled=false instead of erroring, so one dashboard query works
+// against any role.
+func TestFleetStatusOnStandalone(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, body := getBody(t, ts.URL+"/v1/fleet/status")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var view fleetStatusView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Enabled || len(view.Workers) != 0 {
+		t.Fatalf("standalone fleet view: %+v", view)
+	}
+	if code, body := getBody(t, ts.URL+"/v1/fleet/status?format=tree"); code != http.StatusOK ||
+		!strings.Contains(string(body), "not a coordinator") {
+		t.Fatalf("tree on standalone (%d): %s", code, body)
+	}
+}
+
+// TestFederatedFleetSeries: after a fleet run with summary-shipping
+// workers, the coordinator's own /metrics carries per-worker qisimd_fleet_*
+// series — both its bookkeeping gauges and the workers' federated counters
+// and merged unit-seconds histogram — and /v1/fleet/status marks the rows
+// federated.
+func TestFederatedFleetSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Dist: DistConfig{
+		Enabled: true, LeaseTTL: 5 * time.Second, UnitShards: 4,
+	}})
+	startObservedFleet(t, ts, 2)
+	runToBytes(t, ts, `{"kind":"surface.mc","params":{"distance":3,"shots":2000,"shard_size":128,"seed":11}}`)
+
+	if n := scrapeMetric(t, ts, `qisimd_fleet_workers{state="healthy"}`); n != 2 {
+		t.Fatalf("fleet_workers{healthy} = %v, want 2", n)
+	}
+	var unitsTotal float64
+	for i := 0; i < 2; i++ {
+		series := fmt.Sprintf(`qisimd_fleet_worker_leases{worker="obs-w%d"}`, i)
+		if got := scrapeMetric(t, ts, series); got != 0 {
+			t.Errorf("%s = %v after the job drained, want 0", series, got)
+		}
+		unitsTotal += scrapeMetric(t, ts,
+			fmt.Sprintf(`qisimd_fleet_worker_units_total{worker="obs-w%d"}`, i))
+	}
+	if unitsTotal == 0 {
+		t.Fatal("no qisimd_fleet_worker_units_total series — federated summaries never arrived")
+	}
+	if n := scrapeMetric(t, ts, "qisimd_fleet_unit_seconds_count"); n == 0 {
+		t.Fatal("federated qisimd_fleet_unit_seconds histogram is empty")
+	}
+
+	var view fleetStatusView
+	_, body := getBody(t, ts.URL+"/v1/fleet/status")
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	var federated int
+	for _, w := range view.Workers {
+		if w.Federated && w.UnitsDone > 0 {
+			federated++
+		}
+	}
+	if federated == 0 {
+		t.Fatalf("no federated worker rows in fleet status: %s", body)
+	}
+}
+
+// TestREDSeriesOnRoutes: the RED middleware measures every route under its
+// mux pattern — explicit statuses, implicit 200s, and pattern-labelled
+// errors (no per-URL series explosion).
+func TestREDSeriesOnRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for i := 0; i < 3; i++ {
+		if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+			t.Fatalf("healthz: %d", code)
+		}
+	}
+	if n := scrapeMetric(t, ts, `qisimd_http_requests_total{route="/healthz",method="GET",code="200"}`); n != 3 {
+		t.Fatalf("healthz RED count = %v, want 3", n)
+	}
+	if n := scrapeMetric(t, ts, `qisimd_http_request_seconds_count{route="/healthz"}`); n != 3 {
+		t.Fatalf("healthz latency count = %v, want 3", n)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", code)
+	}
+	if n := scrapeMetric(t, ts, `qisimd_http_requests_total{route="/v1/jobs/{id}",method="GET",code="404"}`); n != 1 {
+		t.Fatalf("pattern-labelled 404 count = %v, want 1", n)
+	}
+}
+
+// TestChaosInjectionExportAndFlight: injected faults surface in
+// qisimd_chaos_injected_total{side,fault} and the flight recorder; a
+// registered client-side source folds into the same family; and because
+// RED composes OUTSIDE the chaos middleware, the injected 5xx responses
+// are measured as real traffic.
+func TestChaosInjectionExportAndFlight(t *testing.T) {
+	spec := &chaos.Spec{Seed: 42, Error5xx: chaos.Burst5xxSpec{P: 1}} // every dist request 5xxes
+	srv, ts := newTestServer(t, Config{Workers: 1, Dist: DistConfig{
+		Enabled: true, LeaseTTL: 5 * time.Second, UnitShards: 4, Chaos: spec,
+	}})
+	srv.RegisterChaosStats("client", func() chaos.Stats {
+		return chaos.Stats{"requests": 9, chaos.FaultDrop: 4}
+	})
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/v1/dist/claim", "application/json",
+			strings.NewReader(`{"worker":"x"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503 injected", i, resp.StatusCode)
+		}
+	}
+	if n := scrapeMetric(t, ts, `qisimd_chaos_injected_total{side="server",fault="error5xx"}`); n < 1 {
+		t.Fatalf("server error5xx injections = %v, want >= 1", n)
+	}
+	if n := scrapeMetric(t, ts, `qisimd_chaos_injected_total{side="client",fault="drop"}`); n != 4 {
+		t.Fatalf("client drop injections = %v, want 4", n)
+	}
+	// The injectors' raw-traffic counter is not a fault and must stay out.
+	if n := scrapeMetric(t, ts, `qisimd_chaos_injected_total{side="client",fault="requests"}`); n != 0 {
+		t.Fatalf("traffic counter leaked into the fault export: %v", n)
+	}
+	var chaosEvents int
+	for _, ev := range srv.Flight().Snapshot().Events {
+		if ev.Kind == "chaos.inject" {
+			chaosEvents++
+		}
+	}
+	if chaosEvents == 0 {
+		t.Fatal("no chaos.inject flight events recorded")
+	}
+	if n := scrapeMetric(t, ts, `qisimd_http_requests_total{route="/v1/dist/claim",method="POST",code="503"}`); n != 5 {
+		t.Fatalf("RED did not measure the injected 5xxes: %v, want 5", n)
+	}
+}
+
+// TestBuildInfoGauge: the constant build-identity series is always present.
+func TestBuildInfoGauge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), `qisimd_build_info{version=`) {
+		t.Fatalf("qisimd_build_info missing from /metrics")
+	}
+}
+
+// TestFlightEndpointAndPersistence: /v1/debug/flight serves the ring as
+// JSON and text, rejects unknown formats, and persistFlight (the panic
+// backstop's sink) writes a decodable flight-last.json under the data dir.
+func TestFlightEndpointAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	srv.Flight().Record("test.marker", obs.String("k", "v"))
+
+	code, body := getBody(t, ts.URL+"/v1/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("flight: %d", code)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("decode flight dump: %v", err)
+	}
+	found := false
+	for _, ev := range dump.Events {
+		if ev.Kind == "test.marker" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("marker event missing from dump (%d events)", len(dump.Events))
+	}
+	if code, body := getBody(t, ts.URL+"/v1/debug/flight?format=text"); code != http.StatusOK ||
+		!strings.Contains(string(body), "test.marker") {
+		t.Fatalf("text dump (%d):\n%s", code, body)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/debug/flight?format=xml"); code != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", code)
+	}
+
+	srv.persistFlight()
+	raw, err := os.ReadFile(filepath.Join(dir, "flight-last.json"))
+	if err != nil {
+		t.Fatalf("flight-last.json: %v", err)
+	}
+	var persisted obs.FlightDump
+	if err := json.Unmarshal(raw, &persisted); err != nil {
+		t.Fatalf("decode persisted dump: %v", err)
+	}
+	if persisted.Recorded == 0 {
+		t.Fatal("persisted dump is empty")
+	}
+}
+
+// TestCoordinatorShutdownLeaksNoGoroutines: the observability plane's
+// scrape-time funcs plus the coordinator's sweep/probe loops and a full
+// fleet run through the federation path must all terminate on Drain —
+// the goroutine count returns to the pre-server baseline.
+func TestCoordinatorShutdownLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv, err := New(Config{Workers: 2, Dist: DistConfig{
+		Enabled: true, LeaseTTL: time.Second, UnitShards: 4,
+	}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+
+	// A fleet managed inline (not via t.Cleanup) so its goroutines are
+	// provably gone before the final count.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		client := &dist.Client{Base: ts.URL}
+		id := fmt.Sprintf("leak-w%d", i)
+		if err := client.Register(ctx, dist.WorkerInfo{ID: id}); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+		wreg := metrics.New()
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			ID: id, Coordinator: client, Cores: BuildCore,
+			PollInterval: 2 * time.Millisecond, Seed: int64(i + 1),
+			Metrics: wreg.Summary,
+		})
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // ends by cancellation
+		}()
+	}
+	runToBytes(t, ts, `{"kind":"surface.mc","params":{"distance":3,"shots":2000,"shard_size":128,"seed":11}}`)
+	getBody(t, ts.URL+"/v1/fleet/status")
+	getBody(t, ts.URL+"/metrics")
+
+	cancel()
+	wg.Wait()
+	ts.Close()
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitForGoroutines(t, baseline)
+}

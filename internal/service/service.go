@@ -38,12 +38,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"path/filepath"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"qisim/internal/buildinfo"
 	"qisim/internal/chaos"
 	"qisim/internal/dist"
 	"qisim/internal/jobs"
@@ -157,6 +161,15 @@ type Server struct {
 	mDistUnitSeconds *metrics.HistogramVec
 
 	sseHeartbeat time.Duration // interval between SSE comment heartbeats
+
+	// Observability plane (see fleet.go): RED middleware around every
+	// route, the always-on flight recorder, and the chaos-injection export.
+	red     *metrics.RED
+	flight  *obs.FlightRecorder
+	dataDir string // "" = no flight-last.json crash persistence
+
+	chaosMu      sync.Mutex
+	chaosSources []chaosSource // feeds qisimd_chaos_injected_total
 }
 
 // New builds a Server (workers not yet running — call Start; with DataDir,
@@ -194,6 +207,8 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:      cfg.BaseContext,
 		log:          obs.OrDiscard(cfg.Logger),
 		sseHeartbeat: sseHeartbeat,
+		flight:       obs.NewFlightRecorder(0),
+		dataDir:      cfg.DataDir,
 	}
 	if cfg.DataDir != "" {
 		journal, err := jobs.OpenJournal(filepath.Join(cfg.DataDir, "journal.wal"))
@@ -201,6 +216,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = journal
+		journal.Observe(func(op, key string) {
+			s.flight.Record("journal.append",
+				obs.String("op", op), obs.String("key", key))
+		})
 		s.ckptDir = filepath.Join(cfg.DataDir, "checkpoints")
 	} else {
 		// Nothing to recover: the server is ready as soon as it starts.
@@ -247,6 +266,13 @@ func New(cfg Config) (*Server, error) {
 		metrics.DefaultLatencyBuckets())
 	s.mDegraded = s.reg.Counter("qisimd_degraded_runs_total",
 		"Coordinator-routed runs that fell back to fully local execution (zero live workers).")
+	bi := buildinfo.Resolve()
+	s.reg.GaugeVec("qisimd_build_info",
+		"Build identity of this process; the value is a constant 1, the identity lives in the labels.",
+		"version", "vcs").With(bi.Version, bi.Commit).Set(1)
+	s.reg.CounterFuncN("qisimd_chaos_injected_total",
+		"Faults injected by the chaos layer, by side (server = /v1/dist middleware, client = worker transport) and fault kind.",
+		[]string{"side", "fault"}, s.chaosSamples)
 	if cfg.Dist.Enabled {
 		s.initDist(cfg)
 	}
@@ -277,6 +303,14 @@ func New(cfg Config) (*Server, error) {
 					}
 				}
 				s.observeTrace(id)
+			},
+			JobPanicked: func(id string, recovered any) {
+				// The panic backstop is the last stop before the evidence
+				// is flattened into a typed error: persist the flight ring
+				// so the crash context survives the process.
+				s.flight.Record("job.panic",
+					obs.String("job", id), obs.String("panic", fmt.Sprint(recovered)))
+				s.persistFlight()
 			},
 		},
 	})
@@ -319,33 +353,51 @@ func New(cfg Config) (*Server, error) {
 			func() float64 { return float64(s.journal.Stats().AppendErrors) })
 	}
 
+	s.red = metrics.NewRED(s.reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Every route — including the chaos-wrapped dist endpoints — is served
+	// through the RED middleware, composed OUTSIDE the fault injector so
+	// injected 5xx/aborts are measured like any organic response. The route
+	// label is the mux pattern (bounded cardinality), not the raw path.
+	handle := func(pattern string, h http.Handler) {
+		route := pattern[strings.IndexByte(pattern, ' ')+1:]
+		mux.Handle(pattern, s.red.Wrap(route, h))
+	}
+	handle("POST /v1/jobs", http.HandlerFunc(s.handleSubmit))
+	handle("GET /v1/jobs", http.HandlerFunc(s.handleJobsList))
+	handle("GET /v1/jobs/{id}", http.HandlerFunc(s.handleJob))
+	handle("DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleJobCancel))
+	handle("GET /v1/jobs/{id}/events", http.HandlerFunc(s.handleJobEvents))
+	handle("GET /v1/jobs/{id}/trace", http.HandlerFunc(s.handleTrace))
+	handle("GET /v1/results/{key}", http.HandlerFunc(s.handleResult))
+	handle("GET /metrics", s.reg.Handler())
+	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /readyz", http.HandlerFunc(s.handleReadyz))
+	handle("GET /v1/fleet/status", http.HandlerFunc(s.handleFleetStatus))
+	handle("GET /v1/debug/flight", http.HandlerFunc(s.handleFlight))
 	if s.dist != nil {
 		// With a chaos spec configured, every fleet RPC endpoint is
 		// served through the fault-injection middleware so a single
 		// coordinator process can rehearse the full failure taxonomy
 		// (latency, 5xx bursts, aborts, duplicated deliveries) against
-		// real workers.
+		// real workers. One middleware per route keeps each route's
+		// seeded fault schedule independent of traffic on its siblings.
 		distHandler := func(h http.HandlerFunc) http.Handler {
 			if cfg.Dist.Chaos == nil {
 				return h
 			}
-			return chaos.NewMiddleware(*cfg.Dist.Chaos, h)
+			mw := chaos.NewMiddleware(*cfg.Dist.Chaos, h)
+			mw.OnInject(func(fault string) {
+				s.flight.Record("chaos.inject",
+					obs.String("side", "server"), obs.String("fault", fault))
+			})
+			s.RegisterChaosStats("server", mw.Stats)
+			return mw
 		}
-		mux.Handle("POST /v1/dist/register", distHandler(s.handleDistRegister))
-		mux.Handle("POST /v1/dist/claim", distHandler(s.handleDistClaim))
-		mux.Handle("POST /v1/dist/renew", distHandler(s.handleDistRenew))
-		mux.Handle("POST /v1/dist/report", distHandler(s.handleDistReport))
+		handle("POST /v1/dist/register", distHandler(s.handleDistRegister))
+		handle("POST /v1/dist/claim", distHandler(s.handleDistClaim))
+		handle("POST /v1/dist/renew", distHandler(s.handleDistRenew))
+		handle("POST /v1/dist/report", distHandler(s.handleDistReport))
 	}
 	s.mux = mux
 	return s, nil
@@ -492,6 +544,11 @@ func (s *Server) Cache() *rescache.Cache { return s.cache }
 
 // Manager exposes the job manager (tests).
 func (s *Server) Manager() *jobs.Manager { return s.mgr }
+
+// Flight exposes the always-on flight recorder so the process shell (SIGQUIT
+// handler, fleet-worker loop, tests) can record into and dump the same ring
+// the HTTP debug endpoint serves.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // submitResponse is the POST /v1/jobs body.
 type submitResponse struct {
